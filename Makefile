@@ -1,0 +1,31 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench experiments ablations examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	python -m pytest tests/
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only -s
+
+experiments:
+	python -m repro.experiments.runner
+
+ablations:
+	python -m repro ablations
+
+examples:
+	python examples/quickstart.py
+	python examples/browse_session.py
+	python examples/content_tour.py
+	python examples/benchmark_report.py
+	python examples/reading_time_prediction.py
+	python examples/capacity_planning.py
+	python examples/power_trace.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache src/repro.egg-info .benchmarks

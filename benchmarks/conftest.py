@@ -1,0 +1,22 @@
+"""Benchmark harness conventions.
+
+Each file regenerates one of the paper's tables or figures: the
+benchmark times the experiment run, and the experiment's report — the
+same rows/series the paper plots — is echoed so ``pytest benchmarks/
+--benchmark-only -s`` doubles as the reproduction record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def record_report(request):
+    """Print an experiment's report under the benchmark's name."""
+
+    def _record(result) -> None:
+        text = result.report()
+        print(f"\n[{request.node.name}]\n{text}\n")
+
+    return _record

@@ -1,0 +1,41 @@
+"""Ablation benches: design-choice decompositions (not paper figures)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_reorganisation(benchmark, record_report):
+    result = benchmark.pedantic(ablations.reorganisation_ablation,
+                                rounds=1, iterations=1)
+    record_report(result)
+    assert result.row("energy-aware (full)").loading_energy \
+        < result.row("original").loading_energy
+
+
+def test_ablation_timers(benchmark, record_report):
+    result = benchmark.pedantic(ablations.timer_ablation, rounds=1,
+                                iterations=1)
+    record_report(result)
+    assert result.rows[0].next_click_delay > result.rows[-1].next_click_delay
+
+
+def test_ablation_predictor_family(benchmark, record_report):
+    result = benchmark.pedantic(ablations.predictor_ablation, rounds=1,
+                                iterations=1)
+    record_report(result)
+    assert result.accuracy("GBRT M=100", 9.0) \
+        > result.accuracy("linear (ridge)", 9.0) + 0.05
+
+
+def test_ablation_interest_threshold(benchmark, record_report):
+    result = benchmark.pedantic(ablations.interest_threshold_ablation,
+                                rounds=1, iterations=1)
+    record_report(result)
+    coverages = [row.coverage for row in result.rows]
+    assert coverages == sorted(coverages, reverse=True)
+
+
+def test_ablation_carriers(benchmark, record_report):
+    result = benchmark.pedantic(ablations.carrier_ablation, rounds=1,
+                                iterations=1)
+    record_report(result)
+    assert all(row.energy_saving > 0.15 for row in result.rows)

@@ -1,0 +1,11 @@
+"""Fig. 1 bench: power level per RRC state."""
+
+from repro.experiments import fig01_power_states
+
+
+def test_fig01_power_states(benchmark, record_report):
+    result = benchmark.pedantic(fig01_power_states.run, rounds=1,
+                                iterations=1)
+    record_report(result)
+    assert abs(result.mean_power_by_state["IDLE"] - 0.15) < 0.01
+    assert abs(result.mean_power_by_state["FACH"] - 0.63) < 0.01

@@ -1,0 +1,9 @@
+"""Fig. 3 bench: intuitive immediate-IDLE switching curve."""
+
+from repro.experiments import fig03_intuitive_switching
+
+
+def test_fig03_intuitive_switching(benchmark, record_report):
+    result = benchmark(fig03_intuitive_switching.run)
+    record_report(result)
+    assert result.crossover == 9

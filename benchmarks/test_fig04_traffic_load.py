@@ -1,0 +1,10 @@
+"""Fig. 4 bench: browsing traffic spread vs bulk socket download."""
+
+from repro.experiments import fig04_traffic_load
+
+
+def test_fig04_traffic_load(benchmark, record_report):
+    result = benchmark.pedantic(fig04_traffic_load.run, rounds=1,
+                                iterations=1)
+    record_report(result)
+    assert result.browsing_duration > 2.0 * result.bulk_duration

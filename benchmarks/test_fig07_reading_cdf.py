@@ -1,0 +1,11 @@
+"""Fig. 7 bench: reading-time CDF of the synthetic trace."""
+
+from repro.experiments import fig07_reading_cdf
+
+
+def test_fig07_reading_cdf(benchmark, record_report):
+    result = benchmark.pedantic(fig07_reading_cdf.run, rounds=1,
+                                iterations=1)
+    record_report(result)
+    for threshold, paper, ours in result.anchors:
+        assert abs(ours - paper) < 4.0

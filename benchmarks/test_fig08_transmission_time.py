@@ -1,0 +1,11 @@
+"""Fig. 8 bench: data transmission time, both benchmarks + two pages."""
+
+from repro.experiments import fig08_transmission_time
+
+
+def test_fig08_transmission_time(benchmark, record_report):
+    result = benchmark.pedantic(fig08_transmission_time.run, rounds=1,
+                                iterations=1)
+    record_report(result)
+    groups = {g.label: g for g in result.groups}
+    assert groups["full"].tx_saving > groups["mobile"].tx_saving > 0

@@ -1,0 +1,10 @@
+"""Fig. 9 bench: 4 Hz power traces loading espn.go.com/sports."""
+
+from repro.experiments import fig09_power_trace
+
+
+def test_fig09_power_trace(benchmark, record_report):
+    result = benchmark.pedantic(fig09_power_trace.run, rounds=1,
+                                iterations=1)
+    record_report(result)
+    assert result.energy_aware.tx_complete < result.original.tx_complete

@@ -1,0 +1,11 @@
+"""Fig. 10 bench: energy for page load + 20 s reading."""
+
+from repro.experiments import fig10_power_consumption
+
+
+def test_fig10_power_consumption(benchmark, record_report):
+    result = benchmark.pedantic(fig10_power_consumption.run, rounds=1,
+                                iterations=1)
+    record_report(result)
+    savings = [bar.saving for bar in result.bars]
+    assert sum(savings) / len(savings) > 0.25

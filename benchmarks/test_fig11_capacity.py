@@ -1,0 +1,11 @@
+"""Fig. 11 bench: network capacity at equal dropping probability."""
+
+from repro.experiments import fig11_capacity
+
+
+def test_fig11_capacity(benchmark, record_report):
+    result = benchmark.pedantic(fig11_capacity.run, rounds=1,
+                                iterations=1)
+    record_report(result)
+    for bench in result.benchmarks:
+        assert bench.gain > 0.08

@@ -1,0 +1,11 @@
+"""Figs. 12-13 bench: espn display times (the screenshots' annotations)."""
+
+from repro.experiments import fig12_13_display_snapshots
+
+
+def test_fig12_13_display_snapshots(benchmark, record_report):
+    result = benchmark.pedantic(fig12_13_display_snapshots.run, rounds=1,
+                                iterations=1)
+    record_report(result)
+    assert result.first_display_lead > 5.0
+    assert result.final_display_lead > 1.0

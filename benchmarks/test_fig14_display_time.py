@@ -1,0 +1,11 @@
+"""Fig. 14 bench: average screen display times."""
+
+from repro.experiments import fig14_display_time
+
+
+def test_fig14_display_time(benchmark, record_report):
+    result = benchmark.pedantic(fig14_display_time.run, rounds=1,
+                                iterations=1)
+    record_report(result)
+    rows = {row.label: row for row in result.rows}
+    assert rows["full"].first_saving > 0.30

@@ -1,0 +1,11 @@
+"""Fig. 15 bench: GBRT accuracy with/without the interest threshold."""
+
+from repro.experiments import fig15_prediction_accuracy
+
+
+def test_fig15_prediction_accuracy(benchmark, record_report):
+    result = benchmark.pedantic(fig15_prediction_accuracy.run, rounds=1,
+                                iterations=1)
+    record_report(result)
+    assert result.improvement(9.0) > 0.03
+    assert result.improvement(20.0) > 0.03

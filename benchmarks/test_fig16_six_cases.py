@@ -1,0 +1,12 @@
+"""Fig. 16 bench: power/delay savings of the six Table-6 policies."""
+
+from repro.experiments import fig16_six_cases
+
+
+def test_fig16_six_cases(benchmark, record_report):
+    result = benchmark.pedantic(fig16_six_cases.run, rounds=1,
+                                iterations=1)
+    record_report(result)
+    assert result.case("original-always-off").delay_saving < 0
+    assert result.case("accurate-9").power_saving == max(
+        case.power_saving for case in result.cases)

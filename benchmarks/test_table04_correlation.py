@@ -1,0 +1,10 @@
+"""Table 4 bench: Pearson correlation, reading time vs features."""
+
+from repro.experiments import table04_correlation
+
+
+def test_table04_correlation(benchmark, record_report):
+    result = benchmark.pedantic(table04_correlation.run, rounds=1,
+                                iterations=1)
+    record_report(result)
+    assert result.max_abs < 0.12

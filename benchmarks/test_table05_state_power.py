@@ -1,0 +1,11 @@
+"""Table 5 bench: measured power per state."""
+
+from repro.experiments import table05_state_power
+
+
+def test_table05_state_power(benchmark, record_report):
+    result = benchmark.pedantic(table05_state_power.run, rounds=1,
+                                iterations=1)
+    record_report(result)
+    assert abs(result.measured["IDLE state"] - 0.15) < 0.02
+    assert abs(result.measured["DCH state with transmission"] - 1.25) < 0.02

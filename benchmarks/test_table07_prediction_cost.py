@@ -1,0 +1,11 @@
+"""Table 7 bench: prediction cost vs number of decision trees."""
+
+from repro.experiments import table07_prediction_cost
+
+
+def test_table07_prediction_cost(benchmark, record_report):
+    result = benchmark.pedantic(table07_prediction_cost.run, rounds=1,
+                                iterations=1)
+    record_report(result)
+    times = [row.execution_time for row in result.rows]
+    assert times[0] < times[1] < times[2]

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""A realistic browsing session: Algorithm 2 in the loop, end to end.
+
+Trains the reading-time predictor on the synthetic trace, then replays a
+user's evening browsing session — a mix of quick hops and long reads over
+Table 3 pages — on a single simulated handset, under three policies:
+
+1. the stock browser with no switching,
+2. the energy-aware browser with no switching,
+3. the energy-aware browser + Algorithm 2 (power-driven), with the GBRT
+   predictor consulted after every page open.
+
+The radio state carries across pageviews, so you can see the Fig. 3
+trade-off live: a wrong "switch" prediction makes the next click pay the
+IDLE promotion.
+
+Run:  python examples/browse_session.py
+"""
+
+from repro.browser.energy_aware import EnergyAwareEngine
+from repro.browser.original import OriginalEngine
+from repro.core.browsing import PageVisit, browse_session
+from repro.core.config import PolicyConfig
+from repro.prediction.policy import PredictivePolicy
+from repro.prediction.predictor import ReadingTimePredictor
+from repro.traces.generator import generate_trace
+from repro.webpages.corpus import find_page
+
+#: (page, seconds the user reads it): quick hops and long reads mixed.
+SESSION = [
+    ("cnn", 4.0),
+    ("espn.go.com/sports", 45.0),
+    ("cnn", 1.5),
+    ("www.motors.ebay.com", 90.0),
+    ("youtube", 8.0),
+    ("www.apple.com", 30.0),
+]
+
+
+def main() -> None:
+    print("training the reading-time predictor on the 40-user trace...")
+    predictor = ReadingTimePredictor(interest_threshold=2.0).fit(
+        generate_trace().filter_reading_time())
+    policy = PredictivePolicy(predictor, PolicyConfig(mode="power"))
+
+    visits = [PageVisit(find_page(name), reading) for name, reading
+              in SESSION]
+    runs = (
+        ("original browser", OriginalEngine, None),
+        ("energy-aware, no policy", EnergyAwareEngine, None),
+        ("energy-aware + Algorithm 2", EnergyAwareEngine, policy),
+    )
+
+    baseline = None
+    for label, engine_cls, run_policy in runs:
+        outcome = browse_session(visits, engine_cls, policy=run_policy)
+        if baseline is None:
+            baseline = outcome.total_energy
+        saving = 1.0 - outcome.total_energy / baseline
+        print(f"\n== {label} ==")
+        print(f"  session: {outcome.total_time:.0f} s, "
+              f"{outcome.total_energy:.1f} J "
+              f"({saving:+.1%} vs original), "
+              f"{outcome.switch_count} IDLE switches")
+        for visit in outcome.visits:
+            decision = visit.decision
+            verdict = ("-" if decision is None else
+                       f"Tr={decision.predicted_reading_time:5.1f}s "
+                       f"{'switch' if decision.switch_to_idle else 'stay'}")
+            print(f"    {visit.page_url.replace('http://', ''):28s} "
+                  f"load {visit.load.load_complete_time:5.1f}s  "
+                  f"read {visit.reading_time:5.1f}s  "
+                  f"{visit.energy:6.1f}J  {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Power trace: watch the radio states while a page loads (Figs. 1, 9).
+
+Loads espn.go.com/sports with both browsers while the simulated bench
+supply samples device power at 4 Hz (the paper's Agilent E3631A rig),
+then renders both traces as ASCII charts with the radio-state timeline
+underneath.
+
+Run:  python examples/power_trace.py
+"""
+
+from repro.browser.energy_aware import EnergyAwareEngine
+from repro.browser.original import OriginalEngine
+from repro.core.session import browse_and_read
+from repro.webpages.corpus import find_page
+
+BLOCKS = " .:-=+*#%@"
+
+
+def render(trace, width_scale=2.0) -> str:
+    top = max(sample.watts for sample in trace.samples)
+    lines = []
+    for sample in trace.samples[::2]:  # every 0.5 s
+        bar = "#" * int(round(width_scale * 10 * sample.watts / top))
+        lines.append(f"  {sample.time:6.2f}s {sample.watts:5.2f}W "
+                     f"{sample.mode.value:14s} |{bar}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    page = find_page("espn.go.com/sports")
+    for engine_cls, idle_at_open in ((OriginalEngine, False),
+                                     (EnergyAwareEngine, True)):
+        session = browse_and_read(page, engine_cls, reading_time=20.0,
+                                  idle_at_open=idle_at_open)
+        load = session.load
+        trace = session.handset.sampler.trace(
+            start=load.started_at,
+            end=load.started_at + load.load_complete_time + 20.0)
+        print(f"\n=== {engine_cls.name} ===")
+        print(f"tx done {load.data_transmission_time:.1f}s, "
+              f"load done {load.load_complete_time:.1f}s, "
+              f"mean power {trace.mean_power():.2f}W, "
+              f"energy {session.total_energy:.1f}J")
+        print(render(trace))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: load one webpage with both browsers and compare.
+
+This is the smallest end-to-end use of the library: build the paper's
+headline page (espn.go.com/sports, ~760 KB), load it on a simulated
+3G handset with the stock browser and with the energy-aware browser,
+then print the timing and energy comparison of Figs. 8-10.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import compare_engines
+from repro.webpages.corpus import find_page
+
+
+def main() -> None:
+    page = find_page("espn.go.com/sports")
+    print(f"page: {page.url}  ({page.total_kb:.0f} KB, "
+          f"{page.object_count} objects)")
+
+    # Load with both engines, then read for 20 seconds (Fig. 10's setup).
+    comparison = compare_engines(page, reading_time=20.0)
+
+    original = comparison.original
+    ours = comparison.energy_aware
+    print("\n                         original    energy-aware")
+    print(f"data transmission time   {original.load.data_transmission_time:7.1f} s   "
+          f"{ours.load.data_transmission_time:7.1f} s")
+    print(f"total loading time       {original.load.load_complete_time:7.1f} s   "
+          f"{ours.load.load_complete_time:7.1f} s")
+    print(f"loading energy           {original.loading_energy.total:7.1f} J   "
+          f"{ours.loading_energy.total:7.1f} J")
+    print(f"20 s reading energy      {original.reading_energy.total:7.1f} J   "
+          f"{ours.reading_energy.total:7.1f} J")
+
+    print(f"\ntransmission-time saving: {comparison.tx_time_saving:.1%}")
+    print(f"loading-time saving:      {comparison.loading_time_saving:.1%}")
+    print(f"energy saving:            {comparison.energy_saving:.1%} "
+          f"(paper: 43.6% on this page)")
+
+
+if __name__ == "__main__":
+    main()

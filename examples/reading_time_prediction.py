@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Reading-time prediction: train, deploy, and drive Algorithm 2.
+
+Walks the paper's Section 4.3 pipeline end to end:
+
+1. generate the 40-user browsing trace (the stand-in for the paper's
+   student data collection);
+2. train the GBRT reading-time predictor offline, with the interest
+   threshold α = 2 s excluding quick bounces from training;
+3. serialise the tree model to JSON and load it back — the "deploy to
+   the phone" step;
+4. report threshold accuracies at Tp = 9 s and Td = 20 s and the
+   feature importances;
+5. run Algorithm 2 over a user's session and show its decisions.
+
+Run:  python examples/reading_time_prediction.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.core.config import PolicyConfig
+from repro.prediction.policy import PredictivePolicy
+from repro.prediction.predictor import ReadingTimePredictor
+from repro.traces.generator import generate_trace
+from repro.traces.records import FEATURE_NAMES, TraceDataset
+
+
+def main() -> None:
+    dataset = generate_trace().filter_reading_time()
+    print(f"trace: {len(dataset)} pageviews from 40 users")
+
+    # Hold out the last 10 users for evaluation.
+    train = TraceDataset([r for r in dataset if r.user_id < 30])
+    test = TraceDataset([r for r in dataset if r.user_id >= 30])
+
+    predictor = ReadingTimePredictor(interest_threshold=2.0).fit(train)
+
+    # Offline training → phone deployment round trip.
+    with tempfile.NamedTemporaryFile(suffix=".json") as handle:
+        predictor.save_json(handle.name)
+        deployed = ReadingTimePredictor.load_json(handle.name)
+    print(f"deployed model: {len(deployed.model.trees_)} trees, "
+          f"{deployed.model.total_nodes} nodes")
+
+    interested = test.exclude_quick_bounces(2.0)
+    for threshold, name in ((9.0, "Tp"), (20.0, "Td")):
+        accuracy = deployed.accuracy(interested, threshold)
+        print(f"accuracy at {name}={threshold:.0f}s "
+              f"(interest threshold applied): {accuracy:.1%}")
+
+    importances = deployed.model.feature_importances_
+    print("\nfeature importances:")
+    for name, value in sorted(zip(FEATURE_NAMES, importances),
+                              key=lambda item: -item[1]):
+        print(f"  {name:20s} {value:6.1%}")
+
+    # Algorithm 2 over one held-out session.
+    policy = PredictivePolicy(deployed, PolicyConfig(mode="power"))
+    session = max(test.sessions(), key=len)
+    print(f"\nAlgorithm 2 (power-driven) over user {session.user_id}'s "
+          f"session of {len(session)} pages:")
+    for record in session.records:
+        decision = policy.decide(record.feature_vector(),
+                                 record.reading_time)
+        action = "switch to IDLE" if decision.switch_to_idle else "stay"
+        print(f"  read {record.reading_time:6.1f}s | "
+              f"predicted {decision.predicted_reading_time:6.1f}s | "
+              f"{action}")
+
+
+if __name__ == "__main__":
+    np.set_printoptions(precision=3)
+    main()

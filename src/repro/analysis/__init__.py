@@ -1,0 +1,8 @@
+"""Statistics and rendering helpers shared by the experiment harness."""
+
+from repro.analysis.stats import cdf_points, pearson, summarize
+from repro.analysis.weibull import WeibullFit, fit_weibull
+from repro.analysis.tables import ascii_chart, format_table
+
+__all__ = ["cdf_points", "pearson", "summarize", "format_table",
+           "ascii_chart", "WeibullFit", "fit_weibull"]

@@ -1,0 +1,56 @@
+"""Small statistics helpers used across the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson's correlation coefficient (Table 4's statistic)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same shape")
+    if x.size < 2:
+        raise ValueError("need at least two samples")
+    sx = x.std()
+    sy = y.std()
+    if sx == 0 or sy == 0:
+        return 0.0
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
+
+
+def cdf_points(values: Sequence[float],
+               grid: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF evaluated on a grid, as (value, fraction) pairs."""
+    data = np.sort(np.asarray(values, dtype=float))
+    if data.size == 0:
+        raise ValueError("need at least one value")
+    return [(float(g), float(np.searchsorted(data, g, side="right")
+                             / data.size))
+            for g in grid]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a sample."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ValueError("need at least one value")
+    return Summary(count=int(data.size), mean=float(data.mean()),
+                   std=float(data.std()), minimum=float(data.min()),
+                   median=float(np.median(data)), maximum=float(data.max()))

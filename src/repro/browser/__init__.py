@@ -1,0 +1,39 @@
+"""Browser-engine substrate.
+
+Simulates the computation side of a 2009-era Android browser at the
+granularity the paper's analysis needs (Section 2.2): per-object
+computations classified into *data-transmission computation* (HTML/CSS
+parsing or scanning, JavaScript execution — anything that can emit a new
+fetch) and *layout computation* (CSS rule application, image decoding,
+style formatting, layout calculation, rendering, redraw/reflow).
+
+Two engines run on the same substrate:
+
+- :class:`~repro.browser.original.OriginalEngine` — the stock workflow of
+  Fig. 2: process each object fully as it arrives, interleaving layout
+  with discovery and repeatedly redrawing/reflowing the intermediate
+  display;
+- :class:`~repro.browser.energy_aware.EnergyAwareEngine` — the paper's
+  reorganised workflow (Sections 4.1–4.2): run all data-transmission
+  computation first, group the fetches, trigger fast dormancy through the
+  RIL when the last byte arrives, then do a single batched layout pass.
+"""
+
+from repro.browser.costs import BrowserCosts
+from repro.browser.config import BrowserConfig
+from repro.browser.dom import DomNode, DomTree
+from repro.browser.engine import BrowserEngine, PageLoadResult, DisplayEvent
+from repro.browser.original import OriginalEngine
+from repro.browser.energy_aware import EnergyAwareEngine
+
+__all__ = [
+    "BrowserCosts",
+    "BrowserConfig",
+    "DomNode",
+    "DomTree",
+    "BrowserEngine",
+    "PageLoadResult",
+    "DisplayEvent",
+    "OriginalEngine",
+    "EnergyAwareEngine",
+]

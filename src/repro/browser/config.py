@@ -1,0 +1,44 @@
+"""Behavioural knobs of the two browser engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import require_positive
+
+
+@dataclass(frozen=True)
+class BrowserConfig:
+    """Engine behaviour parameters.
+
+    The defaults reproduce the behaviours the paper describes: the
+    original browser updates its intermediate display frequently while
+    loading (here: every ``display_update_every_objects`` processed
+    objects), while the energy-aware browser draws one simplified
+    intermediate display after parsing a third of the main document
+    (Section 4.2) and skips it entirely on mobile pages whose load is
+    short anyway.
+    """
+
+    #: Original engine: redraw the intermediate display every N processed
+    #: objects.
+    display_update_every_objects: int = 3
+    #: Energy-aware engine: fraction of the root document parsed before
+    #: the simplified intermediate display is drawn.
+    intermediate_fraction: float = 1.0 / 3.0
+    #: Energy-aware engine: draw the intermediate display at all on
+    #: full-version pages (mobile pages never get one, Section 4.2).
+    intermediate_display: bool = True
+    #: Energy-aware engine: release the dedicated channels (DCH → FACH)
+    #: through the RIL as soon as the data-transmission phase completes
+    #: (Section 4.1).  The FACH → IDLE switch is a separate, policy-level
+    #: decision (Algorithm 2 / always-off), made after the page opens.
+    dormancy_after_tx: bool = True
+
+    def __post_init__(self) -> None:
+        if self.display_update_every_objects < 1:
+            raise ValueError(
+                "display_update_every_objects must be at least 1")
+        require_positive("intermediate_fraction", self.intermediate_fraction)
+        if self.intermediate_fraction > 1.0:
+            raise ValueError("intermediate_fraction cannot exceed 1")

@@ -1,0 +1,123 @@
+"""Computation cost model for the simulated browser.
+
+All costs are seconds on the reference device (Android Dev Phone 2,
+Android 1.6 — the paper's testbed) and scale linearly with object size or
+DOM node count.  The constants are calibrated against the paper's own
+measurements:
+
+- opening ``espn.go.com/sports`` (≈760 KB) takes the original browser
+  ~35–47 s (Figs. 4, 8, 9) while the raw bytes need only ~8 s on the wire;
+- layout computation is 40–70 % of the original browser's processing
+  time (the paper cites Meyerovich & Bodik [7]);
+- the energy-aware browser's post-transmission layout phase is short
+  (Fig. 8: a few seconds) because it runs once, batched, with no
+  intermediate redraws or reflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import require_non_negative, require_positive
+from repro.webpages.objects import ObjectKind, WebObject
+
+
+@dataclass(frozen=True)
+class BrowserCosts:
+    """Per-unit computation costs (seconds) of browser operations."""
+
+    #: Cheap URL scan of HTML source (energy-aware first pass).
+    scan_html_per_kb: float = 0.010
+    #: Full HTML parse into DOM nodes.
+    parse_html_per_kb: float = 0.030
+    #: Cheap URL scan of CSS source (energy-aware first pass).
+    scan_css_per_kb: float = 0.010
+    #: Full CSS parse and rule extraction.
+    parse_css_per_kb: float = 0.020
+    #: JavaScript execution (scaled by the object's complexity).
+    exec_js_per_kb: float = 0.085
+    #: Image decode.
+    decode_image_per_kb: float = 0.0035
+    #: Flash decode/instantiation.
+    decode_flash_per_kb: float = 0.006
+    #: Style formatting (matching CSS rules to DOM nodes).
+    style_format_per_node: float = 0.0008
+    #: Layout calculation (geometry).
+    layout_per_node: float = 0.0013
+    #: Painting the laid-out tree.
+    render_per_node: float = 0.0008
+    #: Reflow: recompute layout of the affected subtree and ancestors.
+    reflow_per_node: float = 0.0007
+    #: Fixed overhead of one reflow (tree walk set-up, invalidation).
+    reflow_fixed: float = 0.115
+    #: Redraw: repaint without geometry changes.
+    redraw_per_node: float = 0.0002
+    #: Fixed overhead of one redraw (display-list set-up, compositing).
+    redraw_fixed: float = 0.065
+    #: Simplified text-only intermediate display (Section 4.2).
+    simple_display_per_node: float = 0.0003
+    #: Incremental reflow/redraw only recomputes the dirty region; its
+    #: size saturates around a viewport's worth of nodes.
+    churn_node_cap: int = 300
+    #: Floor on any scheduled task, seconds.
+    min_task_time: float = 0.0005
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            require_non_negative(name, getattr(self, name))
+        if self.churn_node_cap < 1:
+            raise ValueError("churn_node_cap must be at least 1")
+        require_positive("min_task_time", self.min_task_time)
+
+    # ------------------------------------------------------------------
+    def _floor(self, seconds: float) -> float:
+        return max(seconds, self.min_task_time)
+
+    def scan_time(self, obj: WebObject) -> float:
+        """URL scan of an HTML or CSS object."""
+        per_kb = {ObjectKind.HTML: self.scan_html_per_kb,
+                  ObjectKind.CSS: self.scan_css_per_kb}[obj.kind]
+        return self._floor(obj.size_kb * per_kb)
+
+    def parse_time(self, obj: WebObject) -> float:
+        """Full parse of an HTML or CSS object."""
+        per_kb = {ObjectKind.HTML: self.parse_html_per_kb,
+                  ObjectKind.CSS: self.parse_css_per_kb}[obj.kind]
+        return self._floor(obj.size_kb * per_kb)
+
+    def exec_time(self, obj: WebObject) -> float:
+        """Execution of a script, scaled by its complexity."""
+        if obj.kind is not ObjectKind.JS:
+            raise ValueError(f"cannot execute a {obj.kind} object")
+        return self._floor(obj.size_kb * self.exec_js_per_kb
+                           * obj.complexity)
+
+    def decode_time(self, obj: WebObject) -> float:
+        """Decode of an image or flash object."""
+        per_kb = {ObjectKind.IMAGE: self.decode_image_per_kb,
+                  ObjectKind.FLASH: self.decode_flash_per_kb}[obj.kind]
+        return self._floor(obj.size_kb * per_kb)
+
+    def style_and_layout_time(self, node_count: int) -> float:
+        """Style formatting plus layout calculation over ``node_count``."""
+        return self._floor(node_count
+                           * (self.style_format_per_node
+                              + self.layout_per_node))
+
+    def render_time(self, node_count: int) -> float:
+        """Paint cost of a tree with ``node_count`` nodes."""
+        return self._floor(node_count * self.render_per_node)
+
+    def reflow_time(self, node_count: int) -> float:
+        """One reflow (geometry recomputation of the dirty region)."""
+        dirty = min(node_count, self.churn_node_cap)
+        return self._floor(self.reflow_fixed + dirty * self.reflow_per_node)
+
+    def redraw_time(self, node_count: int) -> float:
+        """One redraw (repaint of the dirty region)."""
+        dirty = min(node_count, self.churn_node_cap)
+        return self._floor(self.redraw_fixed + dirty * self.redraw_per_node)
+
+    def simple_display_time(self, node_count: int) -> float:
+        """The cheap text-only intermediate display of Section 4.2."""
+        return self._floor(node_count * self.simple_display_per_node)

@@ -1,0 +1,143 @@
+"""The energy-aware engine — the paper's reorganised workflow (Sec. 4.1).
+
+Phase 1 (*data transmission*): every arriving object gets only the
+computation needed to discover further fetches — HTML is scanned for URLs
+(fetches issued immediately) then parsed for the DOM so scripts can run
+against it; CSS is scanned only; scripts are executed (unavoidable — their
+fetches are invisible until run); images and flash are kept in memory
+undecoded.  One simplified text display is drawn after a third of the root
+document is parsed (full-version pages only, Section 4.2).
+
+When the last byte has arrived and the last data-transmission computation
+has finished, the engine asks the radio for fast dormancy through the RIL
+(Section 4.4) and enters phase 2 (*layout*): parse all stylesheets, decode
+all media, one style+layout pass, one final paint.  No intermediate
+redraws or reflows ever happen.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.browser.engine import (
+    LAYOUT_COMPUTE,
+    TX_COMPUTE,
+    BrowserEngine,
+)
+from repro.webpages.objects import ObjectKind, WebObject
+
+
+class EnergyAwareEngine(BrowserEngine):
+    """Reorganised browser: all fetch-generating computation first."""
+
+    name = "energy-aware"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._phase = "tx"
+        self._css_objects: List[WebObject] = []
+        self._media_objects: List[WebObject] = []
+        #: Relative time at which the transmission phase completed.
+        self.tx_complete_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Phase 1: data-transmission computation only
+    # ------------------------------------------------------------------
+    def on_object_arrived(self, obj: WebObject) -> None:
+        if self._phase != "tx":
+            raise RuntimeError(
+                f"object {obj.object_id!r} arrived outside the tx phase; "
+                "all fetches must be grouped before layout starts")
+        if obj.kind is ObjectKind.HTML:
+            self._submit(f"scan_html[{obj.object_id}]",
+                         self.costs.scan_time(obj), TX_COMPUTE,
+                         on_done=lambda: self._html_scanned(obj))
+        elif obj.kind is ObjectKind.CSS:
+            self._submit(f"scan_css[{obj.object_id}]",
+                         self.costs.scan_time(obj), TX_COMPUTE,
+                         on_done=lambda: self._css_scanned(obj))
+        elif obj.kind is ObjectKind.JS:
+            duration = self.costs.exec_time(obj)
+            self.js_exec_time += duration
+            self._submit(f"exec_js[{obj.object_id}]", duration, TX_COMPUTE,
+                         on_done=lambda: self._js_executed(obj))
+        else:
+            # Images and flash are saved in memory; decoding is deferred
+            # to the layout phase (Section 4.1).
+            self._media_objects.append(obj)
+
+    def _html_scanned(self, obj: WebObject) -> None:
+        # URLs found by the scan are requested *before* the expensive
+        # parse runs — this is what groups the data transmissions.
+        self._fetch_references(obj)
+        if obj.object_id == self.page.root_id:
+            fraction = self.config.intermediate_fraction
+            self._submit(f"parse_html_p1[{obj.object_id}]",
+                         self.costs.parse_time(obj) * fraction, TX_COMPUTE,
+                         on_done=lambda: self._root_third_parsed(obj))
+        else:
+            self._submit(f"parse_html[{obj.object_id}]",
+                         self.costs.parse_time(obj), TX_COMPUTE,
+                         on_done=lambda: self._html_parsed(obj, obj.dom_nodes))
+
+    def _root_third_parsed(self, obj: WebObject) -> None:
+        fraction = self.config.intermediate_fraction
+        early_nodes = int(obj.dom_nodes * fraction)
+        self.dom.add_subtree(obj.object_id, obj.kind, early_nodes)
+        if self.config.intermediate_display and not self.page.mobile:
+            # Simplified text-only display: no CSS rules, no images.
+            nodes = self.dom.node_count
+            self._submit(f"simple_display[{nodes}]",
+                         self.costs.simple_display_time(nodes),
+                         LAYOUT_COMPUTE,
+                         on_done=lambda: self._record_display("intermediate"))
+        self._submit(f"parse_html_p2[{obj.object_id}]",
+                     self.costs.parse_time(obj) * (1.0 - fraction),
+                     TX_COMPUTE,
+                     on_done=lambda: self._html_parsed(
+                         obj, obj.dom_nodes - early_nodes))
+
+    def _html_parsed(self, obj: WebObject, nodes: int) -> None:
+        self.dom.add_subtree(obj.object_id, obj.kind, nodes)
+
+    def _css_scanned(self, obj: WebObject) -> None:
+        self._fetch_references(obj)
+        self._css_objects.append(obj)
+
+    def _js_executed(self, obj: WebObject) -> None:
+        self.dom.add_subtree(obj.object_id, obj.kind, obj.dom_nodes)
+        self._fetch_references(obj, include_dynamic=True)
+
+    # ------------------------------------------------------------------
+    # Phase transition and phase 2: batched layout
+    # ------------------------------------------------------------------
+    def _maybe_advance(self) -> None:
+        if self._phase == "tx" and self.quiescent:
+            self._phase = "layout"
+            self.tx_complete_time = self.elapsed
+            if self.config.dormancy_after_tx and self._ril is not None:
+                # Release the dedicated channels while layout runs
+                # (Section 4.1); the FACH→IDLE decision is Algorithm 2's,
+                # made after the page opens.
+                self._ril.request_channel_release()
+            self._start_layout_phase()
+        elif self._phase == "layout" and self.quiescent:
+            self._phase = "done"
+            self._finish(data_transmission_time=self.tx_complete_time)
+
+    def _start_layout_phase(self) -> None:
+        for obj in self._css_objects:
+            self._submit(f"parse_css[{obj.object_id}]",
+                         self.costs.parse_time(obj), LAYOUT_COMPUTE)
+        for obj in self._media_objects:
+            self._submit(f"decode[{obj.object_id}]",
+                         self.costs.decode_time(obj), LAYOUT_COMPUTE,
+                         on_done=lambda obj=obj: self.dom.add_subtree(
+                             obj.object_id, obj.kind, obj.dom_nodes))
+        self._submit("style_and_layout",
+                     self.costs.style_and_layout_time(
+                         self.page.total_dom_nodes), LAYOUT_COMPUTE)
+        nodes = self.page.total_dom_nodes
+        self._submit(f"final_paint[{nodes}]", self.costs.render_time(nodes),
+                     LAYOUT_COMPUTE,
+                     on_done=lambda: self._record_display("final"))

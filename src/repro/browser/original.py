@@ -1,0 +1,173 @@
+"""The original (stock) browser engine — Fig. 2's workflow.
+
+Each arriving object is processed *fully* before the browser moves on:
+HTML is parsed into the DOM (discovering new fetches late), CSS is parsed
+into style rules and applied (a reflow), scripts are executed (their
+fetches discovered even later), images are decoded on arrival (a redraw).
+The intermediate display is refreshed every few processed objects, and
+every DOM change reflows the tree — the redraw/reflow churn the paper
+blames for wasted computation (Section 4.2).
+
+The consequence the paper measures: data transmissions are spread across
+the whole load, so the radio never gets an idle gap longer than T1 and
+stays at DCH power for the entire loading time.
+"""
+
+from __future__ import annotations
+
+from repro.browser.engine import (
+    LAYOUT_COMPUTE,
+    TX_COMPUTE,
+    BrowserEngine,
+)
+from repro.webpages.objects import ObjectKind, WebObject
+
+
+class OriginalEngine(BrowserEngine):
+    """Stock browser: per-object processing with interleaved layout."""
+
+    name = "original"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._phase = "loading"
+        self._objects_processed = 0
+        self._root_parsed = False
+        self._css_applied = False
+        self._first_display_drawn = False
+
+    # ------------------------------------------------------------------
+    #: HTML documents are parsed incrementally in this many chunks, each
+    #: chunk discovering its share of referenced objects — which is what
+    #: spreads the original browser's transmissions across the whole load
+    #: (Fig. 4).
+    PARSE_CHUNKS = 3
+
+    def on_object_arrived(self, obj: WebObject) -> None:
+        if obj.kind is ObjectKind.HTML:
+            self._submit_parse_chunk(obj, chunk=0)
+        elif obj.kind is ObjectKind.CSS:
+            self._submit(f"parse_css[{obj.object_id}]",
+                         self.costs.parse_time(obj), TX_COMPUTE,
+                         on_done=lambda: self._css_parsed(obj))
+        elif obj.kind is ObjectKind.JS:
+            duration = self.costs.exec_time(obj)
+            self.js_exec_time += duration
+            self._submit(f"exec_js[{obj.object_id}]", duration, TX_COMPUTE,
+                         on_done=lambda: self._js_executed(obj))
+        else:  # image / flash: decode immediately on arrival
+            self._submit(f"decode[{obj.object_id}]",
+                         self.costs.decode_time(obj), LAYOUT_COMPUTE,
+                         on_done=lambda: self._decoded(obj))
+
+    # ------------------------------------------------------------------
+    # Per-kind continuations
+    # ------------------------------------------------------------------
+    def _submit_parse_chunk(self, obj: WebObject, chunk: int) -> None:
+        duration = self.costs.parse_time(obj) / self.PARSE_CHUNKS
+        self._submit(f"parse_html[{obj.object_id}]#{chunk}", duration,
+                     TX_COMPUTE,
+                     on_done=lambda: self._html_chunk_parsed(obj, chunk))
+
+    def _html_chunk_parsed(self, obj: WebObject, chunk: int) -> None:
+        """One incremental slice of an HTML parse: attach this chunk's DOM
+        nodes, request this chunk's referenced objects, continue parsing."""
+        nodes = self._slice_count(obj.dom_nodes, chunk)
+        self.dom.add_subtree(obj.object_id, obj.kind, nodes)
+        for ref in self._slice_refs(obj.static_references, chunk):
+            self._fetch(ref)
+        if chunk + 1 < self.PARSE_CHUNKS:
+            self._submit_parse_chunk(obj, chunk + 1)
+            return
+        self._html_parsed(obj)
+
+    def _slice_count(self, total: int, chunk: int) -> int:
+        base, remainder = divmod(total, self.PARSE_CHUNKS)
+        return base + (1 if chunk < remainder else 0)
+
+    def _slice_refs(self, refs, chunk: int):
+        return refs[chunk::self.PARSE_CHUNKS]
+
+    def _html_parsed(self, obj: WebObject) -> None:
+        if obj.object_id == self.page.root_id:
+            self._root_parsed = True
+        # Incremental style + layout of the new nodes.
+        self._submit(f"layout_inc[{obj.object_id}]",
+                     self.costs.style_and_layout_time(obj.dom_nodes),
+                     LAYOUT_COMPUTE)
+        self._submit_reflow()
+        self._object_processed()
+
+    def _css_parsed(self, obj: WebObject) -> None:
+        self._fetch_references(obj)
+        # Apply the new rules to the whole current tree, then reflow.
+        self._submit(f"apply_styles[{obj.object_id}]",
+                     self.costs.style_format_per_node * self.dom.node_count,
+                     LAYOUT_COMPUTE)
+        self._submit_reflow()
+        self._css_applied = True
+        self._object_processed()
+
+    def _js_executed(self, obj: WebObject) -> None:
+        self.dom.add_subtree(obj.object_id, obj.kind, obj.dom_nodes)
+        self._fetch_references(obj, include_dynamic=True)
+        self._submit_reflow()
+        self._object_processed()
+
+    def _decoded(self, obj: WebObject) -> None:
+        self.dom.add_subtree(obj.object_id, obj.kind, obj.dom_nodes)
+        self._submit_redraw()
+        self._object_processed()
+
+    # ------------------------------------------------------------------
+    def _object_processed(self) -> None:
+        self._objects_processed += 1
+        self._maybe_draw_first_display()
+        if (self._objects_processed
+                % self.config.display_update_every_objects == 0):
+            # Periodic refresh while loading: layout work happens either
+            # way, but nothing reaches the screen before the first paint.
+            self._submit_redraw()
+            if self._first_display_drawn:
+                self._record_display("intermediate")
+
+    #: Fraction of the requested objects that must be processed before
+    #: the first paint: the stock browser waits for the root document,
+    #: style rules, and a good share of the content before showing
+    #: anything useful (Fig. 12: espn's first display lands mid-load).
+    FIRST_PAINT_FRACTION = 0.45
+
+    def _maybe_draw_first_display(self) -> None:
+        """The original browser shows its first paint only after the root
+        document is parsed, style rules exist (Section 4.2: it must
+        associate DOM nodes with CSS rules before laying anything out),
+        and a substantial share of the objects has been processed."""
+        if self._first_display_drawn:
+            return
+        if not (self._root_parsed and self._css_applied):
+            return
+        if (self._objects_processed
+                < self.FIRST_PAINT_FRACTION * self.page.object_count):
+            return
+        self._first_display_drawn = True
+        nodes = self.dom.node_count
+        self._submit(f"first_paint[{nodes}]", self.costs.render_time(nodes),
+                     LAYOUT_COMPUTE,
+                     on_done=lambda: self._record_display("intermediate"))
+
+    # ------------------------------------------------------------------
+    def _maybe_advance(self) -> None:
+        if self._phase == "loading" and self.quiescent:
+            self._phase = "finalizing"
+            nodes = self.dom.node_count
+            self._submit(f"final_paint[{nodes}]",
+                         self.costs.render_time(nodes), LAYOUT_COMPUTE,
+                         on_done=self._final_paint_done)
+        elif self._phase == "finalizing" and self.quiescent:
+            self._phase = "done"
+            # Per the paper's accounting, the original browser's data
+            # transmission time *is* its loading time (Section 5.2).
+            self._finish(data_transmission_time=self.elapsed)
+
+    def _final_paint_done(self) -> None:
+        self._record_display("final")

@@ -1,0 +1,28 @@
+"""Backbone network capacity substrate (Section 5.4).
+
+The paper models the pool of dedicated transmission channels as an
+M/G/N multi-server queue with zero queueing room (an Erlang loss
+system): each web-browsing session needs one channel pair for its data
+transmission time and is dropped if none is free.  This package provides
+both a discrete-event simulator of that system (the paper's methodology)
+and the analytic Erlang-B formula as a cross-check.
+"""
+
+from repro.capacity.erlang import erlang_b, offered_load
+from repro.capacity.simulator import (
+    CapacityConfig,
+    CapacityResult,
+    CapacitySimulator,
+    capacity_at_drop_target,
+)
+from repro.capacity.finite_source import FiniteSourceCapacitySimulator
+
+__all__ = [
+    "erlang_b",
+    "offered_load",
+    "CapacityConfig",
+    "CapacityResult",
+    "CapacitySimulator",
+    "capacity_at_drop_target",
+    "FiniteSourceCapacitySimulator",
+]

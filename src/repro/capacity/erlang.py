@@ -1,0 +1,39 @@
+"""Analytic Erlang-B blocking probability.
+
+For an M/G/N/N loss system the blocking probability depends on the
+service-time distribution only through its mean (insensitivity), so
+Erlang-B is an exact reference for the simulator:
+
+    B(N, A) with offered load A = arrival rate × mean service time.
+
+Computed with the numerically stable recurrence
+B(0) = 1;  B(k) = A·B(k−1) / (k + A·B(k−1)).
+"""
+
+from __future__ import annotations
+
+from repro.units import require_non_negative, require_positive
+
+
+def offered_load(n_users: int, mean_interval: float,
+                 mean_service: float) -> float:
+    """Offered load in erlangs for ``n_users`` each generating sessions
+    with exponential inter-arrival mean ``mean_interval`` seconds and
+    mean service time ``mean_service`` seconds."""
+    require_positive("n_users", n_users)
+    require_positive("mean_interval", mean_interval)
+    require_non_negative("mean_service", mean_service)
+    return n_users / mean_interval * mean_service
+
+
+def erlang_b(n_channels: int, load_erlangs: float) -> float:
+    """Blocking probability of an Erlang loss system."""
+    if n_channels < 1:
+        raise ValueError("n_channels must be at least 1")
+    require_non_negative("load_erlangs", load_erlangs)
+    if load_erlangs == 0:
+        return 0.0
+    blocking = 1.0
+    for k in range(1, n_channels + 1):
+        blocking = load_erlangs * blocking / (k + load_erlangs * blocking)
+    return blocking

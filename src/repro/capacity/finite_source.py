@@ -1,0 +1,82 @@
+"""Finite-source (Engset-style) capacity model.
+
+The paper's Fig. 11 gains (+14.3 % / +19.6 %) are *smaller* than an
+M/G/N loss system permits: at fixed blocking, Erlang-B insensitivity
+makes capacity inversely proportional to the holding time, which for a
+26 % shorter transmission would be ≈ +35 %.  A finite-source model
+explains the difference: if each user only *starts thinking about* the
+next page after the previous session ends (think time ~ Exp(λ = 25 s)
+following service), long holding times also throttle each user's own
+arrival rate, damping the capacity benefit of shortening them.
+
+This simulator implements that alternative reading of "each user
+generates data transmission sessions with Poisson distribution interval
+λ = 25 seconds": per-user renewal cycles of think → hold (or drop).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.capacity.simulator import CapacityConfig, CapacityResult
+from repro.units import require_positive
+
+
+class FiniteSourceCapacitySimulator:
+    """Engset-style loss simulation: think time gates each user's next
+    session."""
+
+    def __init__(self, service_times: Sequence[float],
+                 config: Optional[CapacityConfig] = None):
+        times = np.asarray(list(service_times), dtype=float)
+        if times.size == 0:
+            raise ValueError("need at least one service-time sample")
+        if (times <= 0).any():
+            raise ValueError("service times must be positive")
+        self.service_times = times
+        self.config = config or CapacityConfig()
+
+    @property
+    def mean_service_time(self) -> float:
+        return float(self.service_times.mean())
+
+    def run(self, n_users: int, seed: Optional[int] = None
+            ) -> CapacityResult:
+        """Simulate ``n_users`` cycling think → request → hold/drop."""
+        require_positive("n_users", n_users)
+        config = self.config
+        rng = np.random.default_rng(config.seed if seed is None else seed)
+
+        # Per-user next-request instants, processed in time order.
+        requests = [(float(t), index) for index, t in enumerate(
+            rng.exponential(config.mean_interval, size=n_users))]
+        heapq.heapify(requests)
+        busy: list = []  # channel release times
+        sessions = dropped = 0
+
+        while requests:
+            at, user = heapq.heappop(requests)
+            if at >= config.horizon:
+                continue
+            while busy and busy[0] <= at:
+                heapq.heappop(busy)
+            sessions += 1
+            think = float(rng.exponential(config.mean_interval))
+            if len(busy) >= config.n_channels:
+                dropped += 1
+                next_at = at + think  # dropped session: think again
+            else:
+                service = float(rng.choice(self.service_times))
+                heapq.heappush(busy, at + service)
+                next_at = at + service + think
+            heapq.heappush(requests, (next_at, user))
+        return CapacityResult(n_users=n_users, sessions=sessions,
+                              dropped=dropped)
+
+    def sweep(self, user_counts: Sequence[int],
+              seed: Optional[int] = None) -> list:
+        """Run a user-count sweep; returns a list of results."""
+        return [self.run(n, seed=seed) for n in user_counts]

@@ -1,0 +1,127 @@
+"""Discrete-event M/G/N/N capacity simulator.
+
+Replicates the paper's experiment: N = 200 dedicated channel pairs, each
+of ``n_users`` generating browsing sessions with Poisson(λ = 25 s)
+inter-arrival times over a 4-hour horizon; each session holds a channel
+for one page's data transmission time (drawn from an empirical
+distribution measured on the benchmark); a session arriving when all
+channels are busy is dropped.
+
+Shorter transmission times — the energy-aware browser's effect — mean
+more supportable users at the same dropping probability (Fig. 11).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.units import hours, require_positive
+
+
+@dataclass(frozen=True)
+class CapacityConfig:
+    """Parameters of the capacity experiment (Section 5.4)."""
+
+    n_channels: int = 200
+    #: Mean inter-session interval per user, seconds (the paper's λ).
+    mean_interval: float = 25.0
+    #: Simulated horizon, seconds (the paper uses 4 hours).
+    horizon: float = hours(4)
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.n_channels < 1:
+            raise ValueError("n_channels must be at least 1")
+        require_positive("mean_interval", self.mean_interval)
+        require_positive("horizon", self.horizon)
+
+
+@dataclass(frozen=True)
+class CapacityResult:
+    """Outcome of one capacity run."""
+
+    n_users: int
+    sessions: int
+    dropped: int
+
+    @property
+    def drop_probability(self) -> float:
+        if self.sessions == 0:
+            return 0.0
+        return self.dropped / self.sessions
+
+
+class CapacitySimulator:
+    """Erlang-loss simulation with empirical service times."""
+
+    def __init__(self, service_times: Sequence[float],
+                 config: Optional[CapacityConfig] = None):
+        times = np.asarray(list(service_times), dtype=float)
+        if times.size == 0:
+            raise ValueError("need at least one service-time sample")
+        if (times <= 0).any():
+            raise ValueError("service times must be positive")
+        self.service_times = times
+        self.config = config or CapacityConfig()
+
+    @property
+    def mean_service_time(self) -> float:
+        return float(self.service_times.mean())
+
+    def run(self, n_users: int, seed: Optional[int] = None
+            ) -> CapacityResult:
+        """Simulate ``n_users`` browsing for the configured horizon."""
+        require_positive("n_users", n_users)
+        config = self.config
+        rng = np.random.default_rng(config.seed if seed is None else seed)
+
+        # Superposition of the users' Poisson processes is Poisson with
+        # aggregate rate n_users / mean_interval.
+        rate = n_users / config.mean_interval
+        n_expected = rate * config.horizon
+        n_draw = int(n_expected + 6 * np.sqrt(n_expected) + 10)
+        gaps = rng.exponential(1.0 / rate, size=n_draw)
+        arrivals = np.cumsum(gaps)
+        arrivals = arrivals[arrivals < config.horizon]
+        services = rng.choice(self.service_times, size=arrivals.size)
+
+        busy: list = []  # min-heap of channel release times
+        dropped = 0
+        for arrival, service in zip(arrivals, services):
+            while busy and busy[0] <= arrival:
+                heapq.heappop(busy)
+            if len(busy) >= config.n_channels:
+                dropped += 1
+                continue
+            heapq.heappush(busy, arrival + service)
+        return CapacityResult(n_users=n_users, sessions=int(arrivals.size),
+                              dropped=dropped)
+
+    def sweep(self, user_counts: Sequence[int],
+              seed: Optional[int] = None) -> list:
+        """Run a user-count sweep; returns a list of results."""
+        return [self.run(n, seed=seed) for n in user_counts]
+
+
+def capacity_at_drop_target(simulator: CapacitySimulator, target: float,
+                            lo: int = 10, hi: int = 5000,
+                            seed: Optional[int] = None) -> int:
+    """Largest user count whose drop probability stays ≤ ``target``.
+
+    Binary search over a monotone (in expectation) dropping curve.
+    """
+    if not 0.0 < target < 1.0:
+        raise ValueError("target must be in (0, 1)")
+    if simulator.run(hi, seed=seed).drop_probability <= target:
+        return hi
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if simulator.run(mid, seed=seed).drop_probability <= target:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo

@@ -1,0 +1,224 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro compare --page espn.go.com/sports --reading 20
+    repro experiments [fig08 table04 ...]
+    repro ablations [reorganisation timers predictor alpha]
+    repro trace --out trace.csv
+    repro train --trace trace.csv --out model.json
+    repro predict --model model.json --trace trace.csv --threshold 9
+    repro session --user 35
+
+Also reachable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.comparison import compare_engines
+from repro.experiments import ablations
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all
+from repro.prediction.predictor import ReadingTimePredictor
+from repro.traces.generator import TraceConfig, generate_trace
+from repro.traces.records import TraceDataset
+from repro.webpages.corpus import find_page
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    page = find_page(args.page)
+    comparison = compare_engines(page, reading_time=args.reading)
+    original, ours = comparison.original, comparison.energy_aware
+    print(f"page: {page.url} ({page.total_kb:.0f} KB, "
+          f"{page.object_count} objects)")
+    print(f"original:     tx {original.load.data_transmission_time:6.1f}s  "
+          f"load {original.load.load_complete_time:6.1f}s  "
+          f"energy {original.total_energy:6.1f}J")
+    print(f"energy-aware: tx {ours.load.data_transmission_time:6.1f}s  "
+          f"load {ours.load.load_complete_time:6.1f}s  "
+          f"energy {ours.total_energy:6.1f}J")
+    print(f"savings: tx {comparison.tx_time_saving:.1%}, "
+          f"load {comparison.loading_time_saving:.1%}, "
+          f"energy {comparison.energy_saving:.1%}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    known = {experiment_id for experiment_id, _, _ in ALL_EXPERIMENTS}
+    unknown = set(args.ids) - known
+    if unknown:
+        print(f"unknown experiment ids: {sorted(unknown)}; "
+              f"known: {sorted(known)}", file=sys.stderr)
+        return 2
+    suite = run_all(only=tuple(args.ids))
+    print(suite.render())
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    studies = {
+        "reorganisation": ablations.reorganisation_ablation,
+        "timers": ablations.timer_ablation,
+        "predictor": ablations.predictor_ablation,
+        "alpha": ablations.interest_threshold_ablation,
+        "carriers": ablations.carrier_ablation,
+    }
+    names = args.names or list(studies)
+    unknown = set(names) - set(studies)
+    if unknown:
+        print(f"unknown ablations: {sorted(unknown)}; "
+              f"known: {sorted(studies)}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(studies[name]().report())
+        print()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = TraceConfig(n_users=args.users,
+                         mean_views_per_user=args.views,
+                         seed=args.seed)
+    dataset = generate_trace(config).filter_reading_time()
+    dataset.save_csv(args.out)
+    print(f"wrote {len(dataset)} pageviews from {args.users} users "
+          f"to {args.out}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = TraceDataset.load_csv(args.trace)
+    threshold = None if args.no_interest_threshold else args.alpha
+    predictor = ReadingTimePredictor(interest_threshold=threshold)
+    predictor.fit(dataset)
+    predictor.save_json(args.out)
+    print(f"trained on {len(dataset)} pageviews "
+          f"(interest threshold: {threshold}); model -> {args.out}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    predictor = ReadingTimePredictor.load_json(args.model)
+    dataset = TraceDataset.load_csv(args.trace)
+    if predictor.interest_threshold is not None:
+        dataset = dataset.exclude_quick_bounces(
+            predictor.interest_threshold)
+    accuracy = predictor.accuracy(dataset, args.threshold)
+    print(f"threshold accuracy at {args.threshold:.0f}s over "
+          f"{len(dataset)} pageviews: {accuracy:.1%}")
+    return 0
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    """Replay one trace user's longest session with Algorithm 2."""
+    from repro.browser.energy_aware import EnergyAwareEngine
+    from repro.browser.original import OriginalEngine
+    from repro.core.browsing import PageVisit, browse_session
+    from repro.core.config import PolicyConfig
+    from repro.prediction.policy import PredictivePolicy
+    from repro.traces.generator import build_catalog
+    from repro.webpages.generator import generate_page
+
+    trace_config = TraceConfig(seed=args.seed)
+    dataset = generate_trace(trace_config).filter_reading_time()
+    sessions = [s for s in dataset.sessions() if s.user_id == args.user]
+    if not sessions:
+        print(f"user {args.user} not found (0..{trace_config.n_users - 1})",
+              file=sys.stderr)
+        return 2
+    session = max(sessions, key=len)
+    catalog = {c.name: c for c in build_catalog(trace_config)}
+    visits = [PageVisit(generate_page(catalog[r.page_name].spec),
+                        r.reading_time)
+              for r in session.records]
+    print(f"replaying user {args.user}'s longest session "
+          f"({len(visits)} pageviews) under three setups...")
+
+    predictor = ReadingTimePredictor(interest_threshold=2.0).fit(dataset)
+    policy = PredictivePolicy(predictor, PolicyConfig(mode=args.mode))
+    runs = (("original", OriginalEngine, None),
+            ("energy-aware", EnergyAwareEngine, None),
+            ("energy-aware + Algorithm 2", EnergyAwareEngine, policy))
+    baseline = None
+    for label, engine_cls, run_policy in runs:
+        outcome = browse_session(visits, engine_cls, policy=run_policy)
+        if baseline is None:
+            baseline = outcome.total_energy
+        saving = 1.0 - outcome.total_energy / baseline
+        print(f"  {label:28s} {outcome.total_energy:8.1f} J "
+              f"({saving:+6.1%})  {outcome.switch_count} switches, "
+              f"{outcome.total_loading_time:6.1f} s loading")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Energy-aware 3G web browsing (ICDCS 2013) "
+                    "reproduction toolkit")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compare = subparsers.add_parser(
+        "compare", help="compare both browsers on a benchmark page")
+    compare.add_argument("--page", default="espn.go.com/sports",
+                         help="Table 3 page name")
+    compare.add_argument("--reading", type=float, default=20.0,
+                         help="reading period after the load, seconds")
+    compare.set_defaults(func=_cmd_compare)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables and figures")
+    experiments.add_argument("ids", nargs="*",
+                             help="experiment ids (default: all)")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    ablation = subparsers.add_parser("ablations",
+                                     help="run the ablation studies")
+    ablation.add_argument("names", nargs="*",
+                          help="reorganisation|timers|predictor|alpha|carriers")
+    ablation.set_defaults(func=_cmd_ablations)
+
+    trace = subparsers.add_parser(
+        "trace", help="generate a synthetic browsing trace as CSV")
+    trace.add_argument("--out", required=True)
+    trace.add_argument("--users", type=int, default=40)
+    trace.add_argument("--views", type=int, default=180)
+    trace.add_argument("--seed", type=int, default=2013)
+    trace.set_defaults(func=_cmd_trace)
+
+    train = subparsers.add_parser(
+        "train", help="train the reading-time predictor from a trace CSV")
+    train.add_argument("--trace", required=True)
+    train.add_argument("--out", required=True)
+    train.add_argument("--alpha", type=float, default=2.0)
+    train.add_argument("--no-interest-threshold", action="store_true")
+    train.set_defaults(func=_cmd_train)
+
+    predict = subparsers.add_parser(
+        "predict", help="evaluate a trained model's threshold accuracy")
+    predict.add_argument("--model", required=True)
+    predict.add_argument("--trace", required=True)
+    predict.add_argument("--threshold", type=float, default=9.0)
+    predict.set_defaults(func=_cmd_predict)
+
+    session = subparsers.add_parser(
+        "session", help="replay a trace user's session with Algorithm 2")
+    session.add_argument("--user", type=int, default=35)
+    session.add_argument("--mode", choices=("power", "delay"),
+                         default="power")
+    session.add_argument("--seed", type=int, default=2013)
+    session.set_defaults(func=_cmd_session)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

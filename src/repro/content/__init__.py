@@ -1,0 +1,59 @@
+"""Content layer: real page source text under the object graph.
+
+The rest of the library treats a webpage as an abstract object graph.
+This package grounds that graph in actual content, because the paper's
+central distinction — *scanning* a document for URLs is cheap, *parsing*
+it is expensive, and a script's fetches are invisible until it is
+*executed* (Section 4.1) — is a statement about content:
+
+- :mod:`repro.content.html` — HTML synthesis, a tokenizer, a DOM-building
+  parser, and a regex-free URL scanner;
+- :mod:`repro.content.css` — stylesheet synthesis, a rule parser, and a
+  ``url(...)`` scanner;
+- :mod:`repro.content.script` — a miniature script language whose
+  programs build their fetch URLs at run time (string concatenation), so
+  no static scan can resolve them, plus its interpreter;
+- :mod:`repro.content.builder` — synthesise the full source bundle for a
+  :class:`~repro.webpages.page.Webpage` and *re-derive* the object graph
+  from the sources alone, proving the two layers agree.
+"""
+
+from repro.content.html import (
+    HtmlElement,
+    count_links,
+    parse_html,
+    scan_html_urls,
+    synthesize_html,
+)
+from repro.content.css import (
+    CssRule,
+    parse_css,
+    scan_css_urls,
+    synthesize_css,
+)
+from repro.content.script import (
+    ScriptResult,
+    execute_script,
+    scan_script_urls,
+    synthesize_script,
+)
+from repro.content.builder import PageSources, derive_graph, synthesize_sources
+
+__all__ = [
+    "HtmlElement",
+    "count_links",
+    "synthesize_html",
+    "parse_html",
+    "scan_html_urls",
+    "CssRule",
+    "synthesize_css",
+    "parse_css",
+    "scan_css_urls",
+    "ScriptResult",
+    "synthesize_script",
+    "execute_script",
+    "scan_script_urls",
+    "PageSources",
+    "synthesize_sources",
+    "derive_graph",
+]

@@ -1,0 +1,111 @@
+"""Source bundles for whole pages, and graph re-derivation.
+
+:func:`synthesize_sources` writes actual source text for every HTML, CSS
+and script object of a :class:`~repro.webpages.page.Webpage` (media
+objects are represented by their byte size only), embedding exactly the
+references the object graph declares.  :func:`derive_graph` goes the
+other way: given only the sources, it scans/parses/executes its way from
+the root — the way a browser discovers a page — and returns each
+object's discovered references.  The two directions agreeing is the
+content layer's correctness criterion, and tests assert it for arbitrary
+generated pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.content.css import synthesize_css
+from repro.content.html import synthesize_html
+from repro.content.script import execute_script, synthesize_script
+from repro.content import css as css_mod
+from repro.content import html as html_mod
+from repro.webpages.objects import ObjectKind
+from repro.webpages.page import Webpage
+
+
+@dataclass
+class PageSources:
+    """Source text per object id (media objects carry sizes only)."""
+
+    page_url: str
+    root_id: str
+    text: Dict[str, str] = field(default_factory=dict)
+    media_bytes: Dict[str, float] = field(default_factory=dict)
+
+    def source_of(self, object_id: str) -> str:
+        if object_id not in self.text:
+            raise KeyError(f"{object_id!r} has no source text "
+                           "(media object?)")
+        return self.text[object_id]
+
+
+def synthesize_sources(page: Webpage, seed: int = 0) -> PageSources:
+    """Write source text for every textual object of ``page``."""
+    sources = PageSources(page_url=page.url, root_id=page.root_id)
+    for index, obj in enumerate(sorted(page.objects.values(),
+                                       key=lambda o: o.object_id)):
+        if obj.kind is ObjectKind.HTML:
+            refs_by_kind: Dict[ObjectKind, List[str]] = {
+                kind: [] for kind in ObjectKind}
+            for ref in obj.static_references:
+                refs_by_kind[page.objects[ref].kind].append(ref)
+            sources.text[obj.object_id] = synthesize_html(
+                stylesheets=refs_by_kind[ObjectKind.CSS],
+                scripts=refs_by_kind[ObjectKind.JS],
+                images=refs_by_kind[ObjectKind.IMAGE],
+                flash=refs_by_kind[ObjectKind.FLASH],
+                iframes=refs_by_kind[ObjectKind.HTML],
+                target_elements=max(obj.dom_nodes, 4),
+                seed=seed + index)
+        elif obj.kind is ObjectKind.CSS:
+            sources.text[obj.object_id] = synthesize_css(
+                background_images=list(obj.static_references),
+                target_rules=max(6, int(obj.size_kb)),
+                seed=seed + index)
+        elif obj.kind is ObjectKind.JS:
+            sources.text[obj.object_id] = synthesize_script(
+                fetch_urls=list(obj.static_references)
+                + list(obj.dynamic_references),
+                dom_nodes=obj.dom_nodes,
+                work_units=max(1, int(obj.size_kb * 10)),
+                seed=seed + index)
+        else:
+            sources.media_bytes[obj.object_id] = obj.size_bytes
+    return sources
+
+
+def derive_graph(sources: PageSources) -> Dict[str, Tuple[str, ...]]:
+    """Discover every object's references from the sources alone.
+
+    Walks from the root the way a browser does: scan HTML (cheap URL
+    pass) and parse it, scan CSS, *execute* scripts.  Returns a mapping
+    object id → discovered reference tuple; media objects map to ().
+    """
+    discovered: Dict[str, Tuple[str, ...]] = {}
+    frontier: List[str] = [sources.root_id]
+    seen: Set[str] = {sources.root_id}
+    while frontier:
+        object_id = frontier.pop(0)
+        if object_id in sources.media_bytes:
+            discovered[object_id] = ()
+            continue
+        source = sources.source_of(object_id)
+        if object_id.endswith(".css"):
+            refs = tuple(css_mod.scan_css_urls(source))
+        elif object_id.endswith(".js"):
+            refs = tuple(execute_script(source).fetched_urls)
+        else:  # HTML: the scan and the parse must agree
+            scanned = tuple(html_mod.scan_html_urls(source))
+            parsed = tuple(html_mod.parse_html(source).resource_urls())
+            if set(scanned) != set(parsed):
+                raise ValueError(
+                    f"scanner/parser disagree on {object_id!r}")
+            refs = scanned
+        discovered[object_id] = refs
+        for ref in refs:
+            if ref not in seen:
+                seen.add(ref)
+                frontier.append(ref)
+    return discovered

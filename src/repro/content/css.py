@@ -1,0 +1,107 @@
+"""CSS synthesis, scanning and parsing.
+
+The synthesiser emits plain rule blocks, some of whose declarations
+carry ``background-image: url(...)`` references.  The scanner extracts
+``url(...)`` values in one pass — all the energy-aware browser needs to
+request the backgrounds early.  The parser splits selectors and
+declarations into :class:`CssRule` records, the expensive work the
+energy-aware browser defers to the layout phase (Section 4.1: "the web
+browser does not spend any computation on parsing them and generating
+the style rules" during transmission).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+_SELECTORS = ("body", "div", "p", "h1", "a", ".nav", ".story", "#main",
+              ".footer", "ul li", "table td")
+_PROPERTIES = ("color", "margin", "padding", "font-size", "border",
+               "line-height", "width", "height", "display", "float")
+_VALUES = ("red", "0 auto", "4px", "14px", "1px solid", "1.5", "100%",
+           "320px", "block", "left")
+
+
+class CssSyntaxError(ValueError):
+    """Raised by the parser on malformed stylesheets."""
+
+
+@dataclass(frozen=True)
+class CssRule:
+    """One parsed rule: a selector and its declarations."""
+
+    selector: str
+    declarations: Dict[str, str]
+
+
+def synthesize_css(background_images: Sequence[str],
+                   target_rules: int = 30, seed: int = 0) -> str:
+    """Emit a stylesheet with ``target_rules`` rules, the first ones
+    carrying the given background-image URLs."""
+    rng = np.random.default_rng(seed)
+    rules: List[str] = []
+    for index, url in enumerate(background_images):
+        selector = f".bg{index}"
+        rules.append(
+            f"{selector} {{ background-image: url({url}); "
+            f"background-repeat: no-repeat; }}")
+    while len(rules) < max(target_rules, len(background_images)):
+        selector = str(rng.choice(_SELECTORS))
+        n_declarations = int(rng.integers(1, 4))
+        declarations = "; ".join(
+            f"{rng.choice(_PROPERTIES)}: {rng.choice(_VALUES)}"
+            for _ in range(n_declarations))
+        rules.append(f"{selector} {{ {declarations}; }}")
+    return "\n".join(rules)
+
+
+def scan_css_urls(source: str) -> List[str]:
+    """Collect ``url(...)`` references in one pass, no rule parsing."""
+    urls: List[str] = []
+    position = 0
+    while True:
+        index = source.find("url(", position)
+        if index < 0:
+            break
+        end = source.find(")", index)
+        if end < 0:
+            break
+        urls.append(source[index + 4:end].strip("'\" "))
+        position = end + 1
+    return urls
+
+
+def parse_css(source: str) -> List[CssRule]:
+    """Parse the stylesheet into rules (selector + declarations)."""
+    rules: List[CssRule] = []
+    position = 0
+    length = len(source)
+    while position < length:
+        open_brace = source.find("{", position)
+        if open_brace < 0:
+            if source[position:].strip():
+                raise CssSyntaxError("trailing content outside a rule")
+            break
+        selector = source[position:open_brace].strip()
+        if not selector:
+            raise CssSyntaxError(f"missing selector at offset {position}")
+        close_brace = source.find("}", open_brace)
+        if close_brace < 0:
+            raise CssSyntaxError(f"unclosed rule for {selector!r}")
+        body = source[open_brace + 1:close_brace]
+        declarations: Dict[str, str] = {}
+        for piece in body.split(";"):
+            piece = piece.strip()
+            if not piece:
+                continue
+            if ":" not in piece:
+                raise CssSyntaxError(
+                    f"malformed declaration {piece!r} in {selector!r}")
+            name, _, value = piece.partition(":")
+            declarations[name.strip()] = value.strip()
+        rules.append(CssRule(selector=selector, declarations=declarations))
+        position = close_brace + 1
+    return rules

@@ -1,0 +1,256 @@
+"""HTML synthesis, scanning and parsing.
+
+The synthesiser emits a small, well-formed subset of HTML: nested
+``div``/``p``/``h1`` text structure plus the reference-carrying tags the
+browser cares about (``link href`` for stylesheets, ``script src``,
+``img src``, ``embed src`` for flash, ``iframe src``, and ``a href`` for
+secondary URLs).  The scanner walks the raw text collecting attribute
+URLs without building any structure — the cheap first pass of the
+energy-aware browser.  The parser tokenises and builds an element tree —
+the expensive pass that produces DOM nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Attributes whose values are fetchable resource URLs, by tag.
+_RESOURCE_ATTRS = {
+    "link": "href",
+    "script": "src",
+    "img": "src",
+    "embed": "src",
+    "iframe": "src",
+}
+
+#: Tags that never have children in our subset.
+_VOID_TAGS = {"link", "img", "embed", "br"}
+
+_WORDS = ("lorem", "ipsum", "dolor", "sit", "amet", "consectetur",
+          "adipiscing", "elit", "sed", "tempor", "incididunt", "labore")
+
+
+class HtmlSyntaxError(ValueError):
+    """Raised by the parser on malformed markup."""
+
+
+@dataclass
+class HtmlElement:
+    """One parsed element."""
+
+    tag: str
+    attributes: Dict[str, str] = field(default_factory=dict)
+    children: List["HtmlElement"] = field(default_factory=list)
+    text: str = ""
+
+    def count_elements(self) -> int:
+        """Elements in this subtree, including self."""
+        return 1 + sum(child.count_elements() for child in self.children)
+
+    def resource_urls(self) -> List[str]:
+        """Fetchable resource URLs in document order."""
+        urls: List[str] = []
+        attr = _RESOURCE_ATTRS.get(self.tag)
+        if attr and attr in self.attributes:
+            urls.append(self.attributes[attr])
+        for child in self.children:
+            urls.extend(child.resource_urls())
+        return urls
+
+    def find_all(self, tag: str) -> List["HtmlElement"]:
+        found = [self] if self.tag == tag else []
+        for child in self.children:
+            found.extend(child.find_all(tag))
+        return found
+
+
+# ----------------------------------------------------------------------
+# Synthesis
+# ----------------------------------------------------------------------
+def synthesize_html(stylesheets: Sequence[str], scripts: Sequence[str],
+                    images: Sequence[str], flash: Sequence[str] = (),
+                    iframes: Sequence[str] = (),
+                    links: Sequence[str] = (),
+                    target_elements: int = 60,
+                    seed: int = 0) -> str:
+    """Emit an HTML document referencing the given resources.
+
+    ``target_elements`` controls how many elements the parser will find
+    (content paragraphs are added to reach it), so DOM-node counts can
+    be made to match a :class:`~repro.webpages.objects.WebObject`.
+    """
+    rng = np.random.default_rng(seed)
+    parts: List[str] = ["<html>", "<head>"]
+    used = 2  # html, head
+    for href in stylesheets:
+        parts.append(f'<link rel="stylesheet" href="{href}">')
+        used += 1
+    parts.append("</head>")
+    parts.append("<body>")
+    used += 1
+    for src in scripts:
+        parts.append(f'<script src="{src}"></script>')
+        used += 1
+    resources = ([f'<img src="{src}">' for src in images]
+                 + [f'<embed src="{src}">' for src in flash]
+                 + [f'<iframe src="{src}"></iframe>' for src in iframes]
+                 + [f'<a href="{href}">more</a>' for href in links])
+    filler_needed = max(0, target_elements - used - len(resources))
+    blocks: List[str] = list(resources)
+    while filler_needed > 0:
+        if filler_needed >= 3 and rng.uniform() < 0.4:
+            words = " ".join(rng.choice(_WORDS, size=6))
+            blocks.append(f"<div><h1>{words}</h1><p>{words}</p></div>")
+            filler_needed -= 3
+        else:
+            words = " ".join(rng.choice(_WORDS, size=8))
+            blocks.append(f"<p>{words}</p>")
+            filler_needed -= 1
+    rng.shuffle(blocks)
+    parts.extend(blocks)
+    parts.append("</body>")
+    parts.append("</html>")
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Scanning (cheap: no tree, single pass over the text)
+# ----------------------------------------------------------------------
+def scan_html_urls(source: str) -> List[str]:
+    """Collect resource URLs by scanning for ``src=``/``href=`` inside
+    resource-carrying tags, without building a DOM."""
+    urls: List[str] = []
+    position = 0
+    while True:
+        start = source.find("<", position)
+        if start < 0:
+            break
+        end = source.find(">", start)
+        if end < 0:
+            break
+        tag_body = source[start + 1:end]
+        position = end + 1
+        if not tag_body or tag_body[0] == "/":
+            continue
+        name = tag_body.split(None, 1)[0].lower()
+        attr = _RESOURCE_ATTRS.get(name)
+        if attr is None:
+            continue
+        value = _attr_value(tag_body, attr)
+        if value is not None:
+            urls.append(value)
+    return urls
+
+
+def _attr_value(tag_body: str, attr: str) -> Optional[str]:
+    marker = f'{attr}="'
+    index = tag_body.find(marker)
+    if index < 0:
+        return None
+    start = index + len(marker)
+    end = tag_body.find('"', start)
+    if end < 0:
+        return None
+    return tag_body[start:end]
+
+
+def count_links(source: str) -> int:
+    """Count secondary URLs (``<a href>`` navigation links) — the
+    Table 1 feature "Second URL" at the content level."""
+    count = 0
+    position = 0
+    while True:
+        start = source.find("<a ", position)
+        if start < 0:
+            break
+        end = source.find(">", start)
+        if end < 0:
+            break
+        if _attr_value(source[start + 1:end], "href") is not None:
+            count += 1
+        position = end + 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# Parsing (expensive: tokenise and build the tree)
+# ----------------------------------------------------------------------
+def _tokenize(source: str) -> Iterable[Tuple[str, str]]:
+    """Yield ("open"|"close"|"text", payload) tokens."""
+    position = 0
+    length = len(source)
+    while position < length:
+        start = source.find("<", position)
+        if start < 0:
+            text = source[position:].strip()
+            if text:
+                yield ("text", text)
+            break
+        if start > position:
+            text = source[position:start].strip()
+            if text:
+                yield ("text", text)
+        end = source.find(">", start)
+        if end < 0:
+            raise HtmlSyntaxError(f"unclosed tag at offset {start}")
+        body = source[start + 1:end].strip()
+        if not body:
+            raise HtmlSyntaxError(f"empty tag at offset {start}")
+        if body[0] == "/":
+            yield ("close", body[1:].strip().lower())
+        else:
+            yield ("open", body)
+        position = end + 1
+
+
+def parse_html(source: str) -> HtmlElement:
+    """Parse a document into an element tree rooted at ``<html>``."""
+    root: Optional[HtmlElement] = None
+    stack: List[HtmlElement] = []
+    for kind, payload in _tokenize(source):
+        if kind == "text":
+            if stack:
+                stack[-1].text += payload
+            continue
+        if kind == "close":
+            if not stack:
+                raise HtmlSyntaxError(f"stray </{payload}>")
+            if stack[-1].tag != payload:
+                raise HtmlSyntaxError(
+                    f"mismatched </{payload}>, open is "
+                    f"<{stack[-1].tag}>")
+            stack.pop()
+            continue
+        pieces = payload.split(None, 1)
+        tag = pieces[0].lower()
+        attributes: Dict[str, str] = {}
+        if len(pieces) > 1:
+            rest = pieces[1]
+            index = 0
+            while True:
+                eq = rest.find('="', index)
+                if eq < 0:
+                    break
+                name = rest[:eq].split()[-1]
+                end = rest.find('"', eq + 2)
+                if end < 0:
+                    raise HtmlSyntaxError("unterminated attribute value")
+                attributes[name.lower()] = rest[eq + 2:end]
+                index = end + 1
+        element = HtmlElement(tag=tag, attributes=attributes)
+        if stack:
+            stack[-1].children.append(element)
+        elif root is None:
+            root = element
+        else:
+            raise HtmlSyntaxError("multiple document roots")
+        if tag not in _VOID_TAGS:
+            stack.append(element)
+    if stack:
+        raise HtmlSyntaxError(f"unclosed <{stack[-1].tag}>")
+    if root is None:
+        raise HtmlSyntaxError("empty document")
+    return root

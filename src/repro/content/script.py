@@ -1,0 +1,207 @@
+"""A miniature script language and its interpreter.
+
+Stands in for JavaScript at exactly the fidelity the paper needs: script
+programs fetch resources, mutate the DOM, and burn compute — and their
+fetch targets are *constructed at run time* (string concatenation over
+variables), so no static scan of the source can discover them.  That is
+the paper's Section 4.1 argument for why scripts, unlike HTML and CSS,
+must be executed during the transmission phase.
+
+Grammar (line-oriented)::
+
+    let <name> = <expr>
+    fetch <expr>
+    append <int>             # add DOM nodes
+    compute <int>            # busy-work units
+    repeat <int> { ... }     # fixed-count loop (no unbounded loops)
+
+    <expr> := "literal" | <int> | <name> | concat(<expr>, <expr>, ...)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+_MAX_STEPS = 100_000
+
+Value = Union[str, int]
+
+
+class ScriptError(ValueError):
+    """Raised on syntax or runtime errors."""
+
+
+@dataclass
+class ScriptResult:
+    """Everything a script execution did."""
+
+    fetched_urls: List[str] = field(default_factory=list)
+    dom_nodes_appended: int = 0
+    work_units: int = 0
+
+
+# ----------------------------------------------------------------------
+# Synthesis
+# ----------------------------------------------------------------------
+def synthesize_script(fetch_urls: Sequence[str], dom_nodes: int = 2,
+                      work_units: int = 50, seed: int = 0) -> str:
+    """Emit a program that fetches ``fetch_urls`` via runtime-constructed
+    strings, appends ``dom_nodes`` DOM nodes, and burns ``work_units``.
+    """
+    rng = np.random.default_rng(seed)
+    lines: List[str] = []
+    for index, url in enumerate(fetch_urls):
+        split = int(rng.integers(1, max(2, len(url))))
+        head, tail = url[:split], url[split:]
+        lines.append(f'let part_a{index} = "{head}"')
+        lines.append(f'let part_b{index} = "{tail}"')
+        lines.append(f"fetch concat(part_a{index}, part_b{index})")
+    if dom_nodes > 0:
+        per_node = work_units // dom_nodes
+        lines.append(f"repeat {dom_nodes} {{")
+        lines.append("  append 1")
+        if per_node > 0:
+            lines.append(f"  compute {per_node}")
+        lines.append("}")
+        remainder = work_units - per_node * dom_nodes
+        if remainder > 0:
+            lines.append(f"compute {remainder}")
+    elif work_units > 0:
+        lines.append(f"compute {work_units}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Scanning (what a static pass can see: only string literals after
+# ``fetch`` — which the synthesiser never emits)
+# ----------------------------------------------------------------------
+def scan_script_urls(source: str) -> List[str]:
+    """Static scan: returns fetch targets that are plain string
+    literals.  Runtime-constructed URLs are invisible, by design."""
+    urls: List[str] = []
+    for line in source.splitlines():
+        line = line.strip()
+        if line.startswith("fetch ") :
+            expr = line[len("fetch "):].strip()
+            if expr.startswith('"') and expr.endswith('"'):
+                urls.append(expr[1:-1])
+    return urls
+
+
+# ----------------------------------------------------------------------
+# Interpreter
+# ----------------------------------------------------------------------
+def _eval_expr(expr: str, variables: Dict[str, Value]) -> Value:
+    expr = expr.strip()
+    if expr.startswith('"'):
+        if not expr.endswith('"') or len(expr) < 2:
+            raise ScriptError(f"unterminated string: {expr!r}")
+        return expr[1:-1]
+    if expr.startswith("concat(") and expr.endswith(")"):
+        inner = expr[len("concat("):-1]
+        parts = _split_args(inner)
+        return "".join(str(_eval_expr(part, variables)) for part in parts)
+    if expr.lstrip("-").isdigit():
+        return int(expr)
+    if expr in variables:
+        return variables[expr]
+    raise ScriptError(f"undefined name or bad expression: {expr!r}")
+
+
+def _split_args(inner: str) -> List[str]:
+    args: List[str] = []
+    depth = 0
+    current = ""
+    in_string = False
+    for char in inner:
+        if char == '"':
+            in_string = not in_string
+        if char == "(" and not in_string:
+            depth += 1
+        if char == ")" and not in_string:
+            depth -= 1
+        if char == "," and depth == 0 and not in_string:
+            args.append(current)
+            current = ""
+            continue
+        current += char
+    if current.strip():
+        args.append(current)
+    return args
+
+
+def _parse_block(lines: List[str], start: int) -> Tuple[List[str], int]:
+    """Collect the body of a ``repeat ... {`` block; returns (body,
+    index after the closing brace)."""
+    body: List[str] = []
+    depth = 1
+    index = start
+    while index < len(lines):
+        stripped = lines[index].strip()
+        if stripped.endswith("{"):
+            depth += 1
+        if stripped == "}":
+            depth -= 1
+            if depth == 0:
+                return body, index + 1
+        body.append(lines[index])
+        index += 1
+    raise ScriptError("unclosed repeat block")
+
+
+def execute_script(source: str) -> ScriptResult:
+    """Run a program; returns what it fetched, appended, and computed."""
+    result = ScriptResult()
+    variables: Dict[str, Value] = {}
+    steps = 0
+
+    def run(lines: List[str]) -> None:
+        nonlocal steps
+        index = 0
+        while index < len(lines):
+            steps += 1
+            if steps > _MAX_STEPS:
+                raise ScriptError("step budget exceeded")
+            line = lines[index].strip()
+            index += 1
+            if not line or line.startswith("#") or line == "}":
+                continue
+            if line.startswith("let "):
+                rest = line[4:]
+                name, _, expr = rest.partition("=")
+                name = name.strip()
+                if not name.isidentifier():
+                    raise ScriptError(f"bad variable name {name!r}")
+                variables[name] = _eval_expr(expr, variables)
+            elif line.startswith("fetch "):
+                value = _eval_expr(line[len("fetch "):], variables)
+                if not isinstance(value, str) or not value:
+                    raise ScriptError(f"fetch needs a URL, got {value!r}")
+                result.fetched_urls.append(value)
+            elif line.startswith("append "):
+                count = _eval_expr(line[len("append "):], variables)
+                if not isinstance(count, int) or count < 0:
+                    raise ScriptError(f"append needs a count, got {count!r}")
+                result.dom_nodes_appended += count
+            elif line.startswith("compute "):
+                units = _eval_expr(line[len("compute "):], variables)
+                if not isinstance(units, int) or units < 0:
+                    raise ScriptError(f"compute needs units, got {units!r}")
+                result.work_units += units
+            elif line.startswith("repeat "):
+                header = line[len("repeat "):]
+                count_expr = header.partition("{")[0]
+                count = _eval_expr(count_expr, variables)
+                if not isinstance(count, int) or count < 0:
+                    raise ScriptError(f"repeat needs a count, got {count!r}")
+                body, index = _parse_block(lines, index)
+                for _ in range(count):
+                    run(body)
+            else:
+                raise ScriptError(f"unknown statement: {line!r}")
+
+    run(source.splitlines())
+    return result

@@ -1,0 +1,43 @@
+"""The paper's system, assembled.
+
+``core`` wires the substrates into a simulated handset (radio + link +
+CPU + RIL + power meter), loads pages with either engine, models the
+post-load reading period, and produces the energy/delay accounting the
+evaluation section reports.
+"""
+
+from repro.core.config import ExperimentConfig
+from repro.core.session import (
+    Handset,
+    SessionResult,
+    load_page,
+    browse_and_read,
+)
+from repro.core.comparison import (
+    EngineComparison,
+    compare_engines,
+    benchmark_comparison,
+)
+from repro.core.browsing import (
+    PageVisit,
+    SessionOutcome,
+    VisitOutcome,
+    browse_session,
+    compare_session_policies,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "Handset",
+    "SessionResult",
+    "load_page",
+    "browse_and_read",
+    "EngineComparison",
+    "compare_engines",
+    "benchmark_comparison",
+    "PageVisit",
+    "VisitOutcome",
+    "SessionOutcome",
+    "browse_session",
+    "compare_session_policies",
+]

@@ -1,0 +1,107 @@
+"""Original vs. energy-aware comparisons (the paper's main measurements).
+
+Each comparison loads the same page with both engines on separate fresh
+handsets and derives the quantities the evaluation section plots: data
+transmission time (Fig. 8), loading time, display times (Figs. 12–14),
+and energy with a reading period (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.browser.energy_aware import EnergyAwareEngine
+from repro.browser.original import OriginalEngine
+from repro.core.config import ExperimentConfig
+from repro.core.session import SessionResult, browse_and_read
+from repro.webpages.corpus import benchmark_pages
+from repro.webpages.page import Webpage
+
+
+def _saving(original: float, ours: float) -> float:
+    """Fractional saving of ``ours`` relative to ``original``."""
+    if original == 0:
+        return 0.0
+    return (original - ours) / original
+
+
+@dataclass
+class EngineComparison:
+    """Both engines on one page, plus derived savings."""
+
+    page: Webpage
+    original: SessionResult
+    energy_aware: SessionResult
+
+    # -- times (Fig. 8) -------------------------------------------------
+    @property
+    def tx_time_saving(self) -> float:
+        """Relative reduction in data transmission time."""
+        return _saving(self.original.load.data_transmission_time,
+                       self.energy_aware.load.data_transmission_time)
+
+    @property
+    def loading_time_saving(self) -> float:
+        """Relative reduction in total webpage loading time."""
+        return _saving(self.original.load.load_complete_time,
+                       self.energy_aware.load.load_complete_time)
+
+    # -- energy (Fig. 10) -----------------------------------------------
+    @property
+    def energy_saving(self) -> float:
+        """Relative reduction in total energy (load + reading period)."""
+        return _saving(self.original.total_energy,
+                       self.energy_aware.total_energy)
+
+    # -- display times (Fig. 14) ------------------------------------------
+    @property
+    def first_display_saving(self) -> float:
+        """Relative reduction of the first (intermediate) display time.
+
+        Mobile pages draw no intermediate display in the energy-aware
+        engine; callers should use final display times there (Fig. 14).
+        """
+        ours = self.energy_aware.load.first_display_time
+        orig = self.original.load.first_display_time
+        if ours is None or orig is None:
+            return 0.0
+        return _saving(orig, ours)
+
+    @property
+    def final_display_saving(self) -> float:
+        return _saving(self.original.load.final_display_time,
+                       self.energy_aware.load.final_display_time)
+
+
+def compare_engines(page: Webpage, reading_time: float = 0.0,
+                    config: Optional[ExperimentConfig] = None,
+                    ) -> EngineComparison:
+    """Load ``page`` with both engines on fresh handsets.
+
+    The original browser lets its timers run; the energy-aware browser
+    additionally switches to IDLE when the page opens — the paper's
+    Fig. 10 scenario, where the reading period exceeds the switching
+    threshold.
+    """
+    original = browse_and_read(page, OriginalEngine, reading_time,
+                               config=config)
+    energy_aware = browse_and_read(page, EnergyAwareEngine, reading_time,
+                                   config=config, idle_at_open=True)
+    return EngineComparison(page=page, original=original,
+                            energy_aware=energy_aware)
+
+
+def benchmark_comparison(mobile: bool, reading_time: float = 0.0,
+                         config: Optional[ExperimentConfig] = None,
+                         ) -> List[EngineComparison]:
+    """Compare engines across one Table 3 benchmark half."""
+    return [compare_engines(page, reading_time, config)
+            for page in benchmark_pages(mobile=mobile)]
+
+
+def mean(values: List[float]) -> float:
+    """Arithmetic mean (0.0 for an empty list)."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

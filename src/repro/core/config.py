@@ -1,0 +1,54 @@
+"""Top-level experiment configuration.
+
+One frozen dataclass bundling every substrate's knobs, with the paper's
+values as defaults.  Experiments construct variants with
+``dataclasses.replace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.browser.config import BrowserConfig
+from repro.browser.costs import BrowserCosts
+from repro.network.link import NetworkConfig
+from repro.rrc.config import RrcConfig
+from repro.units import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Algorithm 2's parameters (Table 2 of the paper)."""
+
+    #: Interest threshold α: wait this long after the page opens before
+    #: predicting; quick bounces never reach the predictor.
+    interest_threshold: float = 2.0
+    #: Delay-driven threshold Td = T1 + T2: switching to IDLE when the
+    #: reading time exceeds Td can never add delay.
+    delay_threshold: float = 20.0
+    #: Power-driven threshold Tp: switching pays off energetically when
+    #: the reading time exceeds Tp (Fig. 3's break-even).
+    power_threshold: float = 9.0
+    #: "power" or "delay" driven mode.
+    mode: str = "delay"
+
+    def __post_init__(self) -> None:
+        require_non_negative("interest_threshold", self.interest_threshold)
+        require_positive("delay_threshold", self.delay_threshold)
+        require_positive("power_threshold", self.power_threshold)
+        if self.mode not in ("power", "delay"):
+            raise ValueError(f"mode must be 'power' or 'delay', "
+                             f"got {self.mode!r}")
+        if self.power_threshold > self.delay_threshold:
+            raise ValueError("Tp cannot exceed Td")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All simulation parameters, paper defaults throughout."""
+
+    rrc: RrcConfig = field(default_factory=RrcConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    costs: BrowserCosts = field(default_factory=BrowserCosts)
+    browser: BrowserConfig = field(default_factory=BrowserConfig)
+    policy: PolicyConfig = field(default_factory=PolicyConfig)

@@ -1,0 +1,254 @@
+"""Trace-driven evaluation of the six Table-6 policies (Fig. 16).
+
+The evaluation replays the user trace session by session.  Per pageview
+it combines
+
+- a *page load profile* — loading time, last-byte time, transmission-
+  phase end, and loading energy, measured once per catalog page per
+  engine with the full discrete-event simulator, with the initial
+  IDLE→DCH promotion stripped (promotions are accounted at click time,
+  where the radio state is policy-dependent);
+- the *reading period* — analytic radio-tail energy from
+  :mod:`repro.rrc.tail`, anchored at the last transmission (original
+  engine) or at the channel release (energy-aware engine), cut short if
+  the policy switches the radio to IDLE;
+- the *next-click cost* — promotion latency and signalling energy
+  determined by the radio state the policy left behind.
+
+Power and delay savings are reported relative to the original browser
+with no switching, exactly as in Section 5.6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.browser.energy_aware import EnergyAwareEngine
+from repro.browser.original import OriginalEngine
+from repro.core.config import ExperimentConfig, PolicyConfig
+from repro.core.session import browse_and_read
+from repro.prediction.policy import (
+    AlwaysOffPolicy,
+    OraclePolicy,
+    PredictivePolicy,
+    SwitchPolicy,
+)
+from repro.prediction.predictor import ReadingTimePredictor
+from repro.rrc.states import RrcState
+from repro.rrc.tail import (
+    promotion_energy,
+    promotion_latency,
+    tail_energy_after_release,
+    tail_energy_after_tx,
+    tail_state_after_release,
+    tail_state_after_tx,
+)
+from repro.traces.generator import TraceConfig, build_catalog, generate_trace
+from repro.traces.records import TraceDataset
+from repro.webpages.generator import generate_page
+
+
+@dataclass(frozen=True)
+class PageProfile:
+    """Per-page, per-engine load measurements with the initial promotion
+    stripped out."""
+
+    load_time: float
+    #: Offset of the last byte *before* the end of the load (original
+    #: engine anchor: the reading tail starts load_time − last_byte after
+    #: the last transmission).
+    tail_offset_at_open: float
+    #: Energy-aware engines: layout-phase length (open − channel release).
+    release_offset_at_open: float
+    loading_energy: float
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """One Table-6 case, aggregated over the evaluation records."""
+
+    name: str
+    engine: str
+    total_energy: float
+    total_delay: float
+    power_saving: float
+    delay_saving: float
+    switch_rate: float
+
+
+class PolicyEvaluator:
+    """Replays a trace under the six switching policies."""
+
+    def __init__(self, trace_config: Optional[TraceConfig] = None,
+                 experiment_config: Optional[ExperimentConfig] = None,
+                 train_fraction: float = 0.7):
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        self.trace_config = trace_config or TraceConfig()
+        self.config = experiment_config or ExperimentConfig()
+        self.train_fraction = train_fraction
+
+        self._dataset = generate_trace(self.trace_config) \
+            .filter_reading_time()
+        self._catalog = {page.name: page
+                         for page in build_catalog(self.trace_config)}
+        self._profiles: Dict[Tuple[str, str], PageProfile] = {}
+
+        n_train = int(round(train_fraction * self.trace_config.n_users))
+        self.train_set = TraceDataset(
+            [r for r in self._dataset if r.user_id < n_train])
+        self.eval_set = TraceDataset(
+            [r for r in self._dataset if r.user_id >= n_train])
+
+        self._predictor = ReadingTimePredictor(
+            interest_threshold=self.config.policy.interest_threshold)
+        self._predictor.fit(self.train_set)
+
+    # ------------------------------------------------------------------
+    # Page profiles
+    # ------------------------------------------------------------------
+    def _profile(self, page_name: str, engine: str) -> PageProfile:
+        key = (page_name, engine)
+        if key in self._profiles:
+            return self._profiles[key]
+        page = generate_page(self._catalog[page_name].spec)
+        engine_cls = (OriginalEngine if engine == "original"
+                      else EnergyAwareEngine)
+        session = browse_and_read(page, engine_cls, reading_time=0.0,
+                                  config=self.config)
+        load = session.load
+        machine = session.handset.machine
+        if machine.promotions["IDLE"] != 1:
+            raise RuntimeError(
+                f"expected exactly one IDLE promotion loading "
+                f"{page_name!r}, saw {machine.promotions}")
+        rrc = self.config.rrc
+        promo_time = rrc.promo_idle_latency
+        promo_energy = (rrc.power.promotion * promo_time
+                        + rrc.promo_idle_signalling_energy)
+        last_byte = max(t.completed_at - load.started_at
+                        for t in load.transfers)
+        profile = PageProfile(
+            load_time=load.load_complete_time - promo_time,
+            tail_offset_at_open=load.load_complete_time - last_byte,
+            release_offset_at_open=load.layout_phase_time,
+            loading_energy=session.loading_energy.total - promo_energy,
+        )
+        self._profiles[key] = profile
+        return profile
+
+    # ------------------------------------------------------------------
+    # Per-record accounting
+    # ------------------------------------------------------------------
+    def _reading_original(self, profile: PageProfile, reading: float,
+                          switch_at: Optional[float]
+                          ) -> Tuple[float, RrcState]:
+        """Reading energy and click-time state, original engine anchor."""
+        rrc = self.config.rrc
+        start = profile.tail_offset_at_open
+        if switch_at is None or reading <= switch_at:
+            energy = tail_energy_after_tx(start, start + reading, rrc)
+            return energy, tail_state_after_tx(start + reading, rrc)
+        energy = tail_energy_after_tx(start, start + switch_at, rrc)
+        energy += rrc.power.idle * (reading - switch_at)
+        return energy, RrcState.IDLE
+
+    def _reading_energy_aware(self, profile: PageProfile, reading: float,
+                              switch_at: Optional[float]
+                              ) -> Tuple[float, RrcState]:
+        """Reading energy and click-time state, channel-release anchor."""
+        rrc = self.config.rrc
+        start = profile.release_offset_at_open
+        if switch_at is None or reading <= switch_at:
+            energy = tail_energy_after_release(start, start + reading, rrc)
+            return energy, tail_state_after_release(start + reading, rrc)
+        energy = tail_energy_after_release(start, start + switch_at, rrc)
+        energy += rrc.power.idle * (reading - switch_at)
+        return energy, RrcState.IDLE
+
+    def _run_case(self, name: str, engine: str,
+                  policy: Optional[SwitchPolicy],
+                  switch_delay: float) -> Tuple[float, float, float]:
+        """Total (energy, delay, switch_rate) of one case over the
+        evaluation set."""
+        rrc = self.config.rrc
+        total_energy = 0.0
+        total_delay = 0.0
+        switches = 0
+        count = 0
+        for session in self.eval_set.sessions():
+            state = RrcState.IDLE  # sessions start after a long gap
+            for record in session.records:
+                profile = self._profile(record.page_name, engine)
+                reading = record.reading_time
+                count += 1
+
+                switch_at: Optional[float] = None
+                if policy is not None:
+                    decision = policy.decide(record.feature_vector(),
+                                             reading)
+                    # Algorithm 2 waits for the interest threshold before
+                    # deciding; a user who already left cannot be helped.
+                    if decision.switch_to_idle and reading > switch_delay:
+                        switch_at = switch_delay
+                        switches += 1
+
+                if engine == "original":
+                    read_energy, next_state = self._reading_original(
+                        profile, reading, switch_at)
+                else:
+                    read_energy, next_state = self._reading_energy_aware(
+                        profile, reading, switch_at)
+
+                total_energy += (promotion_energy(state, rrc)
+                                 + profile.loading_energy + read_energy)
+                total_delay += (promotion_latency(state, rrc)
+                                + profile.load_time)
+                state = next_state
+        rate = switches / count if count else 0.0
+        return total_energy, total_delay, rate
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> List[CaseResult]:
+        """Score the six Table-6 cases; first entry is the baseline."""
+        policy_cfg = self.config.policy
+        alpha = policy_cfg.interest_threshold
+        predict_9 = PredictivePolicy(
+            self._predictor,
+            PolicyConfig(interest_threshold=alpha, mode="power",
+                         power_threshold=policy_cfg.power_threshold,
+                         delay_threshold=policy_cfg.delay_threshold))
+        predict_20 = PredictivePolicy(
+            self._predictor,
+            PolicyConfig(interest_threshold=alpha, mode="delay",
+                         power_threshold=policy_cfg.power_threshold,
+                         delay_threshold=policy_cfg.delay_threshold))
+
+        cases = [
+            ("original", "original", None, 0.0),
+            ("original-always-off", "original", AlwaysOffPolicy(), 0.0),
+            ("energy-aware-always-off", "energy-aware", AlwaysOffPolicy(),
+             0.0),
+            ("accurate-9", "energy-aware",
+             OraclePolicy(policy_cfg.power_threshold), alpha),
+            ("predict-9", "energy-aware", predict_9, alpha),
+            ("accurate-20", "energy-aware",
+             OraclePolicy(policy_cfg.delay_threshold), alpha),
+            ("predict-20", "energy-aware", predict_20, alpha),
+        ]
+
+        results: List[CaseResult] = []
+        base_energy = base_delay = None
+        for name, engine, policy, delay in cases:
+            energy, total_delay, rate = self._run_case(name, engine,
+                                                       policy, delay)
+            if base_energy is None:
+                base_energy, base_delay = energy, total_delay
+            results.append(CaseResult(
+                name=name, engine=engine,
+                total_energy=energy, total_delay=total_delay,
+                power_saving=1.0 - energy / base_energy,
+                delay_saving=1.0 - total_delay / base_delay,
+                switch_rate=rate))
+        return results

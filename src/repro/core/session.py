@@ -1,0 +1,118 @@
+"""Simulated handset and page-load sessions.
+
+:class:`Handset` assembles one device: kernel, RRC machine, RIL, 3G link,
+CPU, and power accounting.  :func:`load_page` runs one engine over one
+page on a fresh handset; :func:`browse_and_read` additionally models the
+post-load reading period the paper's Fig. 10 measures (load the page,
+then read for ``reading_time`` seconds while the radio follows its timers
+— or is already dormant, for the energy-aware engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Type
+
+from repro.browser.engine import BrowserEngine, PageLoadResult
+from repro.core.config import ExperimentConfig
+from repro.measurement.meter import EnergyBreakdown, PowerAccountant
+from repro.measurement.sampler import PowerSampler
+from repro.network.link import Link
+from repro.rrc.machine import RrcMachine
+from repro.rrc.ril import RilLink
+from repro.sim.kernel import Simulator
+from repro.sim.process import CpuProcess
+from repro.units import require_non_negative
+from repro.webpages.page import Webpage
+
+
+class Handset:
+    """One simulated smartphone: all substrates wired together."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None):
+        self.config = config or ExperimentConfig()
+        self.sim = Simulator()
+        self.machine = RrcMachine(self.sim, self.config.rrc)
+        self.ril = RilLink(self.sim, self.machine)
+        self.link = Link(self.sim, self.machine, self.config.network)
+        self.cpu = CpuProcess(self.sim)
+        self.accountant = PowerAccountant(self.machine, self.cpu)
+        self.sampler = PowerSampler(self.machine, self.cpu)
+
+    def make_engine(self, engine_cls: Type[BrowserEngine],
+                    page: Webpage) -> BrowserEngine:
+        """Instantiate an engine bound to this handset."""
+        return engine_cls(self.sim, self.link, self.cpu, page,
+                          costs=self.config.costs,
+                          config=self.config.browser,
+                          ril=self.ril)
+
+
+@dataclass
+class SessionResult:
+    """One page load (plus optional reading period) on one handset."""
+
+    load: PageLoadResult
+    #: Energy spent from navigation start to the final display.
+    loading_energy: EnergyBreakdown
+    #: Energy spent during the reading period (zero-length window when no
+    #: reading was simulated).
+    reading_energy: EnergyBreakdown
+    reading_time: float
+    #: The handset, kept alive for tracing/sampling by experiments.
+    handset: "Handset"
+
+    @property
+    def total_energy(self) -> float:
+        return self.loading_energy.total + self.reading_energy.total
+
+
+def load_page(page: Webpage, engine_cls: Type[BrowserEngine],
+              config: Optional[ExperimentConfig] = None,
+              handset: Optional[Handset] = None) -> SessionResult:
+    """Load one page on a fresh (or supplied) handset; no reading period."""
+    return browse_and_read(page, engine_cls, reading_time=0.0,
+                           config=config, handset=handset)
+
+
+def browse_and_read(page: Webpage, engine_cls: Type[BrowserEngine],
+                    reading_time: float,
+                    config: Optional[ExperimentConfig] = None,
+                    handset: Optional[Handset] = None,
+                    idle_at_open: bool = False) -> SessionResult:
+    """Load a page, then let the user read for ``reading_time`` seconds.
+
+    During reading no data moves.  With ``idle_at_open`` the radio is
+    switched to IDLE through the RIL as soon as the page opens — the
+    behaviour of the paper's energy-aware approach when the (predicted)
+    reading time exceeds the threshold (Figs. 9–10).  Otherwise the
+    radio just follows its inactivity timers.
+    """
+    require_non_negative("reading_time", reading_time)
+    device = handset or Handset(config)
+    engine = device.make_engine(engine_cls, page)
+
+    results = []
+
+    def completed(result: PageLoadResult) -> None:
+        results.append(result)
+        if idle_at_open:
+            device.ril.request_fast_dormancy()
+
+    engine.load(completed)
+    device.sim.run()
+    if not results:
+        raise RuntimeError(f"page {page.url!r} never finished loading")
+    load_result = results[0]
+
+    load_start = load_result.started_at
+    load_end = load_start + load_result.load_complete_time
+    read_end = load_end + reading_time
+    if reading_time > 0:
+        device.sim.run(until=read_end)
+
+    loading_energy = device.accountant.energy(load_start, load_end)
+    reading_energy = device.accountant.energy(load_end, read_end)
+    return SessionResult(load=load_result, loading_energy=loading_energy,
+                         reading_energy=reading_energy,
+                         reading_time=reading_time, handset=device)

@@ -1,0 +1,12 @@
+"""One module per table and figure of the paper's evaluation.
+
+Every module exposes ``run(...)`` returning a result object with the
+measured series/rows plus a ``report()`` string that prints the same
+rows the paper plots, alongside the paper's own numbers for comparison.
+``repro.experiments.runner`` executes the whole suite and renders the
+paper-vs-measured record used in EXPERIMENTS.md.
+"""
+
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all
+
+__all__ = ["ALL_EXPERIMENTS", "run_all"]

@@ -1,0 +1,84 @@
+"""Fig. 3 — power saved by the intuitive immediate-IDLE scheme vs the
+inter-transmission interval.
+
+Section 3.1's strawman: switch the radio to IDLE right after every
+transmission.  For a gap of t seconds between transmissions,
+
+- the *original* radio rides the tail (DCH for T1, FACH for T2, IDLE
+  after) and pays whatever promotion its state at t requires;
+- the *intuitive* radio idles for t and always pays the expensive
+  IDLE→DCH promotion (signalling energy plus >1 s of latency).
+
+Saving(t) = E_original(t) − E_intuitive(t).  The paper measures a
+break-even at t ≈ 9 s (this is where Tp comes from) and an extra delay
+of ~1.75 s per transmission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.tables import format_table
+from repro.rrc.config import RrcConfig
+from repro.rrc.tail import (
+    promotion_energy,
+    promotion_latency,
+    tail_energy_after_tx,
+    tail_state_after_tx,
+)
+from repro.rrc.states import RrcState
+
+#: The paper's x-axis.
+DEFAULT_INTERVALS: Tuple[float, ...] = (
+    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 14, 16, 18, 20, 22, 24)
+
+
+@dataclass
+class IntervalPoint:
+    interval: float
+    original_energy: float
+    intuitive_energy: float
+
+    @property
+    def saving(self) -> float:
+        return self.original_energy - self.intuitive_energy
+
+
+@dataclass
+class Fig03Result:
+    points: List[IntervalPoint]
+    crossover: Optional[float]
+    extra_delay: float
+
+    def report(self) -> str:
+        rows = [(p.interval, round(p.original_energy, 2),
+                 round(p.intuitive_energy, 2), round(p.saving, 2))
+                for p in self.points]
+        table = format_table(
+            ("interval s", "original J", "intuitive J", "saving J"), rows,
+            title="Fig. 3: intuitive immediate-IDLE switching")
+        footer = (f"\nbreak-even interval: {self.crossover} s "
+                  f"(paper: 9 s); extra delay per transmission: "
+                  f"{self.extra_delay:.2f} s (paper: ~1.75 s)")
+        return table + footer
+
+
+def run(config: Optional[RrcConfig] = None,
+        intervals: Tuple[float, ...] = DEFAULT_INTERVALS) -> Fig03Result:
+    """Compute the Fig. 3 curve analytically from the radio model."""
+    rrc = config or RrcConfig()
+    points: List[IntervalPoint] = []
+    for interval in intervals:
+        original = (tail_energy_after_tx(0.0, interval, rrc)
+                    + promotion_energy(
+                        tail_state_after_tx(interval, rrc), rrc))
+        intuitive = (rrc.power.idle * interval
+                     + promotion_energy(RrcState.IDLE, rrc))
+        points.append(IntervalPoint(interval, original, intuitive))
+
+    crossover = next((p.interval for p in points if p.saving > 0), None)
+    extra_delay = (promotion_latency(RrcState.IDLE, rrc)
+                   - promotion_latency(RrcState.FACH, rrc))
+    return Fig03Result(points=points, crossover=crossover,
+                       extra_delay=extra_delay)

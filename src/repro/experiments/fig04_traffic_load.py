@@ -1,0 +1,75 @@
+"""Fig. 4 — traffic load of web browsing vs a bulk socket download.
+
+The paper opens ``espn.go.com/sports`` (760 KB) with the stock browser
+and watches the data trickle in across the whole ~47 s load, then
+downloads the same byte count over a plain socket in ~8 s.  We replay
+both on the simulator and report the KB-per-0.5 s series plus summary
+durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.browser.original import OriginalEngine
+from repro.core.config import ExperimentConfig
+from repro.core.session import Handset, load_page
+from repro.network.traffic import TrafficSample, bucket_traffic
+from repro.webpages.corpus import find_page
+
+
+@dataclass
+class Fig04Result:
+    browsing_series: List[TrafficSample]
+    bulk_series: List[TrafficSample]
+    browsing_duration: float
+    bulk_duration: float
+    total_kb: float
+
+    def report(self) -> str:
+        lines = [
+            "Fig. 4: traffic load, browsing vs bulk socket download",
+            f"  page bytes: {self.total_kb:.0f} KB "
+            f"(paper: 760 KB espn.go.com/sports)",
+            f"  browsing: all data in {self.browsing_duration:.1f} s "
+            f"(paper: ~47 s)",
+            f"  bulk socket: same bytes in {self.bulk_duration:.1f} s "
+            f"(paper: ~8 s)",
+            f"  slowdown factor: "
+            f"{self.browsing_duration / self.bulk_duration:.1f}x "
+            f"(paper: ~5.9x)",
+            "  browsing KB per 0.5 s bucket:",
+        ]
+        chunks = [f"{s.kilobytes:5.1f}" for s in self.browsing_series]
+        for start in range(0, len(chunks), 16):
+            lines.append("    " + " ".join(chunks[start:start + 16]))
+        return "\n".join(lines)
+
+
+def run(config: Optional[ExperimentConfig] = None,
+        page_name: str = "espn.go.com/sports") -> Fig04Result:
+    """Measure browsing traffic spread and the bulk-download reference."""
+    page = find_page(page_name)
+
+    browse = load_page(page, OriginalEngine, config=config)
+    transfers = browse.load.transfers
+    first_byte = min(t.started_at for t in transfers)
+    last_byte = max(t.completed_at for t in transfers)
+    browsing_series = bucket_traffic(transfers)
+
+    bulk_handset = Handset(config)
+    done: List[float] = []
+    bulk_handset.link.fetch(page.total_bytes,
+                            lambda t: done.append(t.duration),
+                            label="bulk-socket")
+    bulk_handset.sim.run()
+    bulk_series = bucket_traffic(bulk_handset.link.transfers)
+
+    return Fig04Result(
+        browsing_series=browsing_series,
+        bulk_series=bulk_series,
+        browsing_duration=last_byte - first_byte,
+        bulk_duration=done[0],
+        total_kb=page.total_kb,
+    )

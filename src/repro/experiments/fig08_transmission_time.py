@@ -1,0 +1,103 @@
+"""Fig. 8 — data transmission time, original vs energy-aware.
+
+(a) averages over the mobile-version and full-version benchmarks;
+(b) two representative pages, ``m.cnn.com`` and ``www.motors.ebay.com``.
+
+The paper's accounting (Section 5.2): the original browser's data
+transmission time *is* its loading time (transmissions spread across the
+whole load); the energy-aware browser's loading time decomposes into the
+transmission phase plus the layout phase.
+
+Paper numbers: transmission-time saving ≈15 % mobile / ≈27 % full;
+total-loading-time saving ≈2.5 % mobile / ≈17 % full; per-page ≈15 %
+(m.cnn) and ≈31 % (ebay motors) transmission savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import format_table
+from repro.core.comparison import (
+    EngineComparison,
+    benchmark_comparison,
+    compare_engines,
+    mean,
+)
+from repro.core.config import ExperimentConfig
+from repro.webpages.corpus import find_page
+
+PAPER = {
+    "mobile": {"tx_saving": 15.0, "loading_saving": 2.5},
+    "full": {"tx_saving": 27.0, "loading_saving": 17.0},
+    "cnn": {"tx_saving": 15.0, "loading_saving": 2.2},
+    "www.motors.ebay.com": {"tx_saving": 31.0, "loading_saving": 20.0},
+}
+
+
+@dataclass
+class BarGroup:
+    """One bar pair of Fig. 8."""
+
+    label: str
+    original_tx: float
+    energy_aware_tx: float
+    energy_aware_layout: float
+    tx_saving: float
+    loading_saving: float
+
+
+@dataclass
+class Fig08Result:
+    groups: List[BarGroup]
+    comparisons: Dict[str, List[EngineComparison]]
+
+    def report(self) -> str:
+        rows = []
+        for group in self.groups:
+            paper = PAPER.get(group.label, {})
+            rows.append((
+                group.label,
+                round(group.original_tx, 1),
+                round(group.energy_aware_tx, 1),
+                round(group.energy_aware_layout, 1),
+                f"{100 * group.tx_saving:.1f}%",
+                f"{paper.get('tx_saving', float('nan')):.0f}%",
+                f"{100 * group.loading_saving:.1f}%",
+                f"{paper.get('loading_saving', float('nan')):.1f}%",
+            ))
+        return format_table(
+            ("benchmark", "orig tx s", "ours tx s", "ours layout s",
+             "tx save", "paper", "load save", "paper"),
+            rows, title="Fig. 8: data transmission time")
+
+
+def _group(label: str, comps: List[EngineComparison]) -> BarGroup:
+    return BarGroup(
+        label=label,
+        original_tx=mean([c.original.load.data_transmission_time
+                          for c in comps]),
+        energy_aware_tx=mean([c.energy_aware.load.data_transmission_time
+                              for c in comps]),
+        energy_aware_layout=mean([c.energy_aware.load.layout_phase_time
+                                  for c in comps]),
+        tx_saving=mean([c.tx_time_saving for c in comps]),
+        loading_saving=mean([c.loading_time_saving for c in comps]),
+    )
+
+
+def run(config: Optional[ExperimentConfig] = None) -> Fig08Result:
+    """Compare engines on both benchmark halves and the two Fig. 8(b)
+    pages."""
+    comparisons = {
+        "mobile": benchmark_comparison(mobile=True, config=config),
+        "full": benchmark_comparison(mobile=False, config=config),
+        "cnn": [compare_engines(find_page("cnn"), config=config)],
+        "www.motors.ebay.com": [
+            compare_engines(find_page("www.motors.ebay.com"),
+                            config=config)],
+    }
+    groups = [_group(label, comps)
+              for label, comps in comparisons.items()]
+    return Fig08Result(groups=groups, comparisons=comparisons)

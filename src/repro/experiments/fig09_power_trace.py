@@ -1,0 +1,82 @@
+"""Fig. 9 — power trace while loading ``espn.go.com/sports``.
+
+The paper plots 4 Hz power samples for both browsers: the original keeps
+the radio at DCH power until its load completes and then rides the tail;
+the energy-aware browser finishes transmissions ~30 samples earlier,
+releases the dedicated channels, and drops to IDLE at the page open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.browser.energy_aware import EnergyAwareEngine
+from repro.browser.original import OriginalEngine
+from repro.core.config import ExperimentConfig
+from repro.core.session import browse_and_read
+from repro.measurement.sampler import PowerTrace
+from repro.webpages.corpus import find_page
+
+
+@dataclass
+class EngineTrace:
+    engine: str
+    trace: PowerTrace
+    tx_complete: float
+    load_complete: float
+    mean_power: float
+
+
+@dataclass
+class Fig09Result:
+    original: EngineTrace
+    energy_aware: EngineTrace
+
+    def report(self) -> str:
+        lines = ["Fig. 9: power while loading espn.go.com/sports "
+                 "(0.25 s samples)"]
+        for item in (self.original, self.energy_aware):
+            lines.append(
+                f"  {item.engine:12s} tx done {item.tx_complete:5.1f}s  "
+                f"load done {item.load_complete:5.1f}s  "
+                f"mean {item.mean_power:.2f} W over trace")
+            lines.append("    " + _sparkline(item.trace))
+        lines.append("  paper: original tx until sample ~130 (32.5 s), "
+                     "energy-aware until ~100 (25 s), IDLE by ~110")
+        return "\n".join(lines)
+
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def _sparkline(trace: PowerTrace, stride: int = 4) -> str:
+    top = max(trace.watts) or 1.0
+    chars = []
+    for sample in trace.samples[::stride]:
+        level = int(round((len(_BLOCKS) - 1) * sample.watts / top))
+        chars.append(_BLOCKS[level])
+    return "".join(chars)
+
+
+def run(config: Optional[ExperimentConfig] = None,
+        page_name: str = "espn.go.com/sports",
+        reading_time: float = 20.0) -> Fig09Result:
+    """Sample both engines' power traces on the headline page."""
+    page = find_page(page_name)
+    traces = {}
+    for engine_cls, idle_at_open in ((OriginalEngine, False),
+                                     (EnergyAwareEngine, True)):
+        session = browse_and_read(page, engine_cls, reading_time,
+                                  config=config, idle_at_open=idle_at_open)
+        load = session.load
+        horizon = load.started_at + load.load_complete_time + reading_time
+        trace = session.handset.sampler.trace(start=load.started_at,
+                                              end=horizon)
+        traces[engine_cls.name] = EngineTrace(
+            engine=engine_cls.name, trace=trace,
+            tx_complete=load.data_transmission_time,
+            load_complete=load.load_complete_time,
+            mean_power=trace.mean_power())
+    return Fig09Result(original=traces["original"],
+                       energy_aware=traces["energy-aware"])

@@ -1,0 +1,92 @@
+"""Fig. 10 — energy for opening a page plus 20 s of reading.
+
+(a) benchmark averages; (b) ``m.cnn.com`` and ``espn.go.com/sports``.
+The paper stacks "opening the webpage" and "20 seconds reading time"
+energies; the energy-aware approach saves 35.7 % (mobile benchmark),
+30.8 % (full benchmark), 35.5 % (m.cnn) and 43.6 % (espn).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import format_table
+from repro.core.comparison import (
+    EngineComparison,
+    benchmark_comparison,
+    compare_engines,
+    mean,
+)
+from repro.core.config import ExperimentConfig
+from repro.webpages.corpus import find_page
+
+PAPER_SAVINGS = {"mobile": 35.7, "full": 30.8, "cnn": 35.5,
+                 "espn.go.com/sports": 43.6}
+
+#: Reading period the paper assumes in this figure.
+READING_TIME = 20.0
+
+
+@dataclass
+class EnergyBar:
+    label: str
+    original_open: float
+    original_read: float
+    energy_aware_open: float
+    energy_aware_read: float
+    saving: float
+
+
+@dataclass
+class Fig10Result:
+    bars: List[EnergyBar]
+    comparisons: Dict[str, List[EngineComparison]]
+
+    def report(self) -> str:
+        rows = [(bar.label,
+                 round(bar.original_open, 1), round(bar.original_read, 1),
+                 round(bar.energy_aware_open, 1),
+                 round(bar.energy_aware_read, 1),
+                 f"{100 * bar.saving:.1f}%",
+                 f"{PAPER_SAVINGS.get(bar.label, float('nan')):.1f}%")
+                for bar in self.bars]
+        return format_table(
+            ("benchmark", "orig open J", "orig read J", "ours open J",
+             "ours read J", "saving", "paper"),
+            rows,
+            title=f"Fig. 10: energy for load + {READING_TIME:.0f}s reading")
+
+
+def _bar(label: str, comps: List[EngineComparison]) -> EnergyBar:
+    return EnergyBar(
+        label=label,
+        original_open=mean([c.original.loading_energy.total
+                            for c in comps]),
+        original_read=mean([c.original.reading_energy.total
+                            for c in comps]),
+        energy_aware_open=mean([c.energy_aware.loading_energy.total
+                                for c in comps]),
+        energy_aware_read=mean([c.energy_aware.reading_energy.total
+                                for c in comps]),
+        saving=mean([c.energy_saving for c in comps]),
+    )
+
+
+def run(config: Optional[ExperimentConfig] = None) -> Fig10Result:
+    """Measure load+reading energy across the benchmark and two pages."""
+    comparisons = {
+        "mobile": benchmark_comparison(mobile=True,
+                                       reading_time=READING_TIME,
+                                       config=config),
+        "full": benchmark_comparison(mobile=False,
+                                     reading_time=READING_TIME,
+                                     config=config),
+        "cnn": [compare_engines(find_page("cnn"),
+                                reading_time=READING_TIME, config=config)],
+        "espn.go.com/sports": [
+            compare_engines(find_page("espn.go.com/sports"),
+                            reading_time=READING_TIME, config=config)],
+    }
+    bars = [_bar(label, comps) for label, comps in comparisons.items()]
+    return Fig10Result(bars=bars, comparisons=comparisons)

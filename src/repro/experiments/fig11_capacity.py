@@ -1,0 +1,131 @@
+"""Fig. 11 — network capacity gain from shorter transmission times.
+
+The paper feeds the measured per-page data transmission times into an
+M/G/200 loss-system simulation (Poisson per-user sessions, λ = 25 s) and
+asks how many users each browser supports at the same session-dropping
+probability.  Shorter transmissions (energy-aware) ⇒ more users:
++14.3 % on the mobile benchmark, +19.6 % on the full benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import format_table
+from repro.capacity.finite_source import FiniteSourceCapacitySimulator
+from repro.capacity.simulator import (
+    CapacityConfig,
+    CapacitySimulator,
+    capacity_at_drop_target,
+)
+from repro.core.comparison import benchmark_comparison
+from repro.core.config import ExperimentConfig
+from repro.units import hours
+
+PAPER_GAIN = {"mobile": 14.3, "full": 19.6}
+
+
+@dataclass
+class CapacityCurve:
+    engine: str
+    user_counts: List[int]
+    drop_probabilities: List[float]
+    capacity_at_target: int
+
+
+@dataclass
+class BenchmarkCapacity:
+    label: str
+    original: CapacityCurve
+    energy_aware: CapacityCurve
+
+    @property
+    def gain(self) -> float:
+        base = self.original.capacity_at_target
+        if base == 0:
+            return 0.0
+        return (self.energy_aware.capacity_at_target - base) / base
+
+
+@dataclass
+class Fig11Result:
+    benchmarks: List[BenchmarkCapacity]
+    #: Secondary analysis: the same gains under a finite-source (think-
+    #: time-gated) arrival model, keyed by benchmark label.
+    finite_source_gains: Dict[str, float]
+    drop_target: float
+
+    def report(self) -> str:
+        rows = [(b.label,
+                 b.original.capacity_at_target,
+                 b.energy_aware.capacity_at_target,
+                 f"{100 * b.gain:.1f}%",
+                 f"{100 * self.finite_source_gains[b.label]:.1f}%",
+                 f"{PAPER_GAIN[b.label]:.1f}%")
+                for b in self.benchmarks]
+        table = format_table(
+            ("benchmark", "orig users", "ours users", "gain (M/G/N)",
+             "gain (finite-src)", "paper"),
+            rows,
+            title=f"Fig. 11: users supported at "
+                  f"{100 * self.drop_target:.0f}% session dropping")
+        curves = []
+        for b in self.benchmarks:
+            for curve in (b.original, b.energy_aware):
+                points = "  ".join(
+                    f"{n}:{100 * p:.2f}%" for n, p in
+                    zip(curve.user_counts, curve.drop_probabilities))
+                curves.append(f"  {b.label}/{curve.engine}: {points}")
+        note = ("  note: the paper's +14-20% gains sit between our M/G/N "
+                "and finite-source models;\n  Erlang-B insensitivity "
+                "pins the M/G/N gain at ~1/(1-txSaving)-1.")
+        return table + "\n" + "\n".join(curves) + "\n" + note
+
+
+def _service_times(comparisons, engine: str) -> List[float]:
+    times = []
+    for comparison in comparisons:
+        result = (comparison.original if engine == "original"
+                  else comparison.energy_aware)
+        times.append(result.load.data_transmission_time)
+    return times
+
+
+def run(config: Optional[ExperimentConfig] = None,
+        drop_target: float = 0.02,
+        horizon: float = hours(2),
+        seed: int = 7) -> Fig11Result:
+    """Run the capacity comparison for both benchmark halves."""
+    benchmarks: List[BenchmarkCapacity] = []
+    finite_gains: Dict[str, float] = {}
+    for mobile, label in ((True, "mobile"), (False, "full")):
+        comparisons = benchmark_comparison(mobile=mobile, config=config)
+        curves: Dict[str, CapacityCurve] = {}
+        finite_capacity: Dict[str, int] = {}
+        for engine in ("original", "energy-aware"):
+            services = _service_times(comparisons, engine)
+            simulator = CapacitySimulator(
+                services, CapacityConfig(horizon=horizon, seed=seed))
+            capacity = capacity_at_drop_target(simulator, drop_target,
+                                               seed=seed)
+            counts = sorted({max(10, int(round(capacity * f)))
+                             for f in (0.8, 0.9, 1.0, 1.1, 1.2)})
+            probabilities = [simulator.run(n, seed=seed).drop_probability
+                             for n in counts]
+            curves[engine] = CapacityCurve(
+                engine=engine, user_counts=counts,
+                drop_probabilities=probabilities,
+                capacity_at_target=capacity)
+            finite = FiniteSourceCapacitySimulator(
+                services, CapacityConfig(horizon=horizon, seed=seed))
+            finite_capacity[engine] = capacity_at_drop_target(
+                finite, drop_target, seed=seed)
+        benchmarks.append(BenchmarkCapacity(
+            label=label, original=curves["original"],
+            energy_aware=curves["energy-aware"]))
+        finite_gains[label] = (finite_capacity["energy-aware"]
+                               / finite_capacity["original"] - 1.0)
+    return Fig11Result(benchmarks=benchmarks,
+                       finite_source_gains=finite_gains,
+                       drop_target=drop_target)

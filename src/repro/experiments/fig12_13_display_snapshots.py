@@ -1,0 +1,77 @@
+"""Figs. 12 & 13 — intermediate and final display times on the espn page.
+
+The paper's screenshots carry timing annotations: the original browser
+draws its first (intermediate) display at 17.6 s and the final at
+34.5 s; the energy-aware browser draws a simplified intermediate at
+7 s (10.6 s earlier) and the same final layout at 28.6 s (5.9 s
+earlier).  We reproduce the timings (the screenshots themselves are
+photographs of a phone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.tables import format_table
+from repro.browser.energy_aware import EnergyAwareEngine
+from repro.browser.original import OriginalEngine
+from repro.core.config import ExperimentConfig
+from repro.core.session import load_page
+from repro.webpages.corpus import find_page
+
+PAPER = {"original": (17.6, 34.5), "energy-aware": (7.0, 28.6)}
+
+
+@dataclass
+class Fig1213Result:
+    original_first: float
+    original_final: float
+    energy_aware_first: float
+    energy_aware_final: float
+
+    @property
+    def first_display_lead(self) -> float:
+        """How much earlier our intermediate display appears (paper:
+        10.6 s)."""
+        return self.original_first - self.energy_aware_first
+
+    @property
+    def final_display_lead(self) -> float:
+        """How much earlier our final display appears (paper: 5.9 s)."""
+        return self.original_final - self.energy_aware_final
+
+    def report(self) -> str:
+        rows = [
+            ("original", round(self.original_first, 1), PAPER["original"][0],
+             round(self.original_final, 1), PAPER["original"][1]),
+            ("energy-aware", round(self.energy_aware_first, 1),
+             PAPER["energy-aware"][0], round(self.energy_aware_final, 1),
+             PAPER["energy-aware"][1]),
+        ]
+        table = format_table(
+            ("engine", "first s", "paper", "final s", "paper"), rows,
+            title="Figs. 12-13: espn.go.com/sports display times")
+        return (table
+                + f"\nintermediate lead: {self.first_display_lead:.1f} s "
+                  f"(paper 10.6 s); final lead: "
+                  f"{self.final_display_lead:.1f} s (paper 5.9 s)")
+
+
+def run(config: Optional[ExperimentConfig] = None,
+        page_name: str = "espn.go.com/sports") -> Fig1213Result:
+    """Measure display times for both engines on the espn page."""
+    page = find_page(page_name)
+    original = load_page(page, OriginalEngine, config=config).load
+    ours = load_page(page, EnergyAwareEngine, config=config).load
+    if original.first_display_time is None:
+        raise RuntimeError("original engine drew no intermediate display")
+    if ours.first_display_time is None:
+        raise RuntimeError("energy-aware engine drew no intermediate "
+                           "display on a full-version page")
+    return Fig1213Result(
+        original_first=original.first_display_time,
+        original_final=original.final_display_time,
+        energy_aware_first=ours.first_display_time,
+        energy_aware_final=ours.final_display_time,
+    )

@@ -1,0 +1,70 @@
+"""Fig. 16 — power and delay savings of the six Table-6 policies.
+
+Trace-driven comparison of: Original Always-off, Energy-aware
+Always-off, Accurate-9 / Predict-9 (power-driven) and Accurate-20 /
+Predict-20 (delay-driven), all relative to the stock browser with no
+switching.
+
+Paper's shape: Original Always-off saves the least power and *loses*
+delay (−1.47 %); Accurate-9 saves the most power (26.1 %); Accurate-20
+saves the most delay (13.6 %); each Predict-x lands slightly below its
+Accurate-x upper bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.tables import format_table
+from repro.core.config import ExperimentConfig
+from repro.core.policy_eval import CaseResult, PolicyEvaluator
+from repro.traces.generator import TraceConfig
+
+PAPER = {
+    "original-always-off": {"power": 4.0, "delay": -1.47},
+    "energy-aware-always-off": {"power": 22.0, "delay": 9.2},
+    "accurate-9": {"power": 26.1, "delay": 11.0},
+    "predict-9": {"power": 24.0, "delay": 10.5},
+    "accurate-20": {"power": 24.0, "delay": 13.6},
+    "predict-20": {"power": 23.0, "delay": 12.5},
+}
+
+
+@dataclass
+class Fig16Result:
+    cases: List[CaseResult]
+
+    def case(self, name: str) -> CaseResult:
+        for case in self.cases:
+            if case.name == name:
+                return case
+        raise KeyError(name)
+
+    def report(self) -> str:
+        rows = []
+        for case in self.cases:
+            if case.name == "original":
+                continue
+            paper = PAPER.get(case.name, {})
+            rows.append((
+                case.name,
+                f"{100 * case.power_saving:.1f}%",
+                f"{paper.get('power', float('nan')):.1f}%",
+                f"{100 * case.delay_saving:.1f}%",
+                f"{paper.get('delay', float('nan')):.1f}%",
+                f"{100 * case.switch_rate:.0f}%",
+            ))
+        return format_table(
+            ("case", "power save", "paper", "delay save", "paper",
+             "switch rate"),
+            rows, title="Fig. 16: six switching policies vs original")
+
+
+def run(trace_config: Optional[TraceConfig] = None,
+        experiment_config: Optional[ExperimentConfig] = None
+        ) -> Fig16Result:
+    """Evaluate all six policies over the held-out users of the trace."""
+    evaluator = PolicyEvaluator(trace_config=trace_config,
+                                experiment_config=experiment_config)
+    return Fig16Result(cases=evaluator.evaluate())

@@ -1,0 +1,92 @@
+"""Table 5 — device power per radio state.
+
+Measured (not just configured): each state is *reached* on a simulated
+handset — IDLE at rest, FACH via channel release, DCH via an armed tail,
+DCH-with-transmission via a long transfer, and a fully busy CPU at IDLE
+— and the sampler's mean power over the dwell is reported against the
+paper's bench-supply measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.tables import format_table
+from repro.core.config import ExperimentConfig
+from repro.core.session import Handset
+from repro.sim.process import CpuTask
+from repro.units import kb
+
+PAPER = {
+    "IDLE state": 0.15,
+    "FACH state": 0.63,
+    "DCH state without transmission": 1.15,
+    "DCH state with transmission": 1.25,
+    "Fully running CPU (IDLE state)": 0.60,
+}
+
+
+@dataclass
+class Table05Result:
+    measured: Dict[str, float]
+
+    def report(self) -> str:
+        rows = [(label, PAPER[label], round(self.measured[label], 3))
+                for label in PAPER]
+        return format_table(("state", "paper W", "measured W"), rows,
+                            title="Table 5: power per state (display and "
+                                  "system power included)")
+
+
+def _mean_power(config: Optional[ExperimentConfig], prepare,
+                start: float, end: float) -> float:
+    """Build a handset, run ``prepare`` on it, and average power over
+    [start, end)."""
+    handset = Handset(config)
+    prepare(handset)
+    handset.sim.run(until=end + 1.0)
+    return handset.accountant.mean_power(start, end)
+
+
+def run(config: Optional[ExperimentConfig] = None) -> Table05Result:
+    """Measure each Table-5 row on a scripted handset."""
+    measured: Dict[str, float] = {}
+
+    # IDLE: a handset doing nothing.
+    measured["IDLE state"] = _mean_power(
+        config, lambda handset: None, 0.0, 10.0)
+
+    # DCH with transmission: a long transfer; measure mid-stream.
+    def long_transfer(handset: Handset) -> None:
+        handset.link.fetch(kb(2000), lambda t: None, label="stream")
+
+    measured["DCH state with transmission"] = _mean_power(
+        config, long_transfer, 5.0, 15.0)
+
+    # DCH without transmission: after a short transfer, inside T1.
+    def short_transfer(handset: Handset) -> None:
+        handset.link.fetch(kb(1), lambda t: None, label="ping")
+
+    handset = Handset(config)
+    short_transfer(handset)
+    handset.sim.run()  # transfer + full tail
+    segments = handset.machine.segments
+    dch_tail = next(s for s in segments if s.mode.value == "dch")
+    measured["DCH state without transmission"] = \
+        handset.accountant.mean_power(dch_tail.start, dch_tail.end)
+
+    # FACH: same run, the T2 dwell.
+    fach = next(s for s in segments if s.mode.value == "fach")
+    measured["FACH state"] = handset.accountant.mean_power(
+        fach.start, fach.end)
+
+    # Fully running CPU at IDLE: a long compute task, radio untouched.
+    def busy_cpu(handset: Handset) -> None:
+        handset.cpu.submit(CpuTask(name="spin", duration=10.0,
+                                   category="layout"))
+
+    measured["Fully running CPU (IDLE state)"] = _mean_power(
+        config, busy_cpu, 0.0, 10.0)
+
+    return Table05Result(measured=measured)

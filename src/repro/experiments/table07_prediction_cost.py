@@ -1,0 +1,104 @@
+"""Table 7 — computational cost of prediction vs model size.
+
+The paper walks 1 000 / 10 000 / 20 000 decision trees of ~8 nodes each
+on the phone and reports execution time and energy (time × the 0.6 W
+fully-busy-CPU power).  We time our ``predict_one`` traversal path on
+the same model sizes.  Absolute times reflect the host CPU, not an
+Android Dev Phone 2; the paper-matching property is *linear scaling* in
+the tree count and a per-prediction cost far below the page-load time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.ml.gbrt import GradientBoostedRegressor
+from repro.traces.generator import TraceConfig, generate_trace
+
+#: The paper's model sizes and measurements (time s, energy J).
+PAPER: Tuple[Tuple[int, float, float], ...] = (
+    (1_000, 0.027, 0.016),
+    (10_000, 0.295, 0.177),
+    (20_000, 0.543, 0.326),
+)
+
+#: Fully-running-CPU power (Table 5) used for the energy column.
+CPU_POWER = 0.60
+
+
+@dataclass
+class CostRow:
+    n_trees: int
+    nodes_per_tree: float
+    execution_time: float
+    energy: float
+
+
+@dataclass
+class Table07Result:
+    rows: List[CostRow]
+
+    def report(self) -> str:
+        table_rows = []
+        for row, (n, paper_time, paper_energy) in zip(self.rows, PAPER):
+            table_rows.append((
+                row.n_trees, round(row.nodes_per_tree, 1),
+                f"{row.execution_time * 1000:.1f} ms",
+                f"{paper_time * 1000:.0f} ms",
+                f"{row.energy * 1000:.2f} mJ",
+                f"{paper_energy * 1000:.0f} mJ"))
+        table = format_table(
+            ("trees", "nodes/tree", "time", "paper", "energy", "paper"),
+            table_rows,
+            title="Table 7: prediction cost vs number of decision trees")
+        ratio = (self.rows[-1].execution_time
+                 / max(self.rows[0].execution_time, 1e-12))
+        return table + (f"\nscaling {self.rows[0].n_trees}→"
+                        f"{self.rows[-1].n_trees} trees: {ratio:.1f}x "
+                        f"(ideal {self.rows[-1].n_trees // self.rows[0].n_trees}x; "
+                        "absolute times are host-CPU, not phone)")
+
+
+def run(trace_config: Optional[TraceConfig] = None,
+        repetitions: int = 20,
+        train_samples: int = 150) -> Table07Result:
+    """Train models of the Table-7 sizes and time single predictions.
+
+    Training data is a small subsample of the trace — Table 7 measures
+    *prediction* cost, which depends only on model size.
+    """
+    dataset = generate_trace(trace_config).filter_reading_time()
+    x, y = dataset.to_arrays()
+    x, y = x[:train_samples], np.log1p(y[:train_samples])
+
+    rows: List[CostRow] = []
+    sizes = [n for n, _, _ in PAPER]
+    model = GradientBoostedRegressor(
+        n_estimators=max(sizes), max_leaves=4, learning_rate=0.03,
+        min_samples_leaf=5, subsample=0.8, random_state=3)
+    model.fit(x, y)
+    row = x[0]
+
+    for size in sizes:
+        truncated = GradientBoostedRegressor(
+            n_estimators=size, max_leaves=4, learning_rate=0.03)
+        truncated.init_ = model.init_
+        truncated.n_features_ = model.n_features_
+        truncated.trees_ = model.trees_[:size]
+
+        # More repetitions for small models so timer overhead washes out.
+        reps = max(repetitions, int(repetitions * max(sizes) / size))
+        start = time.perf_counter()
+        for _ in range(reps):
+            truncated.predict_one(row)
+        elapsed = (time.perf_counter() - start) / reps
+        nodes = truncated.total_nodes / size
+        rows.append(CostRow(n_trees=size, nodes_per_tree=nodes,
+                            execution_time=elapsed,
+                            energy=elapsed * CPU_POWER))
+    return Table07Result(rows=rows)

@@ -1,0 +1,15 @@
+"""Power measurement substrate.
+
+Stands in for the paper's Agilent E3631A power supply + LabVIEW rig
+(Section 5.1.1): :class:`PowerAccountant` integrates device power over the
+simulated component timelines (radio mode segments, CPU busy intervals,
+promotion signalling bursts), and :class:`PowerSampler` renders the same
+timeline as a 4 Hz sample trace — the paper captured current every 0.25 s
+— for the Fig. 1 / Fig. 9 style power plots.
+"""
+
+from repro.measurement.meter import PowerAccountant, EnergyBreakdown
+from repro.measurement.sampler import PowerSampler, PowerTrace, PowerSample
+
+__all__ = ["PowerAccountant", "EnergyBreakdown", "PowerSampler",
+           "PowerTrace", "PowerSample"]

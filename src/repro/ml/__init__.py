@@ -1,0 +1,35 @@
+"""Gradient Boosted Regression Trees, from scratch.
+
+Implements the predictor of Section 4.3: least-squares regression trees
+with J terminal nodes grown best-first, boosted with shrinkage following
+Friedman's gradient-boosting algorithm (the paper's Algorithm 1 —
+initialise with a constant, then repeatedly fit a tree to the negative
+gradient of the loss and take a line-search step per leaf).  Squared and
+absolute losses are provided; no external ML library is used.
+"""
+
+from repro.ml.losses import AbsoluteLoss, Loss, SquaredLoss
+from repro.ml.tree import RegressionTree, TreeNode
+from repro.ml.gbrt import GradientBoostedRegressor
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    threshold_accuracy,
+)
+from repro.ml.validation import KFold, train_test_split
+
+__all__ = [
+    "Loss",
+    "SquaredLoss",
+    "AbsoluteLoss",
+    "RegressionTree",
+    "TreeNode",
+    "GradientBoostedRegressor",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+    "threshold_accuracy",
+    "KFold",
+    "train_test_split",
+]

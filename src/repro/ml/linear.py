@@ -1,0 +1,54 @@
+"""Ordinary least squares — the baseline the paper rules out.
+
+Table 4's near-zero Pearson correlations are the paper's argument that
+"we cannot use simple linear models for prediction" (Section 5.1.3).
+This module provides the ruled-out baseline so the claim can be tested:
+ridge-regularised least squares with feature standardisation, the
+strongest reasonable linear contender.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class LinearRegressor:
+    """Standardised ridge regression (closed form)."""
+
+    def __init__(self, l2: float = 1e-6):
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.l2 = l2
+        self.coefficients_: Optional[np.ndarray] = None
+        self.intercept_: Optional[float] = None
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegressor":
+        """Fit on ``x`` (n, d), ``y`` (n,)."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2 or y.shape != (x.shape[0],):
+            raise ValueError("x must be (n, d) and y (n,)")
+        if x.shape[0] < 2:
+            raise ValueError("need at least two samples")
+        self._mean = x.mean(axis=0)
+        scale = x.std(axis=0)
+        self._scale = np.where(scale > 0, scale, 1.0)
+        z = (x - self._mean) / self._scale
+        gram = z.T @ z + self.l2 * np.eye(x.shape[1])
+        self.coefficients_ = np.linalg.solve(gram, z.T @ (y - y.mean()))
+        self.intercept_ = float(y.mean())
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict targets for rows of ``x``."""
+        if self.coefficients_ is None:
+            raise RuntimeError("model is not fitted")
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        z = (x - self._mean) / self._scale
+        return self.intercept_ + z @ self.coefficients_

@@ -1,0 +1,77 @@
+"""Loss functions for gradient boosting.
+
+Each loss provides the three pieces Algorithm 1 needs:
+
+- ``init_estimate`` — the constant model F0 minimising the loss;
+- ``negative_gradient`` — the pseudo-residuals the next tree is fit to;
+- ``leaf_value`` — the per-leaf line-search step
+  γ_jm = argmin_γ Σ L(y_i, F_{m-1}(x_i) + γ).
+
+For squared error the leaf value is the residual mean; for absolute error
+it is the residual median (robust to the long reading-time tail).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class Loss(abc.ABC):
+    """Interface consumed by :class:`repro.ml.gbrt.GradientBoostedRegressor`."""
+
+    @abc.abstractmethod
+    def init_estimate(self, y: np.ndarray) -> float:
+        """The optimal constant prediction F0."""
+
+    @abc.abstractmethod
+    def negative_gradient(self, y: np.ndarray,
+                          prediction: np.ndarray) -> np.ndarray:
+        """Pseudo-residuals −∂L/∂F evaluated at the current model."""
+
+    @abc.abstractmethod
+    def leaf_value(self, y: np.ndarray, prediction: np.ndarray) -> float:
+        """Optimal additive step for samples falling in one leaf."""
+
+    @abc.abstractmethod
+    def loss(self, y: np.ndarray, prediction: np.ndarray) -> float:
+        """Mean loss of a prediction (for monitoring/early stopping)."""
+
+
+class SquaredLoss(Loss):
+    """L(y, F) = (y − F)² — the paper's training loss (Section 4.3.3)."""
+
+    def init_estimate(self, y: np.ndarray) -> float:
+        return float(np.mean(y))
+
+    def negative_gradient(self, y: np.ndarray,
+                          prediction: np.ndarray) -> np.ndarray:
+        return y - prediction
+
+    def leaf_value(self, y: np.ndarray, prediction: np.ndarray) -> float:
+        return float(np.mean(y - prediction))
+
+    def loss(self, y: np.ndarray, prediction: np.ndarray) -> float:
+        return float(np.mean((y - prediction) ** 2))
+
+
+class AbsoluteLoss(Loss):
+    """L(y, F) = |y − F| (least absolute deviation).
+
+    Algorithm 1 in the paper initialises with the median, which is the
+    LAD-optimal constant; provided for robustness experiments.
+    """
+
+    def init_estimate(self, y: np.ndarray) -> float:
+        return float(np.median(y))
+
+    def negative_gradient(self, y: np.ndarray,
+                          prediction: np.ndarray) -> np.ndarray:
+        return np.sign(y - prediction)
+
+    def leaf_value(self, y: np.ndarray, prediction: np.ndarray) -> float:
+        return float(np.median(y - prediction))
+
+    def loss(self, y: np.ndarray, prediction: np.ndarray) -> float:
+        return float(np.mean(np.abs(y - prediction)))

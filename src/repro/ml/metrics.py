@@ -1,0 +1,49 @@
+"""Regression and threshold-classification metrics.
+
+``threshold_accuracy`` is the paper's accuracy definition (Section 5.6.1):
+a prediction is correct when the predicted and true reading times fall on
+the same side of a given threshold (Tp or Td).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_arrays(y_true, y_pred):
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean of squared residuals."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean of absolute residuals."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination (1 − SSE/SST)."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    sse = float(np.sum((y_true - y_pred) ** 2))
+    sst = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    if sst == 0:
+        return 1.0 if sse == 0 else 0.0
+    return 1.0 - sse / sst
+
+
+def threshold_accuracy(y_true, y_pred, threshold: float) -> float:
+    """Fraction of samples where prediction and truth agree on which side
+    of ``threshold`` they fall (the paper's prediction accuracy)."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    return float(np.mean((y_true > threshold) == (y_pred > threshold)))

@@ -1,0 +1,307 @@
+"""Least-squares regression trees with J terminal nodes.
+
+Trees are grown *best-first*: at every step the leaf whose best split
+yields the largest sum-of-squared-error reduction is expanded, until the
+tree has ``max_leaves`` (the paper's J) terminal nodes or no leaf has a
+valid split.  Split search is exact: every threshold between consecutive
+distinct feature values is evaluated via prefix sums.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class TreeNode:
+    """One node of a fitted regression tree.
+
+    Internal nodes carry ``(feature, threshold)`` and children; terminal
+    nodes carry ``value`` (the region's prediction b_j in Eq. 7).
+    """
+
+    value: float
+    n_samples: int
+    feature: Optional[int] = None
+    threshold: Optional[float] = None
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    def count_nodes(self) -> int:
+        """Total nodes in this subtree (internal + terminal)."""
+        if self.is_leaf:
+            return 1
+        return 1 + self.left.count_nodes() + self.right.count_nodes()
+
+    def count_leaves(self) -> int:
+        if self.is_leaf:
+            return 1
+        return self.left.count_leaves() + self.right.count_leaves()
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+@dataclass(frozen=True)
+class _Split:
+    """A candidate split of one leaf."""
+
+    gain: float
+    feature: int
+    threshold: float
+    left_index: np.ndarray
+    right_index: np.ndarray
+    left_value: float
+    right_value: float
+
+
+def _best_split(x: np.ndarray, y: np.ndarray, index: np.ndarray,
+                min_samples_leaf: int) -> Optional[_Split]:
+    """Exact best SSE-reducing split of the samples in ``index``."""
+    n = index.size
+    if n < 2 * min_samples_leaf:
+        return None
+    y_node = y[index]
+    total_sum = y_node.sum()
+    total_sq = float(y_node @ y_node)
+    parent_sse = total_sq - total_sum ** 2 / n
+
+    best: Optional[_Split] = None
+    best_gain = 1e-12  # require strictly positive gain
+    for feature in range(x.shape[1]):
+        values = x[index, feature]
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        sorted_y = y_node[order]
+        prefix_sum = np.cumsum(sorted_y)
+        # Candidate split after position i (1-based sizes i+1).
+        left_sizes = np.arange(1, n)
+        left_sums = prefix_sum[:-1]
+        right_sizes = n - left_sizes
+        right_sums = total_sum - left_sums
+        # SSE reduction = S_L²/n_L + S_R²/n_R − S²/n  (the −Σy² terms
+        # cancel between parent and children).
+        gains = (left_sums ** 2 / left_sizes
+                 + right_sums ** 2 / right_sizes
+                 - total_sum ** 2 / n)
+        # Valid positions: both children big enough, threshold between
+        # distinct values.
+        valid = ((left_sizes >= min_samples_leaf)
+                 & (right_sizes >= min_samples_leaf)
+                 & (sorted_values[:-1] < sorted_values[1:]))
+        if not valid.any():
+            continue
+        gains = np.where(valid, gains, -np.inf)
+        pos = int(np.argmax(gains))
+        gain = float(gains[pos])
+        if gain <= best_gain:
+            continue
+        best_gain = gain
+        threshold = float((sorted_values[pos] + sorted_values[pos + 1]) / 2)
+        left_mask = values <= threshold
+        left_index = index[left_mask]
+        right_index = index[~left_mask]
+        best = _Split(
+            gain=gain, feature=feature, threshold=threshold,
+            left_index=left_index, right_index=right_index,
+            left_value=float(y[left_index].mean()),
+            right_value=float(y[right_index].mean()))
+    # ``parent_sse`` is implicit in the gain formula; keep the flake quiet.
+    del parent_sse
+    return best
+
+
+class RegressionTree:
+    """A J-terminal-node least-squares regression tree."""
+
+    def __init__(self, max_leaves: int = 8, min_samples_leaf: int = 1):
+        if max_leaves < 2:
+            raise ValueError("max_leaves must be at least 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be at least 1")
+        self.max_leaves = max_leaves
+        self.min_samples_leaf = min_samples_leaf
+        self.root: Optional[TreeNode] = None
+        #: (feature, gain) pairs of every split made, for importances.
+        self.split_gains: List[Tuple[int, float]] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        """Grow the tree on ``x`` (n, d) against targets ``y`` (n,)."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        if y.shape != (x.shape[0],):
+            raise ValueError("y must be 1-D with one target per row of x")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+
+        index = np.arange(x.shape[0])
+        self.root = TreeNode(value=float(y.mean()), n_samples=index.size)
+        self.split_gains = []
+
+        # Best-first growth: a max-heap of (−gain, tiebreak, node, split).
+        counter = itertools.count()
+        heap: list = []
+
+        def push(node: TreeNode, node_index: np.ndarray) -> None:
+            split = _best_split(x, y, node_index, self.min_samples_leaf)
+            if split is not None:
+                heapq.heappush(heap, (-split.gain, next(counter), node,
+                                      split))
+
+        push(self.root, index)
+        leaves = 1
+        while heap and leaves < self.max_leaves:
+            neg_gain, _, node, split = heapq.heappop(heap)
+            node.feature = split.feature
+            node.threshold = split.threshold
+            node.left = TreeNode(value=split.left_value,
+                                 n_samples=split.left_index.size)
+            node.right = TreeNode(value=split.right_value,
+                                  n_samples=split.right_index.size)
+            self.split_gains.append((split.feature, -neg_gain))
+            leaves += 1
+            push(node.left, split.left_index)
+            push(node.right, split.right_index)
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Vectorised prediction for rows of ``x``."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        out = np.empty(x.shape[0], dtype=float)
+        self._predict_into(self.root, x, np.arange(x.shape[0]), out)
+        return out
+
+    def _predict_into(self, node: TreeNode, x: np.ndarray,
+                      index: np.ndarray, out: np.ndarray) -> None:
+        if node.is_leaf:
+            out[index] = node.value
+            return
+        mask = x[index, node.feature] <= node.threshold
+        self._predict_into(node.left, x, index[mask], out)
+        self._predict_into(node.right, x, index[~mask], out)
+
+    def predict_one(self, row) -> float:
+        """Scalar prediction by plain traversal (the on-phone code path
+        whose cost Table 7 measures)."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        node = self.root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold \
+                else node.right
+        return node.value
+
+    # ------------------------------------------------------------------
+    @property
+    def n_leaves(self) -> int:
+        if self.root is None:
+            return 0
+        return self.root.count_leaves()
+
+    @property
+    def n_nodes(self) -> int:
+        if self.root is None:
+            return 0
+        return self.root.count_nodes()
+
+    # ------------------------------------------------------------------
+    # Serialisation (the paper trains offline and deploys the tree model
+    # to the phone; we serialise to plain dicts / JSON).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data representation of the fitted tree."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+
+        def encode(node: TreeNode) -> dict:
+            if node.is_leaf:
+                return {"value": node.value, "n": node.n_samples}
+            return {"feature": node.feature, "threshold": node.threshold,
+                    "n": node.n_samples, "value": node.value,
+                    "left": encode(node.left), "right": encode(node.right)}
+
+        return {"max_leaves": self.max_leaves,
+                "min_samples_leaf": self.min_samples_leaf,
+                "split_gains": [list(pair) for pair in self.split_gains],
+                "root": encode(self.root)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegressionTree":
+        """Rebuild a tree serialised by :meth:`to_dict`."""
+        tree = cls(max_leaves=data["max_leaves"],
+                   min_samples_leaf=data["min_samples_leaf"])
+        tree.split_gains = [(int(f), float(g))
+                            for f, g in data["split_gains"]]
+
+        def decode(node_data: dict) -> TreeNode:
+            node = TreeNode(value=float(node_data["value"]),
+                            n_samples=int(node_data["n"]))
+            if "feature" in node_data:
+                node.feature = int(node_data["feature"])
+                node.threshold = float(node_data["threshold"])
+                node.left = decode(node_data["left"])
+                node.right = decode(node_data["right"])
+            return node
+
+        tree.root = decode(data["root"])
+        return tree
+
+    def leaves(self) -> List[TreeNode]:
+        """Terminal nodes in left-to-right order (matches :meth:`apply`
+        numbering), so boosting can rewrite leaf values in place."""
+        if self.root is None:
+            return []
+        out: List[TreeNode] = []
+
+        def walk(node: TreeNode) -> None:
+            if node.is_leaf:
+                out.append(node)
+                return
+            walk(node.left)
+            walk(node.right)
+
+        walk(self.root)
+        return out
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Region index (leaf id in left-to-right order) for each row."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        x = np.asarray(x, dtype=float)
+        leaf_ids = {}
+
+        def number(node: TreeNode) -> None:
+            if node.is_leaf:
+                leaf_ids[id(node)] = len(leaf_ids)
+                return
+            number(node.left)
+            number(node.right)
+
+        number(self.root)
+        out = np.empty(x.shape[0], dtype=int)
+        for i in range(x.shape[0]):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if x[i, node.feature] <= node.threshold \
+                    else node.right
+            out[i] = leaf_ids[id(node)]
+        return out

@@ -1,0 +1,55 @@
+"""Dataset splitting utilities (train/test split and K-fold CV)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+def train_test_split(x: np.ndarray, y: np.ndarray, test_fraction: float = 0.3,
+                     random_state: Optional[int] = None
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                np.ndarray]:
+    """Shuffle and split into (x_train, x_test, y_train, y_test)."""
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("x and y must have the same number of rows")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    n = x.shape[0]
+    n_test = max(1, int(round(test_fraction * n)))
+    if n_test >= n:
+        raise ValueError("split leaves no training samples")
+    rng = np.random.default_rng(random_state)
+    order = rng.permutation(n)
+    test_index, train_index = order[:n_test], order[n_test:]
+    return x[train_index], x[test_index], y[train_index], y[test_index]
+
+
+class KFold:
+    """Deterministic shuffled K-fold cross-validation indices."""
+
+    def __init__(self, n_splits: int = 5,
+                 random_state: Optional[int] = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.random_state = random_state
+
+    def split(self, n_samples: int) -> Iterator[Tuple[np.ndarray,
+                                                      np.ndarray]]:
+        """Yield (train_index, test_index) pairs."""
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into "
+                f"{self.n_splits} folds")
+        rng = np.random.default_rng(self.random_state)
+        order = rng.permutation(n_samples)
+        folds = np.array_split(order, self.n_splits)
+        for k in range(self.n_splits):
+            test_index = folds[k]
+            train_index = np.concatenate(
+                [folds[j] for j in range(self.n_splits) if j != k])
+            yield train_index, test_index

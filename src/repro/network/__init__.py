@@ -1,0 +1,15 @@
+"""3G network link substrate.
+
+Models the UMTS data path between the handset and the web servers: a
+bandwidth/RTT pipe whose transfers are serialised FIFO (aggregate
+throughput of the shared downlink), bracketed by RRC channel acquisition
+so every byte moved keeps the radio in DCH.  Also provides the traffic
+bucketing used to reproduce Fig. 4.
+"""
+
+from repro.network.link import Link, NetworkConfig
+from repro.network.transfer import Transfer
+from repro.network.traffic import bucket_traffic, TrafficSample
+
+__all__ = ["Link", "NetworkConfig", "Transfer", "bucket_traffic",
+           "TrafficSample"]

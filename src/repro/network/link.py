@@ -1,0 +1,153 @@
+"""The 3G link: a bandwidth/RTT pipe gated by the RRC state machine.
+
+Transfers are serialised FIFO.  On a 3G downlink the handset's parallel
+HTTP connections share one dedicated channel, so aggregate throughput —
+which is what the energy accounting depends on — is the same whether the
+byte streams interleave or queue; FIFO keeps the simulation deterministic.
+
+Every transfer acquires the dedicated channel first (paying the promotion
+latency when the radio is in FACH or IDLE) and brackets its wire time with
+``tx_begin``/``tx_end`` so the radio draws transmission-level power for
+exactly the bytes-in-flight interval.
+
+Default calibration follows Fig. 4 of the paper: a bulk socket download
+of 760 KB completes in ~11 s wire time (~70 KB/s effective downlink
+goodput on the 2012-era T-Mobile UMTS network) with a 400 ms round trip,
+and the browsing workloads then reproduce the loading-time ratios of
+Figs. 8–10.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.network.transfer import Transfer
+from repro.rrc.machine import RrcMachine
+from repro.sim.kernel import Simulator
+from repro.units import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Link parameters for the simulated UMTS data path."""
+
+    #: Effective downlink goodput in bytes/second.
+    downlink_bandwidth: float = 70_000.0
+    #: Effective uplink goodput in bytes/second (requests are small).
+    uplink_bandwidth: float = 40_000.0
+    #: Round-trip time between handset and server, seconds.
+    rtt: float = 0.4
+    #: Size of an HTTP request (headers), bytes.
+    request_bytes: float = 400.0
+    #: Per-request server/HTTP overhead that cannot be pipelined away.
+    pipeline_overhead: float = 0.13
+
+    def __post_init__(self) -> None:
+        require_positive("downlink_bandwidth", self.downlink_bandwidth)
+        require_positive("uplink_bandwidth", self.uplink_bandwidth)
+        require_non_negative("rtt", self.rtt)
+        require_non_negative("request_bytes", self.request_bytes)
+        require_non_negative("pipeline_overhead", self.pipeline_overhead)
+
+    def wire_time(self, size_bytes: float, queue_delay: float = 0.0) -> float:
+        """Wire time of one request/response of ``size_bytes`` payload.
+
+        ``queue_delay`` is how long the request has already been queued
+        behind other transfers.  Browsers issue queued requests
+        immediately on parallel/pipelined connections, so their RTT
+        overlaps the ongoing downloads: by the time the downlink frees,
+        up to ``queue_delay`` of the round trip has already elapsed.
+        A request hitting an idle link pays the full RTT.
+        """
+        effective_rtt = max(0.0, self.rtt - queue_delay)
+        return (effective_rtt + self.pipeline_overhead
+                + self.request_bytes / self.uplink_bandwidth
+                + size_bytes / self.downlink_bandwidth)
+
+
+class Link:
+    """FIFO transfer scheduler over the RRC-gated 3G pipe."""
+
+    def __init__(self, sim: Simulator, machine: RrcMachine,
+                 config: Optional[NetworkConfig] = None):
+        self._sim = sim
+        self._machine = machine
+        self.config = config or NetworkConfig()
+        # Two-level priority: documents, stylesheets and scripts jump
+        # ahead of images/flash, as real browsers schedule them.
+        self._high: Deque[Tuple[Transfer, Callable[[Transfer], None]]] = \
+            deque()
+        self._low: Deque[Tuple[Transfer, Callable[[Transfer], None]]] = \
+            deque()
+        self._active = False
+        #: When the current DCH busy streak's channel came up; requests
+        #: cannot overlap their RTT with anything before this instant.
+        self._streak_ready: Optional[float] = None
+        self.transfers: List[Transfer] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True while bytes are moving or transfers are queued."""
+        return self._active or bool(self._high) or bool(self._low)
+
+    @property
+    def bytes_transferred(self) -> float:
+        """Payload bytes of all completed transfers."""
+        return sum(t.size_bytes for t in self.transfers if t.complete)
+
+    def fetch(self, size_bytes: float, on_complete: Callable[[Transfer],
+              None], label: str = "", high_priority: bool = True
+              ) -> Transfer:
+        """Request a download of ``size_bytes``; ``on_complete(transfer)``
+        fires when the last byte arrives.  ``high_priority`` transfers
+        (documents, stylesheets, scripts) are scheduled before
+        low-priority ones (images, flash)."""
+        require_non_negative("size_bytes", size_bytes)
+        transfer = Transfer(label=label, size_bytes=size_bytes,
+                            requested_at=self._sim.now)
+        self.transfers.append(transfer)
+        queue = self._high if high_priority else self._low
+        queue.append((transfer, on_complete))
+        self._dispatch()
+        return transfer
+
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        if self._active or not (self._high or self._low):
+            return
+        self._active = True
+        self._machine.acquire_channel(self._channel_granted)
+
+    def _channel_granted(self) -> None:
+        if not (self._high or self._low):  # all requests were drained
+            self._active = False
+            return
+        transfer, on_complete = (self._high.popleft() if self._high
+                                 else self._low.popleft())
+        now = self._sim.now
+        if self._streak_ready is None:
+            self._streak_ready = now
+        transfer.started_at = now
+        self._machine.tx_begin()
+        # The RTT can only overlap time during which the request could
+        # actually have been in flight: after it was issued AND after the
+        # channel came up (a promotion wait buys no overlap).
+        overlap = now - max(transfer.requested_at, self._streak_ready)
+        wire = self.config.wire_time(transfer.size_bytes,
+                                     queue_delay=overlap)
+        self._sim.schedule(wire, self._transfer_done, transfer, on_complete)
+
+    def _transfer_done(self, transfer: Transfer,
+                       on_complete: Callable[[Transfer], None]) -> None:
+        transfer.completed_at = self._sim.now
+        self._machine.tx_end()
+        self._active = False
+        if not (self._high or self._low):
+            self._streak_ready = None
+        # Start the next queued transfer before user code runs so that
+        # back-to-back transfers never arm T1 spuriously for a full tick.
+        self._dispatch()
+        on_complete(transfer)

@@ -1,0 +1,46 @@
+"""Transfer records produced by the link.
+
+A :class:`Transfer` is one HTTP-level request/response: its size, when it
+was requested (queued), when bytes started moving, and when it completed.
+The experiments use these records for transmission-time accounting and to
+reconstruct traffic-over-time plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.units import require_non_negative
+
+
+@dataclass
+class Transfer:
+    """One request/response over the 3G link."""
+
+    label: str
+    size_bytes: float
+    requested_at: float
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        require_non_negative("size_bytes", self.size_bytes)
+
+    @property
+    def queue_delay(self) -> float:
+        """Seconds spent waiting behind other transfers."""
+        if self.started_at is None:
+            raise ValueError(f"transfer {self.label!r} never started")
+        return self.started_at - self.requested_at
+
+    @property
+    def duration(self) -> float:
+        """Seconds of actual wire time (request + response)."""
+        if self.started_at is None or self.completed_at is None:
+            raise ValueError(f"transfer {self.label!r} not complete")
+        return self.completed_at - self.started_at
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None

@@ -1,0 +1,30 @@
+"""Reading-time prediction and the energy-aware switching policy.
+
+Implements Section 4.3: the Table-1 feature schema, the GBRT-based
+reading-time predictor (trained offline, deployable as plain JSON), the
+interest-threshold filter, and Algorithm 2's delay-driven / power-driven
+decision rule, plus the oracle and always-off baselines of Table 6.
+"""
+
+from repro.prediction.features import FEATURE_NAMES, features_from_load
+from repro.prediction.predictor import ReadingTimePredictor
+from repro.prediction.policy import (
+    AlwaysOffPolicy,
+    NeverOffPolicy,
+    OraclePolicy,
+    PolicyDecision,
+    PredictivePolicy,
+    SwitchPolicy,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "features_from_load",
+    "ReadingTimePredictor",
+    "SwitchPolicy",
+    "PolicyDecision",
+    "PredictivePolicy",
+    "OraclePolicy",
+    "AlwaysOffPolicy",
+    "NeverOffPolicy",
+]

@@ -1,0 +1,46 @@
+"""The Table-1 feature schema and extraction from live page loads.
+
+The paper's modified browser collects 10 features while opening a page
+(Section 4.3.2).  Trace records already carry them
+(:data:`repro.traces.records.FEATURE_NAMES` is re-exported here); this
+module additionally extracts the same vector from a real simulated load,
+so the on-device pipeline (load → features → predict → switch) can run
+end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.browser.engine import PageLoadResult
+from repro.traces.records import FEATURE_NAMES
+from repro.webpages.objects import ObjectKind
+from repro.webpages.page import Webpage
+
+__all__ = ["FEATURE_NAMES", "features_from_load"]
+
+
+def features_from_load(page: Webpage, result: PageLoadResult,
+                       second_urls: int = 0) -> np.ndarray:
+    """Build the Table-1 feature vector from a completed page load.
+
+    ``second_urls`` (links to other pages) is not modelled on the object
+    graph, so callers may supply a count; it defaults to zero.
+    """
+    if result.page_url != page.url:
+        raise ValueError(
+            f"result is for {result.page_url!r}, not {page.url!r}")
+    figure_bytes = page.bytes_of_kind(ObjectKind.IMAGE)
+    values = {
+        "transmission_time": result.data_transmission_time,
+        "page_size_kb": (page.total_bytes - figure_bytes) / 1000.0,
+        "download_objects": float(result.object_count),
+        "download_js_files": float(page.count_of_kind(ObjectKind.JS)),
+        "download_figures": float(page.count_of_kind(ObjectKind.IMAGE)),
+        "figure_size_kb": figure_bytes / 1000.0,
+        "js_running_time": result.js_exec_time,
+        "second_urls": float(second_urls),
+        "page_height": float(page.page_height),
+        "page_width": float(page.page_width),
+    }
+    return np.array([values[name] for name in FEATURE_NAMES])

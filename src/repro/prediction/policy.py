@@ -1,0 +1,121 @@
+"""Algorithm 2 and the Table-6 baseline policies.
+
+A policy answers one question per pageview: once the page is opened (and
+the reading time has exceeded the interest threshold α), should the
+radio be forced to IDLE?  Algorithm 2's rule:
+
+    switch  ⇔  Tr > Td  OR  (Tr > Tp AND mode == power)
+
+where Tr is the predicted reading time, Td = T1 + T2 = 20 s (never any
+delay penalty) and Tp = 9 s (energy break-even, Fig. 3).  The six cases
+of Table 6 map to: :class:`PredictivePolicy` (Predict-9 / Predict-20),
+:class:`OraclePolicy` (Accurate-9 / Accurate-20 — the upper bound using
+the true reading time from the trace), and :class:`AlwaysOffPolicy`
+(the two Always-off rows; the engine choice is made by the evaluator).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.config import PolicyConfig
+from repro.prediction.predictor import ReadingTimePredictor
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """Outcome of one switching decision."""
+
+    switch_to_idle: bool
+    predicted_reading_time: Optional[float]
+    reason: str
+
+
+class SwitchPolicy(abc.ABC):
+    """Interface: decide whether to force the radio to IDLE."""
+
+    name = "base"
+
+    @abc.abstractmethod
+    def decide(self, features: Sequence[float],
+               true_reading_time: float) -> PolicyDecision:
+        """Decide for one pageview.
+
+        ``features`` is the Table-1 vector collected while opening the
+        page; ``true_reading_time`` is only consulted by the oracle.
+        """
+
+
+class PredictivePolicy(SwitchPolicy):
+    """Algorithm 2: predict Tr with GBRT, compare to Td/Tp."""
+
+    def __init__(self, predictor: ReadingTimePredictor,
+                 config: Optional[PolicyConfig] = None):
+        self._predictor = predictor
+        self.config = config or PolicyConfig()
+        self.name = f"predict-{int(self._threshold())}"
+
+    def _threshold(self) -> float:
+        if self.config.mode == "power":
+            return self.config.power_threshold
+        return self.config.delay_threshold
+
+    def decide(self, features: Sequence[float],
+               true_reading_time: float) -> PolicyDecision:
+        predicted = self._predictor.predict_one(features)
+        config = self.config
+        switch = predicted > config.delay_threshold or (
+            config.mode == "power"
+            and predicted > config.power_threshold)
+        reason = (f"Tr={predicted:.1f}s vs "
+                  f"Td={config.delay_threshold:.0f}/"
+                  f"Tp={config.power_threshold:.0f} ({config.mode})")
+        return PolicyDecision(switch_to_idle=switch,
+                              predicted_reading_time=predicted,
+                              reason=reason)
+
+
+class OraclePolicy(SwitchPolicy):
+    """Accurate-9 / Accurate-20: 100 %-accurate prediction upper bound —
+    reads the true reading time straight from the trace (Section 5.6.2).
+    """
+
+    def __init__(self, threshold: float):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.name = f"accurate-{int(threshold)}"
+
+    def decide(self, features: Sequence[float],
+               true_reading_time: float) -> PolicyDecision:
+        switch = true_reading_time > self.threshold
+        return PolicyDecision(switch_to_idle=switch,
+                              predicted_reading_time=true_reading_time,
+                              reason=f"oracle R={true_reading_time:.1f}s "
+                                     f"vs {self.threshold:.0f}s")
+
+
+class AlwaysOffPolicy(SwitchPolicy):
+    """Switch to IDLE after every page open, unconditionally."""
+
+    name = "always-off"
+
+    def decide(self, features: Sequence[float],
+               true_reading_time: float) -> PolicyDecision:
+        return PolicyDecision(switch_to_idle=True,
+                              predicted_reading_time=None,
+                              reason="always off")
+
+
+class NeverOffPolicy(SwitchPolicy):
+    """Never switch; the radio follows its inactivity timers."""
+
+    name = "never-off"
+
+    def decide(self, features: Sequence[float],
+               true_reading_time: float) -> PolicyDecision:
+        return PolicyDecision(switch_to_idle=False,
+                              predicted_reading_time=None,
+                              reason="timers only")

@@ -1,0 +1,105 @@
+"""The GBRT reading-time predictor (Section 4.3).
+
+Trained offline on a trace dataset (optionally excluding quick bounces
+below the interest threshold α, which is the paper's accuracy trick),
+then deployed as a plain tree model whose per-sample prediction cost is
+a handful of comparisons per tree — cheap enough for the phone
+(Table 7).
+
+Targets are modelled on a log scale internally (reading times are
+lognormal-ish with a long tail); :meth:`predict` always returns seconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ml.gbrt import GradientBoostedRegressor
+from repro.ml.metrics import threshold_accuracy
+from repro.traces.records import TraceDataset
+
+
+class ReadingTimePredictor:
+    """Predicts how long the user will read a just-opened page."""
+
+    def __init__(self, n_estimators: int = 300, max_leaves: int = 8,
+                 learning_rate: float = 0.08, min_samples_leaf: int = 10,
+                 subsample: float = 1.0,
+                 interest_threshold: Optional[float] = 2.0,
+                 random_state: Optional[int] = 13):
+        self.interest_threshold = interest_threshold
+        self._model = GradientBoostedRegressor(
+            n_estimators=n_estimators, max_leaves=max_leaves,
+            learning_rate=learning_rate, min_samples_leaf=min_samples_leaf,
+            subsample=subsample, random_state=random_state)
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: TraceDataset) -> "ReadingTimePredictor":
+        """Train on a trace.  When an interest threshold is set, visits
+        shorter than α are excluded (Section 4.3.4): those users were
+        never interested, and the phone will not consult the predictor
+        for them anyway."""
+        data = dataset
+        if self.interest_threshold is not None:
+            data = dataset.exclude_quick_bounces(self.interest_threshold)
+        x, y = data.to_arrays()
+        self._model.fit(x, np.log1p(y))
+        self._fitted = True
+        return self
+
+    def fit_arrays(self, x: np.ndarray,
+                   y: np.ndarray) -> "ReadingTimePredictor":
+        """Train directly on a feature matrix / reading-time vector."""
+        self._model.fit(np.asarray(x, dtype=float),
+                        np.log1p(np.asarray(y, dtype=float)))
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, x) -> np.ndarray:
+        """Predicted reading times (seconds) for feature rows."""
+        if not self._fitted:
+            raise RuntimeError("predictor is not trained")
+        return np.expm1(self._model.predict(np.asarray(x, dtype=float)))
+
+    def predict_one(self, features: Sequence[float]) -> float:
+        """Single prediction via the on-phone traversal path."""
+        if not self._fitted:
+            raise RuntimeError("predictor is not trained")
+        return float(np.expm1(self._model.predict_one(
+            np.asarray(features, dtype=float))))
+
+    def accuracy(self, dataset: TraceDataset, threshold: float) -> float:
+        """The paper's threshold accuracy on a trace dataset."""
+        x, y = dataset.to_arrays()
+        return threshold_accuracy(y, self.predict(x), threshold)
+
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> GradientBoostedRegressor:
+        """The underlying GBRT ensemble."""
+        return self._model
+
+    def save_json(self, path: str) -> None:
+        """Serialise the trained model (phone-deployable form)."""
+        if not self._fitted:
+            raise RuntimeError("predictor is not trained")
+        payload = {"interest_threshold": self.interest_threshold,
+                   "model": self._model.to_dict()}
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load_json(cls, path: str) -> "ReadingTimePredictor":
+        """Load a model saved by :meth:`save_json`."""
+        with open(path) as handle:
+            payload = json.load(handle)
+        predictor = cls(interest_threshold=payload["interest_threshold"])
+        predictor._model = GradientBoostedRegressor.from_dict(
+            payload["model"])
+        predictor._fitted = True
+        return predictor

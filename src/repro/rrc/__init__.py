@@ -1,0 +1,26 @@
+"""3G UMTS Radio Resource Control substrate.
+
+Implements the three-state RRC machine the paper describes in Section 2.1
+(IDLE / FACH / DCH), the inactivity timers T1 (DCH→FACH, 4 s) and T2
+(FACH→IDLE, 15 s), promotion latencies and signalling costs, and the
+Radio Interface Layer (RIL) message path used to trigger fast dormancy
+from the application layer (Section 4.4).
+"""
+
+from repro.rrc.config import RrcConfig, PowerProfile
+from repro.rrc.states import RadioMode, RrcState
+from repro.rrc.machine import RrcMachine, RrcError, StateSegment
+from repro.rrc.ril import RilLink, RilMessage, RilMessageType
+
+__all__ = [
+    "RrcConfig",
+    "PowerProfile",
+    "RadioMode",
+    "RrcState",
+    "RrcMachine",
+    "RrcError",
+    "StateSegment",
+    "RilLink",
+    "RilMessage",
+    "RilMessageType",
+]

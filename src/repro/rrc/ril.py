@@ -1,0 +1,118 @@
+"""Radio Interface Layer (RIL) message path, Section 4.4 of the paper.
+
+On Android the radio firmware is closed; applications reach it through a
+message chain: application → framework (``RIL.java``) → Unix socket →
+firmware.  The paper implements its state switch at the application layer
+through exactly this chain.  We model the chain explicitly — each hop adds
+a small latency and every message is logged — so that the control path the
+paper describes is exercised, and so tests can assert on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.rrc.machine import RrcError, RrcMachine
+from repro.sim.kernel import Simulator
+from repro.units import require_non_negative
+
+
+class RilMessageType(enum.Enum):
+    """Operations an application can request from the radio firmware."""
+
+    FAST_DORMANCY = "FAST_DORMANCY"
+    RELEASE_CHANNELS = "RELEASE_CHANNELS"
+    QUERY_STATE = "QUERY_STATE"
+
+
+@dataclass
+class RilMessage:
+    """One message travelling down (and its reply back up) the RIL chain."""
+
+    message_type: RilMessageType
+    sent_at: float
+    delivered_at: Optional[float] = None
+    reply: Optional[str] = None
+    error: Optional[str] = None
+    hops: List[str] = field(default_factory=list)
+
+
+class RilLink:
+    """The framework-to-firmware message chain for one handset."""
+
+    #: Latency of the framework hop (application → RIL.java).
+    FRAMEWORK_HOP_LATENCY = 0.005
+    #: Latency of the socket hop (RIL.java → rild → firmware).
+    SOCKET_HOP_LATENCY = 0.015
+
+    def __init__(self, sim: Simulator, machine: RrcMachine,
+                 framework_latency: Optional[float] = None,
+                 socket_latency: Optional[float] = None):
+        self._sim = sim
+        self._machine = machine
+        self._framework_latency = (self.FRAMEWORK_HOP_LATENCY
+                                   if framework_latency is None
+                                   else framework_latency)
+        self._socket_latency = (self.SOCKET_HOP_LATENCY
+                                if socket_latency is None
+                                else socket_latency)
+        require_non_negative("framework_latency", self._framework_latency)
+        require_non_negative("socket_latency", self._socket_latency)
+        self.log: List[RilMessage] = []
+
+    @property
+    def total_latency(self) -> float:
+        """End-to-end latency of one application → firmware message."""
+        return self._framework_latency + self._socket_latency
+
+    def request_fast_dormancy(
+            self,
+            on_complete: Optional[Callable[[RilMessage], None]] = None,
+    ) -> RilMessage:
+        """Send FAST_DORMANCY down the chain; the firmware releases the
+        signalling connection (→ IDLE) when the message arrives.
+
+        Returns the in-flight :class:`RilMessage`; ``on_complete`` (if
+        given) fires when the firmware has acted, with the message updated
+        to carry either a reply or an error string.
+        """
+        return self._send(RilMessageType.FAST_DORMANCY, on_complete)
+
+    def request_channel_release(
+            self,
+            on_complete: Optional[Callable[[RilMessage], None]] = None,
+    ) -> RilMessage:
+        """Send RELEASE_CHANNELS: drop the dedicated channels (→ FACH)
+        while keeping the signalling connection (Section 4.1)."""
+        return self._send(RilMessageType.RELEASE_CHANNELS, on_complete)
+
+    def _send(self, message_type: RilMessageType,
+              on_complete: Optional[Callable]) -> RilMessage:
+        message = RilMessage(message_type, self._sim.now)
+        self.log.append(message)
+        self._sim.schedule(self._framework_latency,
+                           self._framework_hop, message, on_complete)
+        return message
+
+    def _framework_hop(self, message: RilMessage,
+                       on_complete: Optional[Callable]) -> None:
+        message.hops.append("RIL.java")
+        self._sim.schedule(self._socket_latency,
+                           self._firmware_hop, message, on_complete)
+
+    def _firmware_hop(self, message: RilMessage,
+                      on_complete: Optional[Callable]) -> None:
+        message.hops.append("firmware")
+        message.delivered_at = self._sim.now
+        try:
+            if message.message_type is RilMessageType.FAST_DORMANCY:
+                self._machine.fast_dormancy()
+            elif message.message_type is RilMessageType.RELEASE_CHANNELS:
+                self._machine.release_channels()
+            message.reply = "OK"
+        except RrcError as exc:
+            message.error = str(exc)
+        if on_complete is not None:
+            on_complete(message)

@@ -1,0 +1,14 @@
+"""Discrete-event simulation kernel.
+
+Every time-dependent substrate in this reproduction — the 3G RRC state
+machine, the network link, the browser engines, the capacity simulator —
+runs on this kernel.  It provides a simulated clock, an event queue with
+stable ordering and O(log n) scheduling/cancellation, and a small helper
+for modelling a single-core CPU executing sequential tasks.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.process import CpuProcess, CpuTask
+
+__all__ = ["Event", "EventQueue", "Simulator", "CpuProcess", "CpuTask"]

@@ -1,0 +1,99 @@
+"""Event objects and the priority queue that orders them.
+
+Events are ordered by ``(time, sequence)`` where ``sequence`` is a
+monotonically increasing counter assigned at schedule time.  This gives the
+kernel two properties the substrates rely on:
+
+- **determinism**: two runs with the same inputs produce the same event
+  order, independent of hash seeds or insertion patterns;
+- **FIFO ties**: events scheduled for the same instant fire in the order
+  they were scheduled, which matches the intuition of sequential code.
+
+Cancellation is lazy: a cancelled event stays in the heap but is skipped
+when popped, which keeps cancellation O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`EventQueue.push` /
+    :meth:`repro.sim.kernel.Simulator.schedule`; user code only holds them
+    to query :attr:`time` or to :meth:`cancel` them.
+    """
+
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, sequence: int,
+                 callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so the kernel skips it when its time comes."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, #{self.sequence}, {name}, {state})"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` objects keyed by ``(time, sequence)``."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(self, time: float, callback: Callable[..., Any],
+             args: tuple = ()) -> Event:
+        """Insert a new event and return it (for later cancellation)."""
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty.
+
+        Cancelled events are discarded silently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook: an event in the heap was cancelled externally."""
+        self._live -= 1
+
+    def __len__(self) -> int:
+        return max(self._live, 0)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,112 @@
+"""The simulation kernel: a clock plus an event loop.
+
+The kernel is deliberately minimal — substrates are plain Python objects
+that hold a reference to the :class:`Simulator` and schedule callbacks on
+it.  There is no coroutine machinery; sequential behaviour is expressed by
+a callback scheduling its continuation (see :mod:`repro.sim.process` for a
+helper that does this for CPU task chains).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.units import require_non_negative
+
+
+class SimulationError(RuntimeError):
+    """Raised when the kernel is used incorrectly."""
+
+
+class Simulator:
+    """A discrete-event simulator with a floating-point clock in seconds."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        require_non_negative("delay", delay)
+        return self._queue.push(self.now + delay, callback, args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}, clock is at {self.now:.6f}")
+        return self._queue.push(time, callback, args)
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a previously scheduled event (``None`` is a no-op)."""
+        if event is not None and not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single earliest event.  Returns ``False`` when idle."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError("event queue went backwards in time")
+        self.now = event.time
+        self._events_processed += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains or the horizon is reached.
+
+        ``until`` is an absolute simulation time; events scheduled beyond
+        it remain queued and the clock is advanced exactly to ``until``.
+        ``max_events`` bounds the number of callbacks (a runaway guard for
+        tests).
+        """
+        if self._running:
+            raise SimulationError("run() re-entered; the kernel is not "
+                                  "reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}")
+                self.step()
+                processed += 1
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_processed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Simulator(now={self.now:.6f}, "
+                f"pending={self.pending_events})")

@@ -1,0 +1,157 @@
+"""Trace record types and CSV serialisation.
+
+A :class:`BrowsingRecord` is one pageview: the 10 features of Table 1 as
+collected by the instrumented browser, plus the observed reading time
+(the label).  Records group into :class:`Session` objects — consecutive
+pageviews by one user, from which the paper derives reading times ("the
+duration from the webpage is completely opened to the time when the user
+clicks to open another webpage").
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Table 1's feature names, in the order the predictor consumes them.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "transmission_time",
+    "page_size_kb",
+    "download_objects",
+    "download_js_files",
+    "download_figures",
+    "figure_size_kb",
+    "js_running_time",
+    "second_urls",
+    "page_height",
+    "page_width",
+)
+
+
+@dataclass(frozen=True)
+class BrowsingRecord:
+    """One pageview: Table 1 features + reading time."""
+
+    user_id: int
+    session_id: int
+    sequence: int
+    page_name: str
+    mobile: bool
+    reading_time: float
+    transmission_time: float
+    page_size_kb: float
+    download_objects: int
+    download_js_files: int
+    download_figures: int
+    figure_size_kb: float
+    js_running_time: float
+    second_urls: int
+    page_height: int
+    page_width: int
+
+    def feature_vector(self) -> np.ndarray:
+        """The 10 Table-1 features as a float vector."""
+        return np.array([float(getattr(self, name))
+                         for name in FEATURE_NAMES])
+
+
+@dataclass
+class Session:
+    """Consecutive pageviews by one user."""
+
+    user_id: int
+    session_id: int
+    records: List[BrowsingRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class TraceDataset:
+    """A collection of browsing records with ML-friendly accessors."""
+
+    #: The paper discards reading times above 10 minutes (Section 5.1.3).
+    MAX_READING_TIME = 600.0
+
+    def __init__(self, records: Sequence[BrowsingRecord]):
+        self.records: List[BrowsingRecord] = list(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    def filter_reading_time(self, minimum: float = 0.0,
+                            maximum: Optional[float] = None
+                            ) -> "TraceDataset":
+        """Records with reading time in (minimum, maximum]."""
+        cap = self.MAX_READING_TIME if maximum is None else maximum
+        return TraceDataset([r for r in self.records
+                             if minimum < r.reading_time <= cap])
+
+    def exclude_quick_bounces(self, alpha: float) -> "TraceDataset":
+        """Drop visits shorter than the interest threshold α — the
+        paper's trick for training the prediction model (Section 4.3.4).
+        """
+        return self.filter_reading_time(minimum=alpha)
+
+    def sessions(self) -> List[Session]:
+        """Group records into sessions (insertion order preserved)."""
+        by_key: Dict[Tuple[int, int], Session] = {}
+        for record in self.records:
+            key = (record.user_id, record.session_id)
+            if key not in by_key:
+                by_key[key] = Session(record.user_id, record.session_id)
+            by_key[key].records.append(record)
+        return list(by_key.values())
+
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(X, y): feature matrix in :data:`FEATURE_NAMES` order and the
+        reading-time targets."""
+        if not self.records:
+            raise ValueError("dataset is empty")
+        x = np.stack([r.feature_vector() for r in self.records])
+        y = np.array([r.reading_time for r in self.records])
+        return x, y
+
+    def reading_times(self) -> np.ndarray:
+        return np.array([r.reading_time for r in self.records])
+
+    # ------------------------------------------------------------------
+    # CSV round trip
+    # ------------------------------------------------------------------
+    def save_csv(self, path: str) -> None:
+        """Write all records to a CSV file."""
+        names = [f.name for f in fields(BrowsingRecord)]
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(names)
+            for record in self.records:
+                writer.writerow([getattr(record, name) for name in names])
+
+    @classmethod
+    def load_csv(cls, path: str) -> "TraceDataset":
+        """Read records previously written by :meth:`save_csv`."""
+        converters = {f.name: f.type for f in fields(BrowsingRecord)}
+        records = []
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            for row in reader:
+                kwargs = {}
+                for name, type_name in converters.items():
+                    raw = row[name]
+                    if type_name == "int":
+                        kwargs[name] = int(raw)
+                    elif type_name == "float":
+                        kwargs[name] = float(raw)
+                    elif type_name == "bool":
+                        kwargs[name] = raw == "True"
+                    else:
+                        kwargs[name] = raw
+                records.append(BrowsingRecord(**kwargs))
+        return cls(records)

@@ -1,0 +1,36 @@
+"""Webpage workload substrate.
+
+The paper benchmarks against the Alexa top sites (Table 3), split into a
+mobile-version and a full-version benchmark.  Live 2012-era pages are not
+available, so this package provides a synthetic equivalent: an object-graph
+model of a webpage (HTML documents referencing CSS, JavaScript, images and
+flash, with JavaScript able to hide references until executed), a seeded
+generator that synthesises such graphs from compact specs, and a corpus of
+20 page specs mirroring Table 3 — including the paper's headline page,
+``espn.go.com/sports`` at 760 KB.
+"""
+
+from repro.webpages.objects import ObjectKind, WebObject
+from repro.webpages.page import Webpage, PageValidationError
+from repro.webpages.generator import PageSpec, generate_page
+from repro.webpages.corpus import (
+    BenchmarkPage,
+    MOBILE_BENCHMARK,
+    FULL_BENCHMARK,
+    benchmark_pages,
+    load_benchmark_page,
+)
+
+__all__ = [
+    "ObjectKind",
+    "WebObject",
+    "Webpage",
+    "PageValidationError",
+    "PageSpec",
+    "generate_page",
+    "BenchmarkPage",
+    "MOBILE_BENCHMARK",
+    "FULL_BENCHMARK",
+    "benchmark_pages",
+    "load_benchmark_page",
+]

@@ -1,0 +1,124 @@
+"""The Table 3 benchmark corpus.
+
+Ten mobile-version and ten full-version page specs mirroring the paper's
+benchmark (Alexa top sites, December 2009).  Mobile versions are small
+(30–120 KB, a handful of objects, little script); full versions are heavy
+(300–900 KB, dozens of objects, complex scripts).  The headline page
+``espn.go.com/sports`` is pinned near the paper's measured 760 KB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.webpages.generator import PageSpec, generate_page
+from repro.webpages.page import Webpage
+
+
+@dataclass(frozen=True)
+class BenchmarkPage:
+    """One Table 3 entry: the paper's site name plus our synthetic spec."""
+
+    paper_name: str
+    spec: PageSpec
+
+
+def _mobile(name: str, url: str, seed: int, html_kb: float, css_count: int,
+            css_kb: float, js_count: int, js_kb: float, image_count: int,
+            image_kb: float, height: int) -> BenchmarkPage:
+    spec = PageSpec(
+        name=f"m-{name}", url=url, mobile=True, seed=seed,
+        html_kb=html_kb, css_count=css_count, css_kb=css_kb,
+        js_count=js_count, js_kb=js_kb, js_complexity=0.8,
+        js_dynamic_image_fraction=0.25, image_count=image_count,
+        image_kb=image_kb, flash_count=0, iframe_count=0,
+        css_image_fraction=0.15, page_height=height, page_width=320)
+    return BenchmarkPage(paper_name=name, spec=spec)
+
+
+def _full(name: str, url: str, seed: int, html_kb: float, css_count: int,
+          css_kb: float, js_count: int, js_kb: float, image_count: int,
+          image_kb: float, flash_count: int, flash_kb: float,
+          iframe_count: int, height: int,
+          js_complexity: float = 1.3) -> BenchmarkPage:
+    spec = PageSpec(
+        name=f"f-{name}", url=url, mobile=False, seed=seed,
+        html_kb=html_kb, css_count=css_count, css_kb=css_kb,
+        js_count=js_count, js_kb=js_kb, js_complexity=js_complexity,
+        js_dynamic_image_fraction=0.2, image_count=image_count,
+        image_kb=image_kb, flash_count=flash_count, flash_kb=flash_kb,
+        iframe_count=iframe_count, iframe_kb=10.0, js_chain=True,
+        css_image_fraction=0.25, page_height=height, page_width=1024)
+    return BenchmarkPage(paper_name=name, spec=spec)
+
+
+#: Mobile-version benchmark (Table 3, left column).
+MOBILE_BENCHMARK: Tuple[BenchmarkPage, ...] = (
+    _mobile("cnn", "http://m.cnn.com", 101, 36, 1, 9, 1, 14, 11, 7, 1800),
+    _mobile("ebay", "http://m.ebay.com", 102, 28, 1, 7, 1, 12, 9, 6, 1400),
+    _mobile("espn.go.com", "http://m.espn.go.com", 103, 38, 1, 10, 2, 13,
+            12, 7, 2000),
+    _mobile("amazon", "http://m.amazon.com", 104, 33, 1, 8, 1, 15, 10, 8,
+            1700),
+    _mobile("msn", "http://m.msn.com", 105, 26, 1, 7, 1, 10, 9, 6, 1300),
+    _mobile("myspace", "http://m.myspace.com", 106, 24, 1, 6, 1, 11, 8, 6,
+            1200),
+    _mobile("bbc.co.uk", "http://m.bbc.co.uk", 107, 30, 1, 8, 1, 12, 10, 6,
+            1600),
+    _mobile("aol", "http://m.aol.com", 108, 27, 1, 7, 1, 11, 9, 7, 1400),
+    _mobile("nytime", "http://m.nytimes.com", 109, 40, 1, 10, 2, 14, 12, 8,
+            2200),
+    _mobile("youtube", "http://m.youtube.com", 110, 20, 1, 6, 1, 13, 12, 5,
+            1500),
+)
+
+#: Full-version benchmark (Table 3, right column).
+FULL_BENCHMARK: Tuple[BenchmarkPage, ...] = (
+    _full("edition.cnn.com/WORLD", "http://edition.cnn.com/WORLD", 201,
+          95, 3, 28, 7, 26, 26, 10, 1, 50, 1, 5200),
+    _full("www.motors.ebay.com", "http://www.motors.ebay.com", 202,
+          80, 3, 24, 6, 24, 24, 11, 1, 45, 1, 4600),
+    _full("espn.go.com/sports", "http://espn.go.com/sports", 203,
+          100, 3, 25, 6, 22, 32, 13, 1, 50, 0, 6000, js_complexity=1.0),
+    _full("amazon full version", "http://www.amazon.com", 204,
+          88, 3, 22, 6, 22, 30, 9, 0, 0, 1, 5000),
+    _full("home.autos.msn.com", "http://home.autos.msn.com", 205,
+          70, 2, 26, 5, 25, 22, 10, 1, 55, 1, 4200),
+    _full("www.myspace.com/music", "http://www.myspace.com/music", 206,
+          75, 3, 20, 7, 27, 20, 9, 1, 60, 0, 4400),
+    _full("bbc.com/travel", "http://www.bbc.com/travel", 207,
+          66, 2, 24, 5, 22, 24, 12, 0, 0, 1, 4000),
+    _full("www.popeater.com/celebrities",
+          "http://www.popeater.com/celebrities", 208,
+          72, 3, 22, 6, 25, 26, 11, 1, 50, 0, 4800),
+    _full("www.apple.com", "http://www.apple.com", 209,
+          60, 2, 30, 5, 28, 18, 14, 0, 0, 0, 3600),
+    _full("hotjobs.yahoo.com", "http://hotjobs.yahoo.com", 210,
+          78, 3, 23, 6, 23, 22, 10, 1, 48, 1, 4400),
+)
+
+_PAGE_CACHE: Dict[str, Webpage] = {}
+
+
+def load_benchmark_page(entry: BenchmarkPage) -> Webpage:
+    """Generate (and memoise) the synthetic page for a benchmark entry."""
+    key = entry.spec.name
+    if key not in _PAGE_CACHE:
+        _PAGE_CACHE[key] = generate_page(entry.spec)
+    return _PAGE_CACHE[key]
+
+
+def benchmark_pages(mobile: bool) -> List[Webpage]:
+    """All generated pages of one benchmark half, in Table 3 order."""
+    entries = MOBILE_BENCHMARK if mobile else FULL_BENCHMARK
+    return [load_benchmark_page(entry) for entry in entries]
+
+
+def find_page(paper_name: str) -> Webpage:
+    """Look up a page by the site name the paper uses (e.g. ``m.cnn.com``
+    is ``cnn`` in the mobile column)."""
+    for entry in MOBILE_BENCHMARK + FULL_BENCHMARK:
+        if entry.paper_name == paper_name:
+            return load_benchmark_page(entry)
+    raise KeyError(f"no benchmark page named {paper_name!r}")

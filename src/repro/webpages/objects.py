@@ -1,0 +1,77 @@
+"""Web object model.
+
+A page is a DAG of :class:`WebObject` records.  Each object carries the
+attributes the browser engines consume:
+
+- ``size_bytes`` — wire size, drives transfer time;
+- ``static_references`` — object ids discoverable by *scanning* the source
+  text for URLs (HTML ``src``/``href`` attributes, CSS ``url(...)``);
+- ``dynamic_references`` — object ids only discoverable by *executing*
+  the object (JavaScript XHR / ``document.write``); only scripts have
+  them.  This distinction is exactly why the paper says separating the
+  JavaScript computation "is the most difficult task" (Section 4.1): the
+  energy-aware browser can scan HTML/CSS cheaply but must still run every
+  script to learn what it fetches;
+- ``complexity`` — multiplier on the object's compute costs (a heavy
+  script vs. a one-liner);
+- ``dom_nodes`` — how many DOM nodes processing this object contributes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.units import require_non_negative, require_positive
+
+
+class ObjectKind(enum.Enum):
+    """Content types the engines treat differently (Section 2.2)."""
+
+    HTML = "html"
+    CSS = "css"
+    JS = "js"
+    IMAGE = "image"
+    FLASH = "flash"
+
+    @property
+    def is_multimedia(self) -> bool:
+        """Objects that are decoded, never parsed (images, flash)."""
+        return self in (ObjectKind.IMAGE, ObjectKind.FLASH)
+
+
+@dataclass(frozen=True)
+class WebObject:
+    """One fetchable resource of a webpage."""
+
+    object_id: str
+    kind: ObjectKind
+    size_bytes: float
+    static_references: Tuple[str, ...] = ()
+    dynamic_references: Tuple[str, ...] = ()
+    complexity: float = 1.0
+    dom_nodes: int = 1
+
+    def __post_init__(self) -> None:
+        require_non_negative("size_bytes", self.size_bytes)
+        require_positive("complexity", self.complexity)
+        if self.dom_nodes < 0:
+            raise ValueError("dom_nodes must be non-negative")
+        if self.dynamic_references and self.kind is not ObjectKind.JS:
+            raise ValueError(
+                f"{self.kind} object {self.object_id!r} cannot have dynamic "
+                "references; only scripts discover fetches at execution time")
+        if self.kind.is_multimedia and self.static_references:
+            raise ValueError(
+                f"multimedia object {self.object_id!r} cannot reference "
+                "other objects")
+
+    @property
+    def references(self) -> Tuple[str, ...]:
+        """All referenced object ids, static then dynamic."""
+        return self.static_references + self.dynamic_references
+
+    @property
+    def size_kb(self) -> float:
+        return self.size_bytes / 1000.0

@@ -1,0 +1,134 @@
+"""The Webpage container and its structural invariants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.webpages.objects import ObjectKind, WebObject
+
+
+class PageValidationError(ValueError):
+    """Raised when a page's object graph violates an invariant."""
+
+
+@dataclass(frozen=True)
+class Webpage:
+    """A webpage: a rooted DAG of web objects.
+
+    Invariants (checked at construction):
+
+    - the root exists and is an HTML document;
+    - every reference resolves to an object on the page;
+    - the reference graph is acyclic;
+    - every object is reachable from the root (nothing the browser could
+      never discover).
+    """
+
+    url: str
+    root_id: str
+    objects: Dict[str, WebObject]
+    mobile: bool = False
+    page_height: int = 1200
+    page_width: int = 320
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.root_id not in self.objects:
+            raise PageValidationError(
+                f"root {self.root_id!r} missing from page {self.url!r}")
+        root = self.objects[self.root_id]
+        if root.kind is not ObjectKind.HTML:
+            raise PageValidationError(
+                f"root of {self.url!r} must be HTML, got {root.kind}")
+        for obj in self.objects.values():
+            for ref in obj.references:
+                if ref not in self.objects:
+                    raise PageValidationError(
+                        f"object {obj.object_id!r} references unknown "
+                        f"{ref!r}")
+        self._check_acyclic()
+        unreachable = set(self.objects) - set(self.reachable_ids())
+        if unreachable:
+            raise PageValidationError(
+                f"objects unreachable from root on {self.url!r}: "
+                f"{sorted(unreachable)}")
+
+    def _check_acyclic(self) -> None:
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {oid: WHITE for oid in self.objects}
+        for start in self.objects:
+            if colour[start] != WHITE:
+                continue
+            stack: List[Tuple[str, Iterator[str]]] = [
+                (start, iter(self.objects[start].references))]
+            colour[start] = GREY
+            while stack:
+                node, refs = stack[-1]
+                advanced = False
+                for ref in refs:
+                    if colour[ref] == GREY:
+                        raise PageValidationError(
+                            f"reference cycle through {ref!r} on "
+                            f"{self.url!r}")
+                    if colour[ref] == WHITE:
+                        colour[ref] = GREY
+                        stack.append(
+                            (ref, iter(self.objects[ref].references)))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+
+    def reachable_ids(self) -> List[str]:
+        """Object ids reachable from the root, in BFS discovery order."""
+        order: List[str] = []
+        seen = {self.root_id}
+        frontier = [self.root_id]
+        while frontier:
+            oid = frontier.pop(0)
+            order.append(oid)
+            for ref in self.objects[oid].references:
+                if ref not in seen:
+                    seen.add(ref)
+                    frontier.append(ref)
+        return order
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> WebObject:
+        return self.objects[self.root_id]
+
+    @property
+    def total_bytes(self) -> float:
+        """Wire size of the whole page."""
+        return sum(obj.size_bytes for obj in self.objects.values())
+
+    @property
+    def total_kb(self) -> float:
+        return self.total_bytes / 1000.0
+
+    @property
+    def object_count(self) -> int:
+        return len(self.objects)
+
+    def objects_of_kind(self, kind: ObjectKind) -> List[WebObject]:
+        """All objects of one kind, in id order (deterministic)."""
+        return sorted((o for o in self.objects.values() if o.kind is kind),
+                      key=lambda o: o.object_id)
+
+    def count_of_kind(self, kind: ObjectKind) -> int:
+        return sum(1 for o in self.objects.values() if o.kind is kind)
+
+    def bytes_of_kind(self, kind: ObjectKind) -> float:
+        return sum(o.size_bytes for o in self.objects.values()
+                   if o.kind is kind)
+
+    @property
+    def total_dom_nodes(self) -> int:
+        """DOM size once every object has been processed."""
+        return sum(o.dom_nodes for o in self.objects.values())

@@ -1,0 +1,49 @@
+"""Statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import cdf_points, pearson, summarize
+
+
+def test_pearson_perfect_correlation():
+    x = np.arange(10.0)
+    assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+    assert pearson(x, -x) == pytest.approx(-1.0)
+
+
+def test_pearson_constant_input_is_zero():
+    assert pearson([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+
+def test_pearson_matches_numpy():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=200)
+    y = 0.3 * x + rng.normal(size=200)
+    assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+
+def test_pearson_validation():
+    with pytest.raises(ValueError):
+        pearson([1.0], [1.0])
+    with pytest.raises(ValueError):
+        pearson([1.0, 2.0], [1.0])
+
+
+def test_cdf_points():
+    points = cdf_points([1.0, 2.0, 3.0, 4.0], grid=[0.0, 2.0, 5.0])
+    assert points == [(0.0, 0.0), (2.0, 0.5), (5.0, 1.0)]
+
+
+def test_cdf_empty_rejected():
+    with pytest.raises(ValueError):
+        cdf_points([], grid=[1.0])
+
+
+def test_summarize():
+    summary = summarize([1.0, 2.0, 3.0, 4.0])
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.median == pytest.approx(2.5)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 4.0

@@ -1,0 +1,40 @@
+"""Table and chart rendering."""
+
+import pytest
+
+from repro.analysis.tables import ascii_chart, format_table
+
+
+def test_table_alignment_and_title():
+    text = format_table(("name", "value"), [("a", 1), ("bb", 22)],
+                        title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    assert len({len(line) for line in lines[1:]}) == 1  # equal widths
+
+
+def test_table_float_formatting():
+    text = format_table(("x",), [(1.23456,), (123.456,)])
+    assert "1.235" in text
+    assert "123.5" in text
+
+
+def test_table_row_width_validated():
+    with pytest.raises(ValueError):
+        format_table(("a", "b"), [(1,)])
+    with pytest.raises(ValueError):
+        format_table((), [])
+
+
+def test_ascii_chart_scales_bars():
+    chart = ascii_chart([1.0, 2.0], width=10)
+    lines = chart.splitlines()
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+
+
+def test_ascii_chart_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart([])

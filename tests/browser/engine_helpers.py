@@ -1,0 +1,15 @@
+"""Shared helper for driving an engine over a page on a fresh handset."""
+
+from repro.core.session import Handset
+
+
+def run_engine(page, engine_cls, config=None):
+    """Load ``page`` with ``engine_cls``; returns (handset, engine,
+    PageLoadResult)."""
+    handset = Handset(config)
+    engine = handset.make_engine(engine_cls, page)
+    results = []
+    engine.load(results.append)
+    handset.sim.run()
+    assert results, "engine never completed"
+    return handset, engine, results[0]

@@ -1,0 +1,78 @@
+"""Browser computation cost model."""
+
+import pytest
+
+from repro.browser.costs import BrowserCosts
+from repro.webpages.objects import ObjectKind, WebObject
+
+
+def make_obj(kind, size_kb, complexity=1.0):
+    return WebObject("o", kind, size_kb * 1000.0, complexity=complexity)
+
+
+def test_scan_cheaper_than_parse():
+    costs = BrowserCosts()
+    html = make_obj(ObjectKind.HTML, 50)
+    css = make_obj(ObjectKind.CSS, 20)
+    assert costs.scan_time(html) < costs.parse_time(html)
+    assert costs.scan_time(css) < costs.parse_time(css)
+
+
+def test_costs_scale_linearly_with_size():
+    costs = BrowserCosts()
+    small = make_obj(ObjectKind.HTML, 10)
+    large = make_obj(ObjectKind.HTML, 40)
+    assert costs.parse_time(large) == pytest.approx(
+        4 * costs.parse_time(small))
+
+
+def test_js_complexity_scales_exec_time():
+    costs = BrowserCosts()
+    plain = make_obj(ObjectKind.JS, 20, complexity=1.0)
+    heavy = make_obj(ObjectKind.JS, 20, complexity=1.5)
+    assert costs.exec_time(heavy) == pytest.approx(
+        1.5 * costs.exec_time(plain))
+
+
+def test_exec_requires_script():
+    costs = BrowserCosts()
+    with pytest.raises(ValueError):
+        costs.exec_time(make_obj(ObjectKind.HTML, 10))
+
+
+def test_decode_handles_both_media_kinds():
+    costs = BrowserCosts()
+    assert costs.decode_time(make_obj(ObjectKind.IMAGE, 10)) > 0
+    assert costs.decode_time(make_obj(ObjectKind.FLASH, 10)) > 0
+
+
+def test_churn_dirty_region_is_capped():
+    costs = BrowserCosts()
+    cap = costs.churn_node_cap
+    assert costs.reflow_time(cap) == costs.reflow_time(cap * 10)
+    assert costs.redraw_time(cap) == costs.redraw_time(cap * 10)
+    assert costs.reflow_time(10) < costs.reflow_time(cap)
+
+
+def test_min_task_time_floor():
+    costs = BrowserCosts()
+    tiny = make_obj(ObjectKind.CSS, 0.00001)
+    assert costs.scan_time(tiny) == costs.min_task_time
+
+
+def test_simple_display_much_cheaper_than_render():
+    costs = BrowserCosts()
+    assert costs.simple_display_time(500) < costs.render_time(500)
+
+
+def test_style_and_layout_is_sum_of_components():
+    costs = BrowserCosts()
+    assert costs.style_and_layout_time(100) == pytest.approx(
+        100 * (costs.style_format_per_node + costs.layout_per_node))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BrowserCosts(parse_html_per_kb=-1)
+    with pytest.raises(ValueError):
+        BrowserCosts(churn_node_cap=0)

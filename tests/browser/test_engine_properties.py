@@ -1,0 +1,104 @@
+"""Property tests: engine invariants over arbitrary generated pages.
+
+Both engines must, for *any* page the generator can produce: download
+exactly the page's bytes, keep the timeline causally ordered, agree with
+each other on the final DOM, and (energy-aware only) keep the phase
+separation and never return to DCH after the channel release.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.browser.energy_aware import EnergyAwareEngine
+from repro.browser.original import OriginalEngine
+from repro.core.session import Handset
+from repro.rrc.states import RrcState
+from repro.webpages.generator import PageSpec, generate_page
+
+page_specs = st.builds(
+    PageSpec,
+    name=st.just("prop"),
+    url=st.just("http://prop.example"),
+    mobile=st.booleans(),
+    seed=st.integers(min_value=0, max_value=99_999),
+    html_kb=st.floats(min_value=2, max_value=60),
+    css_count=st.integers(min_value=0, max_value=2),
+    css_kb=st.floats(min_value=1, max_value=15),
+    js_count=st.integers(min_value=0, max_value=4),
+    js_kb=st.floats(min_value=1, max_value=15),
+    js_complexity=st.floats(min_value=0.5, max_value=1.5),
+    js_dynamic_image_fraction=st.floats(min_value=0, max_value=0.5),
+    js_chain=st.booleans(),
+    image_count=st.integers(min_value=0, max_value=12),
+    image_kb=st.floats(min_value=1, max_value=12),
+    flash_count=st.integers(min_value=0, max_value=1),
+    iframe_count=st.integers(min_value=0, max_value=2),
+)
+
+
+def load_with(engine_cls, page):
+    handset = Handset()
+    engine = handset.make_engine(engine_cls, page)
+    results = []
+    engine.load(results.append)
+    handset.sim.run(max_events=200_000)
+    assert results, "load never completed"
+    return handset, results[0]
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=page_specs)
+def test_property_original_engine_invariants(spec):
+    page = generate_page(spec)
+    handset, result = load_with(OriginalEngine, page)
+    # Everything downloaded, exactly once.
+    labels = [t.label for t in result.transfers]
+    assert sorted(labels) == sorted(page.objects)
+    assert result.bytes_downloaded == pytest.approx(page.total_bytes)
+    # Causal ordering: request <= start <= completion, inside the load.
+    for transfer in result.transfers:
+        assert transfer.requested_at <= transfer.started_at
+        assert transfer.started_at <= transfer.completed_at
+        assert transfer.completed_at <= (result.started_at
+                                         + result.load_complete_time + 1e-9)
+    # Accounting sanity.
+    assert result.load_complete_time > 0
+    assert result.tx_compute_time > 0
+    assert result.final_display_time <= result.load_complete_time + 1e-9
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=page_specs)
+def test_property_energy_aware_engine_invariants(spec):
+    page = generate_page(spec)
+    handset, result = load_with(EnergyAwareEngine, page)
+    # Phase separation: nothing arrives after the tx phase ends.
+    tx_end = result.started_at + result.data_transmission_time
+    for transfer in result.transfers:
+        assert transfer.completed_at <= tx_end + 1e-9
+    # Never back to DCH after the release.
+    handset.machine.finalize()
+    release = tx_end + handset.ril.total_latency
+    for segment in handset.machine.segments:
+        if segment.start >= release + 1e-9:
+            assert segment.mode.state is not RrcState.DCH
+    # No reflow/redraw churn, ever.
+    assert result.reflow_count == 0
+    assert result.redraw_count == 0
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=page_specs)
+def test_property_engines_agree_on_page_content(spec):
+    page = generate_page(spec)
+    _, original = load_with(OriginalEngine, page)
+    _, ours = load_with(EnergyAwareEngine, page)
+    assert {t.label for t in original.transfers} \
+        == {t.label for t in ours.transfers}
+    assert original.dom_nodes == ours.dom_nodes
+    assert ours.data_transmission_time \
+        <= original.data_transmission_time + 1e-9

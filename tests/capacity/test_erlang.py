@@ -1,0 +1,47 @@
+"""Erlang-B analytic formula."""
+
+import pytest
+
+from repro.capacity.erlang import erlang_b, offered_load
+
+
+def test_known_values():
+    # Classic Erlang-B table entries.
+    assert erlang_b(1, 1.0) == pytest.approx(0.5)
+    assert erlang_b(2, 1.0) == pytest.approx(0.2)
+    assert erlang_b(2, 2.0) == pytest.approx(0.4)
+
+
+def test_zero_load_never_blocks():
+    assert erlang_b(10, 0.0) == 0.0
+
+
+def test_blocking_monotone_in_load():
+    previous = 0.0
+    for load in (10, 50, 100, 180, 250):
+        current = erlang_b(200, load)
+        assert current >= previous
+        previous = current
+
+
+def test_blocking_monotone_decreasing_in_channels():
+    for channels in (10, 20, 40):
+        assert erlang_b(channels, 15.0) > erlang_b(channels * 2, 15.0)
+
+
+def test_heavy_overload_blocks_most_traffic():
+    assert erlang_b(10, 1000.0) > 0.98
+
+
+def test_offered_load():
+    # 500 users, one session per 25 s, 10 s holding time = 200 erlangs.
+    assert offered_load(500, 25.0, 10.0) == pytest.approx(200.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        erlang_b(0, 1.0)
+    with pytest.raises(ValueError):
+        erlang_b(10, -1.0)
+    with pytest.raises(ValueError):
+        offered_load(0, 25.0, 10.0)

@@ -1,0 +1,78 @@
+"""Finite-source (Engset-style) capacity model."""
+
+import pytest
+
+from repro.capacity.finite_source import FiniteSourceCapacitySimulator
+from repro.capacity.simulator import (
+    CapacityConfig,
+    CapacitySimulator,
+    capacity_at_drop_target,
+)
+
+
+def make(service=10.0, channels=50, horizon=7200.0):
+    return FiniteSourceCapacitySimulator(
+        [service], CapacityConfig(n_channels=channels, horizon=horizon,
+                                  seed=1))
+
+
+def test_light_load_never_drops():
+    result = make(service=1.0).run(10)
+    assert result.dropped == 0
+
+
+def test_drop_probability_monotone_in_users():
+    simulator = make(service=20.0, channels=40)
+    probabilities = [simulator.run(n).drop_probability
+                     for n in (50, 150, 400, 900)]
+    assert probabilities == sorted(probabilities)
+
+
+def test_seeded_runs_reproducible():
+    simulator = make()
+    a = simulator.run(200, seed=4)
+    b = simulator.run(200, seed=4)
+    assert (a.sessions, a.dropped) == (b.sessions, b.dropped)
+
+
+def test_supports_more_users_than_infinite_source():
+    """Think-time gating throttles each user's demand, so the same
+    channel pool supports more finite-source users at equal blocking."""
+    service, channels = 20.0, 50
+    config = CapacityConfig(n_channels=channels, horizon=7200.0, seed=2)
+    finite = FiniteSourceCapacitySimulator([service], config)
+    infinite = CapacitySimulator([service], config)
+    finite_capacity = capacity_at_drop_target(finite, 0.02, seed=2)
+    infinite_capacity = capacity_at_drop_target(infinite, 0.02, seed=2)
+    assert finite_capacity > infinite_capacity
+
+
+def test_capacity_gain_damped_vs_infinite_source():
+    """The Fig. 11 discussion: shortening the holding time buys
+    relatively less capacity when think time gates arrivals."""
+    config = CapacityConfig(n_channels=50, horizon=7200.0, seed=3)
+
+    def gain(simulator_cls):
+        slow = simulator_cls([14.0], config)
+        fast = simulator_cls([10.0], config)
+        slow_capacity = capacity_at_drop_target(slow, 0.02, seed=3)
+        fast_capacity = capacity_at_drop_target(fast, 0.02, seed=3)
+        return fast_capacity / slow_capacity - 1.0
+
+    assert gain(FiniteSourceCapacitySimulator) \
+        < gain(CapacitySimulator)
+
+
+def test_sessions_counted_per_user_cycle():
+    result = make(service=2.0, channels=200, horizon=3600.0).run(5)
+    # Each user cycles think(25) + service(2): ~130 sessions/user-hour.
+    assert 400 <= result.sessions <= 900
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FiniteSourceCapacitySimulator([])
+    with pytest.raises(ValueError):
+        FiniteSourceCapacitySimulator([-1.0])
+    with pytest.raises(ValueError):
+        make().run(0)

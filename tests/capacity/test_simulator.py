@@ -1,0 +1,93 @@
+"""M/G/N/N capacity simulator, cross-checked against Erlang-B."""
+
+import numpy as np
+import pytest
+
+from repro.capacity.erlang import erlang_b, offered_load
+from repro.capacity.simulator import (
+    CapacityConfig,
+    CapacitySimulator,
+    capacity_at_drop_target,
+)
+
+
+def make_simulator(service=10.0, channels=50, horizon=3600.0):
+    return CapacitySimulator(
+        [service], CapacityConfig(n_channels=channels, horizon=horizon,
+                                  seed=1))
+
+
+def test_no_drops_under_light_load():
+    simulator = make_simulator(service=1.0, channels=50)
+    result = simulator.run(n_users=10)
+    assert result.dropped == 0
+    assert result.drop_probability == 0.0
+
+
+def test_heavy_load_drops_sessions():
+    simulator = make_simulator(service=60.0, channels=10)
+    result = simulator.run(n_users=200)
+    assert result.drop_probability > 0.5
+
+
+def test_drop_probability_monotone_in_users():
+    simulator = make_simulator(service=20.0, channels=40)
+    probabilities = [simulator.run(n).drop_probability
+                     for n in (20, 60, 120, 240)]
+    assert probabilities == sorted(probabilities)
+
+
+def test_runs_are_seeded():
+    simulator = make_simulator()
+    a = simulator.run(100, seed=9)
+    b = simulator.run(100, seed=9)
+    assert (a.sessions, a.dropped) == (b.sessions, b.dropped)
+
+
+def test_simulation_matches_erlang_b():
+    """Property (insensitivity): with deterministic service times the
+    simulated loss probability matches the analytic Erlang-B value."""
+    channels, users, service = 30, 90, 12.0
+    simulator = CapacitySimulator(
+        [service], CapacityConfig(n_channels=channels, horizon=40_000.0,
+                                  seed=3))
+    load = offered_load(users, 25.0, service)
+    analytic = erlang_b(channels, load)
+    simulated = simulator.run(users).drop_probability
+    assert simulated == pytest.approx(analytic, abs=0.02)
+
+
+def test_empirical_service_distribution_sampled():
+    simulator = CapacitySimulator([5.0, 15.0],
+                                  CapacityConfig(horizon=1000.0))
+    assert simulator.mean_service_time == pytest.approx(10.0)
+
+
+def test_shorter_service_supports_more_users():
+    """The Fig. 11 mechanism."""
+    fast = make_simulator(service=10.0, channels=50, horizon=7200.0)
+    slow = make_simulator(service=14.0, channels=50, horizon=7200.0)
+    fast_capacity = capacity_at_drop_target(fast, 0.02, seed=2)
+    slow_capacity = capacity_at_drop_target(slow, 0.02, seed=2)
+    assert fast_capacity > slow_capacity
+
+
+def test_capacity_binary_search_is_tight():
+    simulator = make_simulator(service=10.0, channels=50, horizon=7200.0)
+    capacity = capacity_at_drop_target(simulator, 0.02, seed=2)
+    assert simulator.run(capacity, seed=2).drop_probability <= 0.02
+    assert simulator.run(capacity + 25, seed=2).drop_probability > 0.02
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CapacitySimulator([])
+    with pytest.raises(ValueError):
+        CapacitySimulator([0.0])
+    with pytest.raises(ValueError):
+        CapacityConfig(n_channels=0)
+    simulator = make_simulator()
+    with pytest.raises(ValueError):
+        simulator.run(0)
+    with pytest.raises(ValueError):
+        capacity_at_drop_target(simulator, 0.0)

@@ -1,0 +1,82 @@
+"""Shared fixtures.
+
+Expensive artefacts (benchmark comparisons, the synthetic trace, trained
+predictors) are session-scoped: they are deterministic, so computing
+them once keeps the suite fast without coupling tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.comparison import benchmark_comparison
+from repro.core.session import Handset
+from repro.prediction.predictor import ReadingTimePredictor
+from repro.traces.generator import TraceConfig, generate_trace
+from repro.webpages.generator import PageSpec, generate_page
+
+
+@pytest.fixture
+def handset() -> Handset:
+    """A fresh simulated handset with default (paper) configuration."""
+    return Handset()
+
+
+@pytest.fixture(scope="session")
+def small_page():
+    """A small deterministic page: 1 CSS, 1 JS (with a dynamic image),
+    4 images."""
+    spec = PageSpec(name="tiny", url="http://tiny.example", mobile=True,
+                    seed=5, html_kb=20, css_count=1, css_kb=8, js_count=1,
+                    js_kb=10, image_count=4, image_kb=6,
+                    js_dynamic_image_fraction=0.25)
+    return generate_page(spec)
+
+
+@pytest.fixture(scope="session")
+def full_page():
+    """A full-version page with flash, iframe and chained scripts."""
+    spec = PageSpec(name="big", url="http://big.example", mobile=False,
+                    seed=9, html_kb=80, css_count=2, css_kb=20, js_count=4,
+                    js_kb=20, js_complexity=1.2, image_count=18,
+                    image_kb=10, flash_count=1, flash_kb=40,
+                    iframe_count=1, iframe_kb=8, js_chain=True,
+                    page_height=5000, page_width=1024)
+    return generate_page(spec)
+
+
+@pytest.fixture(scope="session")
+def small_trace_config() -> TraceConfig:
+    """A reduced trace: quick to generate, same statistical machinery."""
+    return TraceConfig(n_users=12, mean_views_per_user=90, catalog_size=40,
+                       seed=99)
+
+
+@pytest.fixture(scope="session")
+def small_trace(small_trace_config):
+    return generate_trace(small_trace_config).filter_reading_time()
+
+
+@pytest.fixture(scope="session")
+def default_trace():
+    """The full default 40-user trace (used by statistical tests)."""
+    return generate_trace().filter_reading_time()
+
+
+@pytest.fixture(scope="session")
+def trained_predictor(small_trace) -> ReadingTimePredictor:
+    """A predictor trained on the reduced trace (fewer trees for speed)."""
+    predictor = ReadingTimePredictor(n_estimators=60, interest_threshold=2.0)
+    return predictor.fit(small_trace)
+
+
+@pytest.fixture(scope="session")
+def mobile_comparisons():
+    """Engine comparisons over the mobile benchmark (computed once)."""
+    return benchmark_comparison(mobile=True, reading_time=20.0)
+
+
+@pytest.fixture(scope="session")
+def full_comparisons():
+    """Engine comparisons over the full-version benchmark."""
+    return benchmark_comparison(mobile=False, reading_time=20.0)

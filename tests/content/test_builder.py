@@ -1,0 +1,75 @@
+"""Source bundles and graph re-derivation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.content.builder import derive_graph, synthesize_sources
+from repro.webpages.corpus import find_page
+from repro.webpages.generator import PageSpec, generate_page
+from repro.webpages.objects import ObjectKind
+
+
+def test_every_textual_object_gets_source(full_page):
+    sources = synthesize_sources(full_page)
+    for obj in full_page.objects.values():
+        if obj.kind.is_multimedia:
+            assert obj.object_id in sources.media_bytes
+        else:
+            assert obj.object_id in sources.text
+
+
+def test_media_source_lookup_raises(full_page):
+    sources = synthesize_sources(full_page)
+    image = next(o for o in full_page.objects.values()
+                 if o.kind is ObjectKind.IMAGE)
+    with pytest.raises(KeyError):
+        sources.source_of(image.object_id)
+
+
+def test_derived_graph_matches_declared_graph(full_page):
+    sources = synthesize_sources(full_page)
+    graph = derive_graph(sources)
+    assert set(graph) == set(full_page.objects)
+    for object_id, refs in graph.items():
+        assert set(refs) == set(full_page.objects[object_id].references)
+
+
+def test_benchmark_page_roundtrip():
+    page = find_page("espn.go.com/sports")
+    graph = derive_graph(synthesize_sources(page, seed=11))
+    assert set(graph) == set(page.objects)
+
+
+def test_root_element_count_tracks_dom_nodes(full_page):
+    from repro.content.html import parse_html
+    sources = synthesize_sources(full_page)
+    tree = parse_html(sources.source_of(full_page.root_id))
+    assert tree.count_elements() == pytest.approx(
+        full_page.root.dom_nodes, abs=2)
+
+
+def test_sources_deterministic(full_page):
+    a = synthesize_sources(full_page, seed=5)
+    b = synthesize_sources(full_page, seed=5)
+    assert a.text == b.text
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       js=st.integers(min_value=0, max_value=5),
+       images=st.integers(min_value=0, max_value=15),
+       css=st.integers(min_value=0, max_value=3),
+       chain=st.booleans())
+def test_property_arbitrary_pages_roundtrip(seed, js, images, css, chain):
+    """Property: for arbitrary generated pages, discovering the page
+    from its sources alone reproduces the declared object graph."""
+    spec = PageSpec(name=f"prop{seed}", url="http://prop", mobile=False,
+                    seed=seed, html_kb=30, css_count=css, js_count=js,
+                    image_count=images, js_chain=chain,
+                    js_dynamic_image_fraction=0.4, iframe_count=1)
+    page = generate_page(spec)
+    graph = derive_graph(synthesize_sources(page, seed=seed))
+    assert set(graph) == set(page.objects)
+    for object_id, refs in graph.items():
+        assert set(refs) == set(page.objects[object_id].references)

@@ -1,0 +1,61 @@
+"""CSS synthesis, scanning, parsing."""
+
+import pytest
+
+from repro.content.css import (
+    CssSyntaxError,
+    parse_css,
+    scan_css_urls,
+    synthesize_css,
+)
+
+
+def test_scan_extracts_backgrounds():
+    sheet = synthesize_css(["img/a.png", "img/b.png"], target_rules=12,
+                           seed=0)
+    assert scan_css_urls(sheet) == ["img/a.png", "img/b.png"]
+
+
+def test_scan_handles_quotes():
+    assert scan_css_urls('x { background: url("a.png"); }') == ["a.png"]
+    assert scan_css_urls("x { background: url('b.png'); }") == ["b.png"]
+
+
+def test_parse_produces_requested_rule_count():
+    sheet = synthesize_css(["a.png"], target_rules=25, seed=1)
+    assert len(parse_css(sheet)) == 25
+
+
+def test_parse_rule_contents():
+    rules = parse_css("p { color: red; margin: 0 }")
+    assert rules[0].selector == "p"
+    assert rules[0].declarations == {"color": "red", "margin": "0"}
+
+
+def test_parse_multiple_rules():
+    rules = parse_css("a { color: red; }\nb { width: 2px; }")
+    assert [rule.selector for rule in rules] == ["a", "b"]
+
+
+@pytest.mark.parametrize("bad", [
+    "p { color red }",     # missing colon
+    "p { color: red;",     # unclosed
+    "{ color: red; }",     # no selector
+    "p color: red;",       # stray content
+])
+def test_parse_rejects_malformed(bad):
+    with pytest.raises(CssSyntaxError):
+        parse_css(bad)
+
+
+def test_background_rules_carry_urls_in_declarations():
+    sheet = synthesize_css(["a.png"], target_rules=5, seed=2)
+    rules = parse_css(sheet)
+    assert any("url(a.png)" in value
+               for rule in rules
+               for value in rule.declarations.values())
+
+
+def test_empty_stylesheet():
+    assert parse_css("") == []
+    assert scan_css_urls("") == []

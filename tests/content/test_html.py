@@ -1,0 +1,91 @@
+"""HTML synthesis, scanning, parsing."""
+
+import pytest
+
+from repro.content.html import (
+    HtmlSyntaxError,
+    parse_html,
+    scan_html_urls,
+    synthesize_html,
+)
+
+
+def sample_doc():
+    return synthesize_html(
+        stylesheets=["a.css"], scripts=["b.js"],
+        images=["i1.png", "i2.png"], flash=["f.swf"],
+        iframes=["frame.html"], links=["next.html"],
+        target_elements=40, seed=1)
+
+
+def test_scan_finds_all_resources():
+    urls = scan_html_urls(sample_doc())
+    assert set(urls) == {"a.css", "b.js", "i1.png", "i2.png", "f.swf",
+                         "frame.html"}
+
+
+def test_scan_ignores_plain_links():
+    # <a href> is a navigation link, not a fetched resource.
+    assert "next.html" not in scan_html_urls(sample_doc())
+
+
+def test_parser_agrees_with_scanner():
+    doc = sample_doc()
+    assert set(parse_html(doc).resource_urls()) == set(scan_html_urls(doc))
+
+
+def test_parser_builds_requested_element_count():
+    for target in (10, 40, 120):
+        doc = synthesize_html([], [], [], target_elements=target, seed=2)
+        assert parse_html(doc).count_elements() == pytest.approx(
+            target, abs=2)
+
+
+def test_parser_tree_structure():
+    tree = parse_html(sample_doc())
+    assert tree.tag == "html"
+    assert [child.tag for child in tree.children] == ["head", "body"]
+    assert tree.find_all("img")
+    assert len(tree.find_all("link")) == 1
+
+
+def test_parse_attributes():
+    tree = parse_html('<html><body><img src="x.png"></body></html>')
+    (img,) = tree.find_all("img")
+    assert img.attributes == {"src": "x.png"}
+
+
+def test_text_content_collected():
+    tree = parse_html("<html><body><p>hello world</p></body></html>")
+    (paragraph,) = tree.find_all("p")
+    assert paragraph.text == "hello world"
+
+
+@pytest.mark.parametrize("bad", [
+    "<html><body></html>",          # mismatched close
+    "<html><body>",                 # unclosed
+    "</div>",                       # stray close
+    "<html></html><html></html>",   # two roots
+    "",                             # empty
+    "<html",                        # unclosed tag
+])
+def test_parser_rejects_malformed(bad):
+    with pytest.raises(HtmlSyntaxError):
+        parse_html(bad)
+
+
+def test_void_tags_need_no_close():
+    tree = parse_html('<html><body><br><img src="a"></body></html>')
+    assert tree.count_elements() == 4
+
+
+def test_synthesis_is_deterministic():
+    assert sample_doc() == sample_doc()
+
+
+def test_count_links():
+    from repro.content.html import count_links
+    doc = synthesize_html([], [], [], links=["a.html", "b.html"],
+                          target_elements=20, seed=3)
+    assert count_links(doc) == 2
+    assert count_links("<html><body></body></html>") == 0

@@ -1,0 +1,114 @@
+"""The miniature script language."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.content.script import (
+    ScriptError,
+    execute_script,
+    scan_script_urls,
+    synthesize_script,
+)
+
+
+def test_execute_basic_program():
+    result = execute_script('\n'.join([
+        'let base = "img/photo"',
+        'fetch concat(base, ".png")',
+        'append 3',
+        'compute 10',
+    ]))
+    assert result.fetched_urls == ["img/photo.png"]
+    assert result.dom_nodes_appended == 3
+    assert result.work_units == 10
+
+
+def test_repeat_block():
+    result = execute_script("repeat 4 {\n  append 2\n  compute 5\n}")
+    assert result.dom_nodes_appended == 8
+    assert result.work_units == 20
+
+
+def test_nested_repeat():
+    result = execute_script(
+        "repeat 2 {\n  repeat 3 {\n    append 1\n  }\n}")
+    assert result.dom_nodes_appended == 6
+
+
+def test_concat_of_ints_and_strings():
+    result = execute_script('\n'.join([
+        'let n = 7',
+        'fetch concat("img", n)',
+    ]))
+    assert result.fetched_urls == ["img7"]
+
+
+def test_static_scan_cannot_see_constructed_urls():
+    """The paper's point: scripts must be executed to learn their
+    fetches."""
+    program = synthesize_script(["site/img4", "site/data.json"], seed=3)
+    assert scan_script_urls(program) == []
+    executed = execute_script(program)
+    assert executed.fetched_urls == ["site/img4", "site/data.json"]
+
+
+def test_static_scan_sees_literal_fetches():
+    assert scan_script_urls('fetch "plain.png"') == ["plain.png"]
+
+
+def test_synthesized_budget_matches():
+    program = synthesize_script(["u1"], dom_nodes=5, work_units=47, seed=0)
+    result = execute_script(program)
+    assert result.dom_nodes_appended == 5
+    assert result.work_units == 47
+
+
+def test_synthesize_without_nodes():
+    program = synthesize_script([], dom_nodes=0, work_units=9, seed=0)
+    result = execute_script(program)
+    assert result.dom_nodes_appended == 0
+    assert result.work_units == 9
+
+
+@pytest.mark.parametrize("bad", [
+    "fetch 5",                      # fetch needs a string
+    "explode now",                  # unknown statement
+    "append nope",                  # undefined name
+    "let 9x = 1",                   # bad identifier
+    'fetch "unterminated',          # bad literal
+    "repeat 2 {\n  append 1",       # unclosed block
+    "append -1",                    # negative count
+])
+def test_runtime_and_syntax_errors(bad):
+    with pytest.raises(ScriptError):
+        execute_script(bad)
+
+
+def test_step_budget_guards_against_blowups():
+    with pytest.raises(ScriptError, match="step budget"):
+        execute_script(
+            "repeat 1000 {\n  repeat 1000 {\n    compute 1\n  }\n}")
+
+
+def test_comments_and_blank_lines_ignored():
+    result = execute_script("# a comment\n\nappend 1\n")
+    assert result.dom_nodes_appended == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.text(alphabet="abcxyz/.0123456789", min_size=1,
+                        max_size=30), min_size=0, max_size=6),
+       st.integers(min_value=0, max_value=20),
+       st.integers(min_value=0, max_value=200),
+       st.integers(min_value=0, max_value=1000))
+def test_property_synthesis_execution_roundtrip(urls, nodes, work, seed):
+    """Property: whatever budget the synthesiser is given, execution
+    reproduces it exactly, and the static scan stays blind."""
+    program = synthesize_script(urls, dom_nodes=nodes, work_units=work,
+                                seed=seed)
+    result = execute_script(program)
+    assert result.fetched_urls == list(urls)
+    assert result.dom_nodes_appended == nodes
+    assert result.work_units == work
+    assert scan_script_urls(program) == []

@@ -1,0 +1,99 @@
+"""Multi-page sessions on a single handset."""
+
+import pytest
+
+from repro.browser.energy_aware import EnergyAwareEngine
+from repro.browser.original import OriginalEngine
+from repro.core.browsing import (
+    PageVisit,
+    browse_session,
+    compare_session_policies,
+)
+from repro.prediction.policy import AlwaysOffPolicy, OraclePolicy
+
+
+@pytest.fixture
+def visits(small_page, full_page):
+    return [
+        PageVisit(small_page, reading_time=3.0),    # quick hop
+        PageVisit(full_page, reading_time=30.0),    # long read
+        PageVisit(small_page, reading_time=12.0),
+    ]
+
+
+def test_session_replays_every_visit(visits):
+    outcome = browse_session(visits, OriginalEngine)
+    assert len(outcome.visits) == 3
+    assert [v.page_url for v in outcome.visits] \
+        == [v.page.url for v in visits]
+    assert outcome.total_time > 0
+    assert outcome.total_energy > 0
+
+
+def test_total_energy_is_sum_of_visits(visits):
+    outcome = browse_session(visits, OriginalEngine)
+    assert outcome.total_energy == pytest.approx(
+        sum(v.energy for v in outcome.visits))
+
+
+def test_radio_state_carries_across_pages(small_page):
+    """A quick click catches the radio warm: only the first page of a
+    rapid-fire session pays the IDLE promotion."""
+    quick = [PageVisit(small_page, reading_time=1.0) for _ in range(3)]
+    handset_outcome = browse_session(quick, OriginalEngine)
+    # Reconstruct the handset via a fresh replay to inspect the machine.
+    from repro.core.session import Handset
+    device = Handset()
+    browse_session(quick, OriginalEngine, handset=device)
+    assert device.machine.promotions["IDLE"] == 1
+    assert handset_outcome.total_energy > 0
+
+
+def test_long_reads_behind_oracle_cause_idle_promotions(small_page):
+    """With Algorithm 2 switching on long reads, the *next* page must
+    promote from IDLE — the Fig. 3 trade-off at session level."""
+    from repro.core.session import Handset
+    long_reads = [PageVisit(small_page, reading_time=30.0)
+                  for _ in range(3)]
+    device = Handset()
+    browse_session(long_reads, EnergyAwareEngine, handset=device,
+                   policy=OraclePolicy(threshold=20.0))
+    assert device.machine.promotions["IDLE"] == 3
+    assert device.machine.fast_dormancy_count == 3
+
+
+def test_policy_saves_energy_on_long_reads(small_page, full_page):
+    session = [PageVisit(full_page, 40.0), PageVisit(small_page, 40.0)]
+    results = dict(compare_session_policies(
+        session, EnergyAwareEngine,
+        [("none", None), ("oracle-20", OraclePolicy(20.0))]))
+    assert results["oracle-20"].total_energy \
+        < results["none"].total_energy
+    assert results["oracle-20"].switch_count == 2
+
+
+def test_policy_not_consulted_below_interest_threshold(small_page):
+    outcome = browse_session([PageVisit(small_page, reading_time=1.0)],
+                             EnergyAwareEngine,
+                             policy=AlwaysOffPolicy())
+    assert outcome.visits[0].decision is None
+    assert outcome.switch_count == 0
+
+
+def test_decisions_recorded(small_page):
+    outcome = browse_session([PageVisit(small_page, reading_time=25.0)],
+                             EnergyAwareEngine,
+                             policy=OraclePolicy(20.0))
+    decision = outcome.visits[0].decision
+    assert decision is not None
+    assert decision.switch_to_idle
+
+
+def test_empty_session_rejected():
+    with pytest.raises(ValueError):
+        browse_session([], OriginalEngine)
+
+
+def test_negative_reading_rejected(small_page):
+    with pytest.raises(ValueError):
+        PageVisit(small_page, reading_time=-1.0)

@@ -1,0 +1,67 @@
+"""Handset sessions: load, read, account."""
+
+import pytest
+
+from repro.browser.energy_aware import EnergyAwareEngine
+from repro.browser.original import OriginalEngine
+from repro.core.session import Handset, browse_and_read, load_page
+from repro.rrc.states import RrcState
+
+
+def test_load_page_produces_result_and_energy(small_page):
+    session = load_page(small_page, OriginalEngine)
+    assert session.load.load_complete_time > 0
+    assert session.loading_energy.total > 0
+    assert session.reading_energy.total == 0.0
+    assert session.reading_time == 0.0
+
+
+def test_total_energy_is_sum_of_windows(small_page):
+    session = browse_and_read(small_page, OriginalEngine,
+                              reading_time=10.0)
+    assert session.total_energy == pytest.approx(
+        session.loading_energy.total + session.reading_energy.total)
+
+
+def test_reading_energy_follows_radio_tail(small_page):
+    """Original engine, 20 s reading: the tail spans the rest of T1 plus
+    most of T2, so reading energy sits well above 20 s of IDLE."""
+    session = browse_and_read(small_page, OriginalEngine,
+                              reading_time=20.0)
+    idle_floor = 20.0 * 0.15
+    assert session.reading_energy.total > 2 * idle_floor
+
+
+def test_idle_at_open_cuts_reading_energy(small_page):
+    stay = browse_and_read(small_page, EnergyAwareEngine,
+                           reading_time=20.0, idle_at_open=False)
+    switch = browse_and_read(small_page, EnergyAwareEngine,
+                             reading_time=20.0, idle_at_open=True)
+    assert switch.reading_energy.total < stay.reading_energy.total
+    # With the switch, the 20 s reading is essentially all IDLE.
+    assert switch.reading_energy.total == pytest.approx(20 * 0.15,
+                                                        rel=0.05)
+
+
+def test_idle_at_open_switches_radio(small_page):
+    session = browse_and_read(small_page, EnergyAwareEngine,
+                              reading_time=5.0, idle_at_open=True)
+    assert session.handset.machine.state is RrcState.IDLE
+    assert session.handset.machine.fast_dormancy_count == 1
+
+
+def test_negative_reading_time_rejected(small_page):
+    with pytest.raises(ValueError):
+        browse_and_read(small_page, OriginalEngine, reading_time=-1.0)
+
+
+def test_handset_reuse_possible(small_page):
+    handset = Handset()
+    first = load_page(small_page, OriginalEngine, handset=handset)
+    assert first.handset is handset
+
+
+def test_energy_aware_loading_cheaper_on_full_pages(full_page):
+    original = load_page(full_page, OriginalEngine)
+    ours = load_page(full_page, EnergyAwareEngine)
+    assert ours.loading_energy.total < original.loading_energy.total

@@ -1,0 +1,113 @@
+"""Cheap experiments: exact calibration targets and report rendering."""
+
+import pytest
+
+from repro.experiments import (
+    fig01_power_states,
+    fig03_intuitive_switching,
+    fig04_traffic_load,
+    fig07_reading_cdf,
+    table04_correlation,
+    table05_state_power,
+    table07_prediction_cost,
+)
+
+
+def test_fig01_state_powers_match_table5():
+    result = fig01_power_states.run()
+    assert result.mean_power_by_state["IDLE"] == pytest.approx(0.15)
+    assert result.mean_power_by_state["FACH"] == pytest.approx(0.63)
+    assert result.mean_power_by_state["DCH"] == pytest.approx(1.25,
+                                                              abs=0.11)
+    assert "Fig. 1" in result.report()
+
+
+def test_fig01_timeline_walks_all_states():
+    result = fig01_power_states.run()
+    modes = " ".join(result.timeline)
+    for token in ("idle", "promo_idle_dch", "dch_tx", "fach"):
+        assert token in modes
+
+
+def test_fig03_breakeven_at_nine_seconds():
+    result = fig03_intuitive_switching.run()
+    assert result.crossover == 9
+    assert result.extra_delay == pytest.approx(1.75)
+
+
+def test_fig03_savings_negative_below_and_positive_above():
+    result = fig03_intuitive_switching.run()
+    for point in result.points:
+        if point.interval < 9:
+            assert point.saving < 0.05
+        if point.interval > 9:
+            assert point.saving > 0
+
+
+def test_fig03_saving_monotone_nondecreasing():
+    result = fig03_intuitive_switching.run()
+    savings = [p.saving for p in result.points]
+    assert all(b >= a - 1e-9 for a, b in zip(savings, savings[1:]))
+
+
+def test_fig04_browsing_much_slower_than_bulk():
+    result = fig04_traffic_load.run()
+    assert result.browsing_duration > 2.0 * result.bulk_duration
+    assert result.total_kb == pytest.approx(760, rel=0.08)
+
+
+def test_fig04_traffic_is_spread_not_compact():
+    result = fig04_traffic_load.run()
+    busy = [s.kilobytes for s in result.browsing_series
+            if s.kilobytes > 0.5]
+    bulk_busy = [s.kilobytes for s in result.bulk_series
+                 if s.kilobytes > 0.5]
+    # Browsing dribbles: its per-bucket rate sits well below the bulk
+    # socket's line rate, and it occupies more buckets.
+    assert len(busy) > len(bulk_busy)
+    assert (sum(bulk_busy) / len(bulk_busy)
+            > 1.4 * sum(busy) / len(busy))
+
+
+def test_fig07_cdf_anchors():
+    result = fig07_reading_cdf.run()
+    for threshold, paper, ours in result.anchors:
+        assert ours == pytest.approx(paper, abs=3.0)
+
+
+def test_table04_no_notable_correlation():
+    result = table04_correlation.run()
+    assert result.max_abs < 0.12
+    assert set(result.correlations) == {
+        "transmission_time", "page_size_kb", "download_objects",
+        "download_js_files", "download_figures", "figure_size_kb",
+        "js_running_time", "second_urls", "page_height", "page_width"}
+
+
+def test_table05_measured_matches_paper():
+    result = table05_state_power.run()
+    for label, paper_value in (
+            ("IDLE state", 0.15), ("FACH state", 0.63),
+            ("DCH state without transmission", 1.15),
+            ("DCH state with transmission", 1.25),
+            ("Fully running CPU (IDLE state)", 0.60)):
+        assert result.measured[label] == pytest.approx(paper_value,
+                                                       abs=0.02)
+
+
+def test_table07_linear_scaling():
+    result = table07_prediction_cost.run(repetitions=5)
+    times = [row.execution_time for row in result.rows]
+    assert times[0] < times[1] < times[2]
+    # 20x the trees should cost roughly 20x the time (generous band:
+    # host timers are noisy at sub-millisecond scales).
+    assert 8 <= times[2] / times[0] <= 50
+    for row in result.rows:
+        assert 5 <= row.nodes_per_tree <= 9  # paper: 8 nodes per tree
+
+
+def test_reports_render(capsys):
+    for module in (fig03_intuitive_switching, fig07_reading_cdf,
+                   table04_correlation):
+        text = module.run().report()
+        assert len(text.splitlines()) > 3

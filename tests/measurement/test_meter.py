@@ -1,0 +1,89 @@
+"""Power accountant: windowed energy integration."""
+
+import pytest
+
+from repro.measurement.meter import PowerAccountant
+from repro.rrc.machine import RrcMachine
+from repro.sim.kernel import Simulator
+from repro.sim.process import CpuProcess, CpuTask
+
+
+def idle_handset(duration=10.0):
+    sim = Simulator()
+    machine = RrcMachine(sim)
+    cpu = CpuProcess(sim)
+    sim.run(until=duration)
+    return sim, machine, cpu
+
+
+def test_idle_energy_is_baseline_power_times_time():
+    sim, machine, cpu = idle_handset(10.0)
+    accountant = PowerAccountant(machine, cpu)
+    breakdown = accountant.energy(0.0, 10.0)
+    assert breakdown.radio == pytest.approx(10 * 0.15)
+    assert breakdown.cpu == 0.0
+    assert breakdown.signalling == 0.0
+
+
+def test_cpu_energy_added_on_top():
+    sim = Simulator()
+    machine = RrcMachine(sim)
+    cpu = CpuProcess(sim)
+    cpu.submit(CpuTask("work", 4.0))
+    sim.run(until=10.0)
+    accountant = PowerAccountant(machine, cpu)
+    breakdown = accountant.energy(0.0, 10.0)
+    assert breakdown.cpu == pytest.approx(4.0 * 0.45)
+    assert breakdown.total == pytest.approx(10 * 0.15 + 4 * 0.45)
+
+
+def test_window_clipping_of_cpu_intervals():
+    sim = Simulator()
+    machine = RrcMachine(sim)
+    cpu = CpuProcess(sim)
+    cpu.submit(CpuTask("work", 6.0))
+    sim.run(until=10.0)
+    accountant = PowerAccountant(machine, cpu)
+    # Window covers only half of the busy interval.
+    assert accountant.energy(3.0, 10.0).cpu == pytest.approx(3.0 * 0.45)
+
+
+def test_signalling_counted_in_window_only():
+    sim = Simulator()
+    machine = RrcMachine(sim)
+    machine.acquire_channel(lambda: None)
+    sim.run(until=10.0)
+    accountant = PowerAccountant(machine)
+    assert accountant.energy(0.0, 1.0).signalling == pytest.approx(
+        machine.config.promo_idle_signalling_energy)
+    assert accountant.energy(5.0, 10.0).signalling == 0.0
+
+
+def test_windows_are_additive():
+    sim = Simulator()
+    machine = RrcMachine(sim)
+    cpu = CpuProcess(sim)
+    machine.acquire_channel(lambda: None)
+    cpu.submit(CpuTask("work", 3.0))
+    sim.run(until=12.0)
+    accountant = PowerAccountant(machine, cpu)
+    whole = accountant.total_energy(0.0, 12.0)
+    parts = (accountant.total_energy(0.0, 4.0)
+             + accountant.total_energy(4.0, 9.0)
+             + accountant.total_energy(9.0, 12.0))
+    assert whole == pytest.approx(parts)
+
+
+def test_mean_power():
+    sim, machine, cpu = idle_handset(8.0)
+    accountant = PowerAccountant(machine, cpu)
+    assert accountant.mean_power(0.0, 8.0) == pytest.approx(0.15)
+    with pytest.raises(ValueError):
+        accountant.mean_power(5.0, 5.0)
+
+
+def test_reversed_window_rejected():
+    sim, machine, cpu = idle_handset()
+    accountant = PowerAccountant(machine, cpu)
+    with pytest.raises(ValueError):
+        accountant.energy(5.0, 1.0)

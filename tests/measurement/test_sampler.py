@@ -1,0 +1,91 @@
+"""4 Hz power-trace sampler."""
+
+import pytest
+
+from repro.measurement.meter import PowerAccountant
+from repro.measurement.sampler import PowerSampler
+from repro.rrc.machine import RrcMachine
+from repro.rrc.states import RadioMode
+from repro.sim.kernel import Simulator
+from repro.sim.process import CpuProcess, CpuTask
+
+
+def tour_handset():
+    """Drive a handset through IDLE → promo → tx → tail → IDLE."""
+    sim = Simulator()
+    machine = RrcMachine(sim)
+    cpu = CpuProcess(sim)
+    sim.schedule(2.0, lambda: machine.acquire_channel(
+        lambda: (machine.tx_begin(),
+                 sim.schedule(1.0, machine.tx_end))))
+    sim.run()
+    return sim, machine, cpu
+
+
+def test_default_interval_matches_paper():
+    assert PowerSampler.DEFAULT_INTERVAL == 0.25
+
+
+def test_samples_cover_window_at_fixed_rate():
+    sim, machine, cpu = tour_handset()
+    trace = PowerSampler(machine, cpu).trace(start=0.0, end=10.0)
+    assert len(trace.samples) == 41  # inclusive endpoints at 4 Hz
+    assert trace.times[1] - trace.times[0] == pytest.approx(0.25)
+
+
+def test_idle_samples_at_baseline():
+    sim, machine, cpu = tour_handset()
+    trace = PowerSampler(machine, cpu).trace(start=0.0, end=1.5)
+    assert all(s.watts == pytest.approx(0.15) for s in trace.samples)
+    assert all(s.mode is RadioMode.IDLE for s in trace.samples)
+
+
+def test_tx_samples_at_dch_tx_power():
+    sim, machine, cpu = tour_handset()
+    promo = machine.config.promo_idle_latency
+    trace = PowerSampler(machine, cpu).trace(start=2.0 + promo + 0.25,
+                                             end=2.0 + promo + 0.75)
+    assert all(s.watts == pytest.approx(1.25) for s in trace.samples)
+
+
+def test_cpu_power_appears_in_samples():
+    sim = Simulator()
+    machine = RrcMachine(sim)
+    cpu = CpuProcess(sim)
+    cpu.submit(CpuTask("busy", 2.0))
+    sim.run(until=4.0)
+    trace = PowerSampler(machine, cpu).trace(start=0.0, end=4.0)
+    busy = [s for s in trace.samples if s.time < 2.0]
+    idle = [s for s in trace.samples if s.time > 2.0]
+    assert all(s.watts == pytest.approx(0.60) for s in busy)
+    assert all(s.watts == pytest.approx(0.15) for s in idle)
+
+
+def test_promotion_burst_visible_as_spike():
+    """Signalling energy must appear in the trace (spread over the
+    promotion segment), like the current spike the paper's rig sees."""
+    sim, machine, cpu = tour_handset()
+    promo = machine.config.promo_idle_latency
+    trace = PowerSampler(machine, cpu).trace(start=2.3, end=2.0 + promo - 0.3)
+    burst = machine.config.promo_idle_signalling_energy / promo
+    assert all(s.watts == pytest.approx(1.25 + burst) for s in trace.samples)
+
+
+def test_trace_energy_close_to_accountant():
+    sim, machine, cpu = tour_handset()
+    sim.run(until=30.0)
+    trace = PowerSampler(machine, cpu).trace(start=0.0, end=30.0,
+                                             interval=0.05)
+    exact = PowerAccountant(machine, cpu).total_energy(0.0, 30.0)
+    assert trace.energy() == pytest.approx(exact, rel=0.05)
+
+
+def test_invalid_interval_rejected():
+    sim, machine, cpu = tour_handset()
+    with pytest.raises(ValueError):
+        PowerSampler(machine, cpu).trace(interval=0.0)
+
+
+def test_mean_power_of_empty_trace_is_zero():
+    from repro.measurement.sampler import PowerTrace
+    assert PowerTrace(interval=0.25, samples=[]).mean_power() == 0.0

@@ -1,0 +1,51 @@
+"""Linear baseline."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegressor
+from repro.ml.metrics import r2_score
+
+
+def test_recovers_linear_relationship():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(size=(200, 3))
+    y = 2.0 * x[:, 0] - 1.5 * x[:, 2] + 4.0
+    model = LinearRegressor().fit(x, y)
+    assert r2_score(y, model.predict(x)) > 0.999
+
+
+def test_constant_feature_handled():
+    rng = np.random.default_rng(1)
+    x = rng.uniform(size=(50, 2))
+    x[:, 1] = 3.0  # zero variance
+    y = x[:, 0] * 2
+    model = LinearRegressor().fit(x, y)
+    assert r2_score(y, model.predict(x)) > 0.999
+
+
+def test_single_row_prediction():
+    rng = np.random.default_rng(2)
+    x = rng.uniform(size=(30, 2))
+    y = x[:, 0]
+    model = LinearRegressor().fit(x, y)
+    assert model.predict(x[0]).shape == (1,)
+
+
+def test_fails_on_nonmonotone_structure():
+    """The reason the paper needs trees: a bump is invisible to OLS."""
+    rng = np.random.default_rng(3)
+    x = rng.uniform(size=(500, 1))
+    y = np.exp(-((x[:, 0] - 0.5) ** 2) / 0.01)  # symmetric bump
+    model = LinearRegressor().fit(x, y)
+    assert r2_score(y, model.predict(x)) < 0.05
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LinearRegressor(l2=-1.0)
+    model = LinearRegressor()
+    with pytest.raises(RuntimeError):
+        model.predict(np.zeros((1, 2)))
+    with pytest.raises(ValueError):
+        model.fit(np.zeros((1, 2)), np.zeros(1))

@@ -1,0 +1,54 @@
+"""Loss functions for boosting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.losses import AbsoluteLoss, SquaredLoss
+
+
+def test_squared_gradient_is_residual():
+    loss = SquaredLoss()
+    y = np.array([1.0, 2.0, 3.0])
+    f = np.array([0.5, 2.0, 4.0])
+    assert np.allclose(loss.negative_gradient(y, f), [0.5, 0.0, -1.0])
+
+
+def test_squared_leaf_value_is_residual_mean():
+    loss = SquaredLoss()
+    y = np.array([1.0, 3.0])
+    f = np.array([0.0, 0.0])
+    assert loss.leaf_value(y, f) == pytest.approx(2.0)
+
+
+def test_absolute_gradient_is_sign():
+    loss = AbsoluteLoss()
+    y = np.array([1.0, 2.0, 3.0])
+    f = np.array([0.0, 2.0, 4.0])
+    assert np.allclose(loss.negative_gradient(y, f), [1.0, 0.0, -1.0])
+
+
+def test_absolute_leaf_value_is_residual_median():
+    loss = AbsoluteLoss()
+    y = np.array([1.0, 2.0, 100.0])
+    f = np.zeros(3)
+    assert loss.leaf_value(y, f) == pytest.approx(2.0)
+
+
+def test_init_estimates_minimise_their_loss():
+    rng = np.random.default_rng(0)
+    y = rng.lognormal(size=200)
+    squared = SquaredLoss()
+    absolute = AbsoluteLoss()
+    # Perturbing the optimum constant can only increase the loss.
+    for delta in (-0.5, 0.5):
+        base = np.full_like(y, squared.init_estimate(y))
+        assert squared.loss(y, base) <= squared.loss(y, base + delta)
+        base = np.full_like(y, absolute.init_estimate(y))
+        assert absolute.loss(y, base) <= absolute.loss(y, base + delta)
+
+
+def test_loss_values():
+    y = np.array([0.0, 2.0])
+    f = np.array([1.0, 1.0])
+    assert SquaredLoss().loss(y, f) == pytest.approx(1.0)
+    assert AbsoluteLoss().loss(y, f) == pytest.approx(1.0)

@@ -1,0 +1,61 @@
+"""Metrics, including the paper's threshold accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    threshold_accuracy,
+)
+
+
+def test_mse_mae_basic():
+    y = [0.0, 2.0]
+    p = [1.0, 1.0]
+    assert mean_squared_error(y, p) == pytest.approx(1.0)
+    assert mean_absolute_error(y, p) == pytest.approx(1.0)
+
+
+def test_perfect_prediction():
+    y = np.array([1.0, 2.0, 3.0])
+    assert mean_squared_error(y, y) == 0.0
+    assert r2_score(y, y) == 1.0
+    assert threshold_accuracy(y, y, threshold=2.5) == 1.0
+
+
+def test_r2_of_mean_predictor_is_zero():
+    y = np.array([1.0, 2.0, 3.0])
+    p = np.full(3, 2.0)
+    assert r2_score(y, p) == pytest.approx(0.0)
+
+
+def test_r2_constant_target():
+    y = np.ones(4)
+    assert r2_score(y, y) == 1.0
+    assert r2_score(y, y + 1) == 0.0
+
+
+def test_threshold_accuracy_counts_same_side_agreement():
+    y_true = np.array([1.0, 5.0, 15.0, 30.0])
+    y_pred = np.array([2.0, 12.0, 14.0, 35.0])
+    # predicted sides wrt 9: (<, >, >, >) vs truth (<, <, >, >): 3 agree
+    assert threshold_accuracy(y_true, y_pred, 9.0) == pytest.approx(0.75)
+
+
+def test_threshold_accuracy_is_threshold_sensitive():
+    y_true = np.array([1.0, 30.0])
+    y_pred = np.array([8.0, 25.0])
+    assert threshold_accuracy(y_true, y_pred, 9.0) == 1.0
+    assert threshold_accuracy(y_true, y_pred, 26.0) == 0.5
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        mean_squared_error([1.0], [1.0, 2.0])
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        r2_score([], [])

@@ -1,0 +1,142 @@
+"""Regression trees: splits, growth limits, prediction, serialisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.tree import RegressionTree
+
+
+def test_single_split_on_step_function():
+    x = np.array([[0.0], [1.0], [2.0], [3.0]])
+    y = np.array([0.0, 0.0, 10.0, 10.0])
+    tree = RegressionTree(max_leaves=2).fit(x, y)
+    assert tree.n_leaves == 2
+    assert tree.predict(np.array([[0.5]]))[0] == pytest.approx(0.0)
+    assert tree.predict(np.array([[2.5]]))[0] == pytest.approx(10.0)
+    assert 1.0 < tree.root.threshold < 2.0
+
+
+def test_constant_target_yields_stump():
+    x = np.random.default_rng(0).uniform(size=(50, 3))
+    y = np.full(50, 7.0)
+    tree = RegressionTree(max_leaves=8).fit(x, y)
+    assert tree.n_leaves == 1
+    assert np.allclose(tree.predict(x), 7.0)
+
+
+def test_max_leaves_respected():
+    rng = np.random.default_rng(1)
+    x = rng.uniform(size=(200, 4))
+    y = rng.normal(size=200)
+    for j in (2, 4, 8):
+        tree = RegressionTree(max_leaves=j).fit(x, y)
+        assert 2 <= tree.n_leaves <= j
+
+
+def test_best_first_picks_highest_gain_split_first():
+    """Feature 1 has 10x the signal of feature 0; with one split
+    available, the tree must use feature 1."""
+    rng = np.random.default_rng(2)
+    x = rng.uniform(size=(300, 2))
+    y = 1.0 * (x[:, 0] > 0.5) + 10.0 * (x[:, 1] > 0.5)
+    tree = RegressionTree(max_leaves=2).fit(x, y)
+    assert tree.root.feature == 1
+
+
+def test_min_samples_leaf_enforced():
+    rng = np.random.default_rng(3)
+    x = rng.uniform(size=(40, 2))
+    y = rng.normal(size=40)
+    tree = RegressionTree(max_leaves=16, min_samples_leaf=10).fit(x, y)
+    for leaf in tree.leaves():
+        assert leaf.n_samples >= 10
+
+
+def test_predict_one_matches_vectorised():
+    rng = np.random.default_rng(4)
+    x = rng.uniform(size=(100, 5))
+    y = rng.normal(size=100)
+    tree = RegressionTree(max_leaves=8).fit(x, y)
+    batch = tree.predict(x[:10])
+    single = [tree.predict_one(row) for row in x[:10]]
+    assert np.allclose(batch, single)
+
+
+def test_apply_matches_leaves_order():
+    rng = np.random.default_rng(5)
+    x = rng.uniform(size=(60, 3))
+    y = rng.normal(size=60)
+    tree = RegressionTree(max_leaves=6).fit(x, y)
+    regions = tree.apply(x)
+    leaves = tree.leaves()
+    for row, region in zip(x, regions):
+        assert tree.predict_one(row) == pytest.approx(leaves[region].value)
+
+
+def test_node_counts():
+    rng = np.random.default_rng(6)
+    x = rng.uniform(size=(100, 3))
+    y = x[:, 0] * 3 + rng.normal(size=100) * 0.1
+    tree = RegressionTree(max_leaves=8).fit(x, y)
+    assert tree.n_nodes == 2 * tree.n_leaves - 1  # binary tree identity
+
+
+def test_serialisation_roundtrip():
+    rng = np.random.default_rng(7)
+    x = rng.uniform(size=(80, 4))
+    y = rng.normal(size=80)
+    tree = RegressionTree(max_leaves=8).fit(x, y)
+    restored = RegressionTree.from_dict(tree.to_dict())
+    assert np.allclose(tree.predict(x), restored.predict(x))
+    assert restored.n_leaves == tree.n_leaves
+    assert restored.split_gains == tree.split_gains
+
+
+def test_unfitted_tree_rejects_predict():
+    with pytest.raises(RuntimeError):
+        RegressionTree().predict(np.zeros((1, 2)))
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        RegressionTree(max_leaves=1)
+    with pytest.raises(ValueError):
+        RegressionTree(min_samples_leaf=0)
+    tree = RegressionTree()
+    with pytest.raises(ValueError):
+        tree.fit(np.zeros((3,)), np.zeros(3))
+    with pytest.raises(ValueError):
+        tree.fit(np.zeros((3, 2)), np.zeros(4))
+    with pytest.raises(ValueError):
+        tree.fit(np.zeros((0, 2)), np.zeros(0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.float64, (30, 3),
+                  elements=st.floats(min_value=-100, max_value=100)),
+       hnp.arrays(np.float64, (30,),
+                  elements=st.floats(min_value=-100, max_value=100)))
+def test_property_predictions_within_target_range(x, y):
+    """Property: leaf values are means of training targets, so every
+    prediction lies within [min(y), max(y)]."""
+    tree = RegressionTree(max_leaves=8).fit(x, y)
+    predictions = tree.predict(x)
+    assert predictions.min() >= y.min() - 1e-9
+    assert predictions.max() <= y.max() + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_training_sse_never_worse_than_stump(seed):
+    """Property: a grown tree fits the training data at least as well as
+    the constant (mean) predictor."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(size=(50, 2))
+    y = rng.normal(size=50)
+    tree = RegressionTree(max_leaves=8).fit(x, y)
+    sse_tree = float(np.sum((y - tree.predict(x)) ** 2))
+    sse_mean = float(np.sum((y - y.mean()) ** 2))
+    assert sse_tree <= sse_mean + 1e-9

@@ -1,0 +1,60 @@
+"""Dataset splitting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.validation import KFold, train_test_split
+
+
+def test_split_sizes():
+    x = np.arange(100).reshape(50, 2)
+    y = np.arange(50)
+    x_train, x_test, y_train, y_test = train_test_split(
+        x, y, test_fraction=0.3, random_state=0)
+    assert len(x_test) == 15
+    assert len(x_train) == 35
+    assert len(y_train) == 35
+
+
+def test_split_partitions_without_overlap():
+    x = np.arange(40).reshape(20, 2)
+    y = np.arange(20)
+    _, _, y_train, y_test = train_test_split(x, y, random_state=1)
+    assert sorted(np.concatenate([y_train, y_test]).tolist()) \
+        == list(range(20))
+
+
+def test_split_is_seeded():
+    x = np.arange(60).reshape(30, 2)
+    y = np.arange(30)
+    a = train_test_split(x, y, random_state=3)
+    b = train_test_split(x, y, random_state=3)
+    assert np.array_equal(a[1], b[1])
+
+
+def test_split_validation():
+    x = np.zeros((10, 2))
+    y = np.zeros(10)
+    with pytest.raises(ValueError):
+        train_test_split(x, y, test_fraction=0.0)
+    with pytest.raises(ValueError):
+        train_test_split(x, y, test_fraction=1.0)
+    with pytest.raises(ValueError):
+        train_test_split(np.zeros((3, 1)), np.zeros(4))
+
+
+def test_kfold_covers_every_sample_exactly_once_as_test():
+    kfold = KFold(n_splits=5, random_state=0)
+    seen = []
+    for train_index, test_index in kfold.split(23):
+        seen.extend(test_index.tolist())
+        assert not set(train_index) & set(test_index)
+        assert len(train_index) + len(test_index) == 23
+    assert sorted(seen) == list(range(23))
+
+
+def test_kfold_validation():
+    with pytest.raises(ValueError):
+        KFold(n_splits=1)
+    with pytest.raises(ValueError):
+        list(KFold(n_splits=10).split(5))

@@ -1,0 +1,69 @@
+"""Traffic bucketing (Fig. 4 machinery)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.traffic import bucket_traffic
+from repro.network.transfer import Transfer
+
+
+def make_transfer(start, end, size, label="t"):
+    transfer = Transfer(label=label, size_bytes=size, requested_at=start)
+    transfer.started_at = start
+    transfer.completed_at = end
+    return transfer
+
+
+def test_single_transfer_spread_uniformly():
+    transfer = make_transfer(0.0, 1.0, 1000.0)
+    samples = bucket_traffic([transfer], bucket_seconds=0.5)
+    assert [round(s.kilobytes, 6) for s in samples] == [0.5, 0.5]
+
+
+def test_partial_bucket_attribution():
+    transfer = make_transfer(0.25, 0.75, 1000.0)
+    samples = bucket_traffic([transfer], bucket_seconds=0.5)
+    assert samples[0].kilobytes == pytest.approx(0.5)
+    assert samples[1].kilobytes == pytest.approx(0.5)
+
+
+def test_incomplete_transfers_ignored():
+    pending = Transfer(label="p", size_bytes=100, requested_at=0.0)
+    samples = bucket_traffic([pending])
+    assert all(s.kilobytes == 0 for s in samples)
+
+
+def test_zero_duration_transfer_lands_in_one_bucket():
+    transfer = make_transfer(0.6, 0.6, 500.0)
+    samples = bucket_traffic([transfer], bucket_seconds=0.5)
+    assert samples[1].kilobytes == pytest.approx(0.5)
+    assert samples[0].kilobytes == 0.0
+
+
+def test_horizon_pads_with_empty_buckets():
+    transfer = make_transfer(0.0, 0.5, 100.0)
+    samples = bucket_traffic([transfer], bucket_seconds=0.5, horizon=3.0)
+    assert len(samples) == 6
+    assert samples[-1].kilobytes == 0.0
+
+
+def test_bucket_size_validation():
+    with pytest.raises(ValueError):
+        bucket_traffic([], bucket_seconds=0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.floats(min_value=0, max_value=50),
+              st.floats(min_value=0.01, max_value=10),
+              st.floats(min_value=1, max_value=1e6)),
+    min_size=1, max_size=20))
+def test_property_buckets_conserve_bytes(spec):
+    """Property: total KB across buckets equals total payload bytes."""
+    transfers = [make_transfer(start, start + duration, size)
+                 for start, duration, size in spec]
+    samples = bucket_traffic(transfers, bucket_seconds=0.5)
+    total_kb = sum(s.kilobytes for s in samples)
+    expected = sum(size for _, _, size in spec) / 1000.0
+    assert total_kb == pytest.approx(expected, rel=1e-6)

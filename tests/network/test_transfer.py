@@ -1,0 +1,32 @@
+"""Transfer record semantics."""
+
+import pytest
+
+from repro.network.transfer import Transfer
+
+
+def test_lifecycle_properties():
+    transfer = Transfer(label="x", size_bytes=1000, requested_at=1.0)
+    assert not transfer.complete
+    transfer.started_at = 2.0
+    transfer.completed_at = 3.5
+    assert transfer.complete
+    assert transfer.queue_delay == pytest.approx(1.0)
+    assert transfer.duration == pytest.approx(1.5)
+
+
+def test_duration_before_completion_rejected():
+    transfer = Transfer(label="x", size_bytes=10, requested_at=0.0)
+    with pytest.raises(ValueError):
+        _ = transfer.duration
+
+
+def test_queue_delay_before_start_rejected():
+    transfer = Transfer(label="x", size_bytes=10, requested_at=0.0)
+    with pytest.raises(ValueError):
+        _ = transfer.queue_delay
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        Transfer(label="x", size_bytes=-1, requested_at=0.0)

@@ -1,0 +1,46 @@
+"""Feature extraction from live page loads."""
+
+import pytest
+
+from repro.browser.energy_aware import EnergyAwareEngine
+from repro.core.session import load_page
+from repro.prediction.features import FEATURE_NAMES, features_from_load
+from repro.webpages.objects import ObjectKind
+
+
+def test_schema_has_ten_features():
+    assert len(FEATURE_NAMES) == 10
+
+
+def test_extraction_matches_page_and_result(full_page):
+    session = load_page(full_page, EnergyAwareEngine)
+    vector = features_from_load(full_page, session.load, second_urls=42)
+    named = dict(zip(FEATURE_NAMES, vector))
+    assert named["transmission_time"] == \
+        session.load.data_transmission_time
+    figure_bytes = full_page.bytes_of_kind(ObjectKind.IMAGE)
+    assert named["page_size_kb"] == pytest.approx(
+        (full_page.total_bytes - figure_bytes) / 1000.0)
+    assert named["download_objects"] == full_page.object_count
+    assert named["download_js_files"] == \
+        full_page.count_of_kind(ObjectKind.JS)
+    assert named["download_figures"] == \
+        full_page.count_of_kind(ObjectKind.IMAGE)
+    assert named["js_running_time"] == pytest.approx(
+        session.load.js_exec_time)
+    assert named["second_urls"] == 42
+    assert named["page_height"] == full_page.page_height
+    assert named["page_width"] == full_page.page_width
+
+
+def test_mismatched_result_rejected(full_page, small_page):
+    session = load_page(small_page, EnergyAwareEngine)
+    with pytest.raises(ValueError):
+        features_from_load(full_page, session.load)
+
+
+def test_extracted_features_feed_predictor(full_page, trained_predictor):
+    session = load_page(full_page, EnergyAwareEngine)
+    vector = features_from_load(full_page, session.load, second_urls=30)
+    prediction = trained_predictor.predict_one(vector)
+    assert prediction >= 0.0

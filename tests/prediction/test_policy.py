@@ -1,0 +1,95 @@
+"""Algorithm 2 and baseline policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PolicyConfig
+from repro.prediction.policy import (
+    AlwaysOffPolicy,
+    NeverOffPolicy,
+    OraclePolicy,
+    PredictivePolicy,
+)
+
+
+FEATURES = np.zeros(10)
+
+
+def test_oracle_thresholds_on_true_reading_time():
+    policy = OraclePolicy(threshold=9.0)
+    assert policy.decide(FEATURES, 10.0).switch_to_idle
+    assert not policy.decide(FEATURES, 8.0).switch_to_idle
+
+
+def test_oracle_boundary_is_strict():
+    policy = OraclePolicy(threshold=9.0)
+    assert not policy.decide(FEATURES, 9.0).switch_to_idle
+
+
+def test_oracle_validation():
+    with pytest.raises(ValueError):
+        OraclePolicy(threshold=0.0)
+
+
+def test_always_and_never_off():
+    assert AlwaysOffPolicy().decide(FEATURES, 0.1).switch_to_idle
+    assert not NeverOffPolicy().decide(FEATURES, 1e9).switch_to_idle
+
+
+class FakePredictor:
+    def __init__(self, value):
+        self.value = value
+
+    def predict_one(self, features):
+        return self.value
+
+
+def test_delay_mode_switches_only_above_td():
+    config = PolicyConfig(mode="delay")
+    below = PredictivePolicy(FakePredictor(15.0), config)
+    above = PredictivePolicy(FakePredictor(25.0), config)
+    # 15 s is above Tp but below Td: delay mode must NOT switch.
+    assert not below.decide(FEATURES, 0.0).switch_to_idle
+    assert above.decide(FEATURES, 0.0).switch_to_idle
+
+
+def test_power_mode_switches_above_tp():
+    config = PolicyConfig(mode="power")
+    policy = PredictivePolicy(FakePredictor(15.0), config)
+    assert policy.decide(FEATURES, 0.0).switch_to_idle
+    low = PredictivePolicy(FakePredictor(5.0), config)
+    assert not low.decide(FEATURES, 0.0).switch_to_idle
+
+
+def test_decision_carries_prediction_and_reason():
+    policy = PredictivePolicy(FakePredictor(30.0), PolicyConfig())
+    decision = policy.decide(FEATURES, 0.0)
+    assert decision.predicted_reading_time == pytest.approx(30.0)
+    assert "Tr=30.0" in decision.reason
+
+
+def test_policy_names_reflect_mode():
+    assert PredictivePolicy(FakePredictor(1), PolicyConfig(mode="power")) \
+        .name == "predict-9"
+    assert PredictivePolicy(FakePredictor(1), PolicyConfig(mode="delay")) \
+        .name == "predict-20"
+    assert OraclePolicy(9.0).name == "accurate-9"
+
+
+def test_policy_config_validation():
+    with pytest.raises(ValueError):
+        PolicyConfig(mode="other")
+    with pytest.raises(ValueError):
+        PolicyConfig(power_threshold=25.0, delay_threshold=20.0)
+    with pytest.raises(ValueError):
+        PolicyConfig(interest_threshold=-1.0)
+
+
+def test_real_predictor_drives_policy(trained_predictor, small_trace):
+    policy = PredictivePolicy(trained_predictor, PolicyConfig(mode="power"))
+    switched = 0
+    for record in small_trace.records[:100]:
+        decision = policy.decide(record.feature_vector(),
+                                 record.reading_time)
+        switched += decision.switch_to_idle
+    assert 0 < switched < 100  # the policy discriminates

@@ -1,0 +1,85 @@
+"""RIL message path."""
+
+import pytest
+
+from repro.rrc.machine import RrcMachine
+from repro.rrc.ril import RilLink, RilMessageType
+from repro.rrc.states import RrcState
+from repro.sim.kernel import Simulator
+
+
+def make_link():
+    sim = Simulator()
+    machine = RrcMachine(sim)
+    return sim, machine, RilLink(sim, machine)
+
+
+def promote(sim, machine):
+    machine.acquire_channel(lambda: None)
+    sim.run()
+    machine.tx_begin()
+    machine.tx_end()
+
+
+def test_fast_dormancy_travels_through_both_hops():
+    sim, machine, ril = make_link()
+    promote(sim, machine)
+    replies = []
+    ril.request_fast_dormancy(replies.append)
+    sim.run(until=sim.now + 1.0)
+    (message,) = replies
+    assert message.hops == ["RIL.java", "firmware"]
+    assert message.reply == "OK"
+    assert message.error is None
+    assert machine.state is RrcState.IDLE
+
+
+def test_message_latency_is_sum_of_hops():
+    sim, machine, ril = make_link()
+    promote(sim, machine)
+    start = sim.now
+    replies = []
+    ril.request_fast_dormancy(replies.append)
+    sim.run(until=sim.now + 1.0)
+    assert replies[0].delivered_at - start == pytest.approx(
+        ril.total_latency)
+
+
+def test_channel_release_message():
+    sim, machine, ril = make_link()
+    promote(sim, machine)
+    replies = []
+    ril.request_channel_release(replies.append)
+    sim.run(until=sim.now + 0.1)
+    assert replies[0].reply == "OK"
+    assert machine.state is RrcState.FACH
+
+
+def test_dormancy_error_reported_not_raised():
+    """A dormancy request landing mid-transfer must surface the RrcError
+    as a message error, not crash the firmware hop."""
+    sim, machine, ril = make_link()
+    machine.acquire_channel(lambda: None)
+    sim.run()
+    machine.tx_begin()
+    replies = []
+    ril.request_fast_dormancy(replies.append)
+    sim.run(until=sim.now + 1.0)
+    assert replies[0].reply is None
+    assert "transfer" in replies[0].error
+    machine.tx_end()
+
+
+def test_messages_are_logged():
+    sim, machine, ril = make_link()
+    ril.request_fast_dormancy()
+    ril.request_channel_release()
+    assert [m.message_type for m in ril.log] == [
+        RilMessageType.FAST_DORMANCY, RilMessageType.RELEASE_CHANNELS]
+
+
+def test_custom_latencies_validated():
+    sim = Simulator()
+    machine = RrcMachine(sim)
+    with pytest.raises(ValueError):
+        RilLink(sim, machine, framework_latency=-0.1)

@@ -1,0 +1,100 @@
+"""Analytic tail math, cross-checked against the state machine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rrc.config import RrcConfig
+from repro.rrc.machine import RrcMachine
+from repro.rrc.states import RrcState
+from repro.rrc.tail import (
+    promotion_energy,
+    promotion_latency,
+    tail_energy_after_release,
+    tail_energy_after_tx,
+    tail_state_after_release,
+    tail_state_after_tx,
+)
+from repro.sim.kernel import Simulator
+
+
+def test_tail_states_after_tx():
+    config = RrcConfig()
+    assert tail_state_after_tx(0.0, config) is RrcState.DCH
+    assert tail_state_after_tx(3.99, config) is RrcState.DCH
+    assert tail_state_after_tx(4.0, config) is RrcState.FACH
+    assert tail_state_after_tx(18.99, config) is RrcState.FACH
+    assert tail_state_after_tx(19.0, config) is RrcState.IDLE
+
+
+def test_tail_states_after_release():
+    config = RrcConfig()
+    assert tail_state_after_release(0.0, config) is RrcState.FACH
+    assert tail_state_after_release(14.99, config) is RrcState.FACH
+    assert tail_state_after_release(15.0, config) is RrcState.IDLE
+
+
+def test_tail_energy_pieces():
+    config = RrcConfig()
+    power = config.power
+    assert tail_energy_after_tx(0, 4, config) == pytest.approx(
+        4 * power.dch)
+    assert tail_energy_after_tx(4, 19, config) == pytest.approx(
+        15 * power.fach)
+    assert tail_energy_after_tx(19, 29, config) == pytest.approx(
+        10 * power.idle)
+    assert tail_energy_after_tx(0, 29, config) == pytest.approx(
+        4 * power.dch + 15 * power.fach + 10 * power.idle)
+
+
+def test_tail_energy_zero_window():
+    assert tail_energy_after_tx(5.0, 5.0) == 0.0
+
+
+def test_tail_energy_reversed_window_rejected():
+    with pytest.raises(ValueError):
+        tail_energy_after_tx(5.0, 4.0)
+
+
+def test_promotion_latency_and_energy_by_state():
+    config = RrcConfig()
+    assert promotion_latency(RrcState.DCH, config) == 0.0
+    assert promotion_latency(RrcState.FACH, config) == \
+        config.promo_fach_latency
+    assert promotion_latency(RrcState.IDLE, config) == \
+        config.promo_idle_latency
+    assert promotion_energy(RrcState.DCH, config) == 0.0
+    assert promotion_energy(RrcState.IDLE, config) > \
+        promotion_energy(RrcState.FACH, config)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=0.05, max_value=30.0))
+def test_property_analytic_tail_matches_machine(offset):
+    """Property: the analytic tail state/energy equals what the real
+    state machine produces for the same window after a transfer."""
+    config = RrcConfig()
+    sim = Simulator()
+    machine = RrcMachine(sim, config)
+    machine.acquire_channel(lambda: None)
+    sim.run()
+    machine.tx_begin()
+    machine.tx_end()
+    anchor = sim.now
+    sim.run(until=anchor + offset + 1.0)
+    machine.finalize()
+
+    # State agreement.
+    expected_state = tail_state_after_tx(offset, config)
+    segment_state = next(
+        s.mode.state for s in machine.segments
+        if s.start <= anchor + offset < s.end)
+    assert segment_state is expected_state
+
+    # Energy agreement over [anchor, anchor+offset).
+    measured = sum(
+        config.power.for_mode(s.mode)
+        * max(0.0, min(s.end, anchor + offset) - max(s.start, anchor))
+        for s in machine.segments)
+    assert measured == pytest.approx(
+        tail_energy_after_tx(0.0, offset, config), abs=1e-6)

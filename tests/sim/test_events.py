@@ -1,0 +1,84 @@
+"""Event queue ordering and cancellation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue
+
+
+def test_pop_returns_earliest():
+    queue = EventQueue()
+    queue.push(5.0, lambda: None)
+    queue.push(1.0, lambda: None)
+    queue.push(3.0, lambda: None)
+    assert queue.pop().time == 1.0
+    assert queue.pop().time == 3.0
+    assert queue.pop().time == 5.0
+    assert queue.pop() is None
+
+
+def test_fifo_among_equal_times():
+    queue = EventQueue()
+    first = queue.push(2.0, lambda: "a")
+    second = queue.push(2.0, lambda: "b")
+    assert queue.pop() is first
+    assert queue.pop() is second
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    keep = queue.push(1.0, lambda: None)
+    cancel = queue.push(0.5, lambda: None)
+    cancel.cancel()
+    queue.note_cancelled()
+    assert queue.pop() is keep
+
+
+def test_len_tracks_live_events():
+    queue = EventQueue()
+    assert len(queue) == 0
+    event = queue.push(1.0, lambda: None)
+    assert len(queue) == 1
+    event.cancel()
+    queue.note_cancelled()
+    assert len(queue) == 0
+
+
+def test_peek_time_skips_cancelled_head():
+    queue = EventQueue()
+    head = queue.push(0.1, lambda: None)
+    queue.push(0.2, lambda: None)
+    head.cancel()
+    queue.note_cancelled()
+    assert queue.peek_time() == 0.2
+
+
+def test_bool_reflects_live_content():
+    queue = EventQueue()
+    assert not queue
+    event = queue.push(1.0, lambda: None)
+    assert queue
+    event.cancel()
+    queue.note_cancelled()
+    assert not queue
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                max_size=200))
+def test_pop_order_is_sorted_and_stable(times):
+    """Property: popping yields times in sorted order, and events with
+    equal times come out in insertion order."""
+    queue = EventQueue()
+    events = [queue.push(t, lambda: None) for t in times]
+    popped = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        popped.append(event)
+    assert [e.time for e in popped] == sorted(times)
+    # stability: same-time events keep their relative sequence numbers
+    for earlier, later in zip(popped, popped[1:]):
+        if earlier.time == later.time:
+            assert earlier.sequence < later.sequence
+    assert len(popped) == len(events)

@@ -1,0 +1,140 @@
+"""Simulator clock and event-loop behaviour."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [2.5]
+    assert sim.now == 2.5
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_the_past_rejected():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_run_until_leaves_future_events_queued():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(10))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired == [1, 10]
+
+
+def test_run_until_advances_clock_even_when_idle():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_run_until_before_now_is_noop():
+    sim = Simulator()
+    sim.schedule(3.0, lambda: None)
+    sim.run()
+    assert sim.now == 3.0
+    sim.run(until=1.0)
+    assert sim.now == 3.0
+
+
+def test_callbacks_can_schedule_more_events():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(1.0, lambda: order.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert order == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_cancel_prevents_callback():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    sim.cancel(event)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_none_is_noop():
+    sim = Simulator()
+    sim.cancel(None)
+
+
+def test_double_cancel_does_not_corrupt_count():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.cancel(event)
+    sim.cancel(event)
+    assert sim.pending_events == 0
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def rescheduling():
+        sim.schedule(0.1, rescheduling)
+
+    sim.schedule(0.1, rescheduling)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=50)
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def inner():
+        sim.run()
+
+    sim.schedule(1.0, inner)
+    with pytest.raises(SimulationError, match="re-entered"):
+        sim.run()
+
+
+def test_step_returns_false_when_idle():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for delay in (1.0, 2.0, 3.0):
+        sim.schedule(delay, lambda: None)
+    sim.run()
+    assert sim.events_processed == 3
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=100), min_size=1,
+                max_size=50))
+def test_callbacks_fire_in_time_order(delays):
+    """Property: the clock never goes backwards across callbacks."""
+    sim = Simulator()
+    observed = []
+    for delay in delays:
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)

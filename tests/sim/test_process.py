@@ -1,0 +1,94 @@
+"""Single-core CPU process semantics."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import CpuProcess, CpuTask
+
+
+def test_tasks_run_sequentially():
+    sim = Simulator()
+    cpu = CpuProcess(sim)
+    finished = []
+    cpu.submit(CpuTask("a", 1.0, on_done=lambda: finished.append(sim.now)))
+    cpu.submit(CpuTask("b", 2.0, on_done=lambda: finished.append(sim.now)))
+    sim.run()
+    assert finished == [1.0, 3.0]
+
+
+def test_zero_duration_task_completes():
+    sim = Simulator()
+    cpu = CpuProcess(sim)
+    done = []
+    cpu.submit(CpuTask("instant", 0.0, on_done=lambda: done.append(True)))
+    sim.run()
+    assert done == [True]
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        CpuTask("bad", -0.1)
+
+
+def test_busy_time_by_category():
+    sim = Simulator()
+    cpu = CpuProcess(sim)
+    cpu.submit(CpuTask("t1", 1.0, category="tx"))
+    cpu.submit(CpuTask("t2", 2.0, category="layout"))
+    cpu.submit(CpuTask("t3", 0.5, category="tx"))
+    sim.run()
+    assert cpu.busy_time("tx") == pytest.approx(1.5)
+    assert cpu.busy_time("layout") == pytest.approx(2.0)
+    assert cpu.busy_time() == pytest.approx(3.5)
+
+
+def test_on_done_may_submit_followup_without_false_idle():
+    """A follow-up submitted from on_done keeps the CPU marked busy —
+    the busy/idle listener must not see a spurious idle transition."""
+    sim = Simulator()
+    transitions = []
+    cpu = CpuProcess(sim, on_busy_change=transitions.append)
+
+    def chain():
+        cpu.submit(CpuTask("second", 1.0))
+
+    cpu.submit(CpuTask("first", 1.0, on_done=chain))
+    sim.run()
+    assert transitions == [True, False]
+    assert cpu.busy_time() == pytest.approx(2.0)
+
+
+def test_busy_change_fires_per_busy_period():
+    sim = Simulator()
+    transitions = []
+    cpu = CpuProcess(sim, on_busy_change=transitions.append)
+    cpu.submit(CpuTask("a", 1.0))
+    sim.run()
+    sim.schedule(5.0, lambda: cpu.submit(CpuTask("b", 1.0)))
+    sim.run()
+    assert transitions == [True, False, True, False]
+
+
+def test_intervals_record_start_end_and_category():
+    sim = Simulator()
+    cpu = CpuProcess(sim)
+    cpu.submit(CpuTask("a", 1.5, category="tx"))
+    sim.run()
+    (interval,) = cpu.intervals
+    assert interval.start == 0.0
+    assert interval.end == 1.5
+    assert interval.category == "tx"
+    assert interval.name == "a"
+
+
+def test_queued_count():
+    sim = Simulator()
+    cpu = CpuProcess(sim)
+    cpu.submit(CpuTask("a", 1.0))
+    cpu.submit(CpuTask("b", 1.0))
+    cpu.submit(CpuTask("c", 1.0))
+    assert cpu.busy
+    assert cpu.queued == 2
+    sim.run()
+    assert not cpu.busy
+    assert cpu.queued == 0

@@ -1,0 +1,67 @@
+"""CLI: every subcommand end to end."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_compare_subcommand(capsys):
+    assert main(["compare", "--page", "cnn", "--reading", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "energy-aware" in out
+    assert "savings" in out
+
+
+def test_experiments_subcommand_subset(capsys):
+    assert main(["experiments", "fig03"]) == 0
+    out = capsys.readouterr().out
+    assert "break-even" in out
+
+
+def test_experiments_unknown_id(capsys):
+    assert main(["experiments", "fig99"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_ablations_unknown_name(capsys):
+    assert main(["ablations", "nonsense"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_trace_train_predict_pipeline(tmp_path, capsys):
+    trace_path = str(tmp_path / "trace.csv")
+    model_path = str(tmp_path / "model.json")
+    assert main(["trace", "--out", trace_path, "--users", "5",
+                 "--views", "40", "--seed", "7"]) == 0
+    assert main(["train", "--trace", trace_path, "--out",
+                 model_path]) == 0
+    assert main(["predict", "--model", model_path, "--trace",
+                 trace_path, "--threshold", "9"]) == 0
+    out = capsys.readouterr().out
+    assert "threshold accuracy" in out
+
+
+def test_train_without_interest_threshold(tmp_path, capsys):
+    trace_path = str(tmp_path / "trace.csv")
+    model_path = str(tmp_path / "model.json")
+    main(["trace", "--out", trace_path, "--users", "4", "--views", "30"])
+    assert main(["train", "--trace", trace_path, "--out", model_path,
+                 "--no-interest-threshold"]) == 0
+    assert "interest threshold: None" in capsys.readouterr().out
+
+
+def test_missing_subcommand_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_session_subcommand(capsys):
+    assert main(["session", "--user", "3", "--seed", "2013"]) == 0
+    out = capsys.readouterr().out
+    assert "Algorithm 2" in out
+    assert "switches" in out
+
+
+def test_session_unknown_user(capsys):
+    assert main(["session", "--user", "9999"]) == 2
+    assert "not found" in capsys.readouterr().err

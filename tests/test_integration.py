@@ -1,0 +1,135 @@
+"""End-to-end integration: the full on-device pipeline.
+
+Runs the whole story the paper tells once, across package boundaries:
+train the predictor offline on the trace → load a page with the
+reorganised browser → radio released at transmission end → collect the
+Table-1 features from the live load → Algorithm 2 decides → RIL switch
+→ the reading period burns IDLE power.
+"""
+
+import pytest
+
+from repro.browser.energy_aware import EnergyAwareEngine
+from repro.browser.original import OriginalEngine
+from repro.core.config import PolicyConfig
+from repro.core.session import Handset
+from repro.prediction.features import features_from_load
+from repro.prediction.policy import PredictivePolicy
+from repro.rrc.ril import RilMessageType
+from repro.rrc.states import RrcState
+from repro.webpages.corpus import find_page
+
+
+def test_full_pipeline_switches_radio_when_reading_predicted_long(
+        trained_predictor):
+    page = find_page("espn.go.com/sports")
+    handset = Handset()
+    engine = handset.make_engine(EnergyAwareEngine, page)
+    results = []
+    engine.load(results.append)
+    handset.sim.run()
+    load = results[0]
+
+    # Phase separation held and the channels were released via the RIL.
+    released = [m for m in handset.ril.log
+                if m.message_type is RilMessageType.RELEASE_CHANNELS]
+    assert released and released[0].reply == "OK"
+
+    # Live features → Algorithm 2.
+    features = features_from_load(page, load, second_urls=60)
+    policy = PredictivePolicy(trained_predictor,
+                              PolicyConfig(mode="power"))
+    decision = policy.decide(features, true_reading_time=30.0)
+    assert decision.predicted_reading_time > 0
+
+    if decision.switch_to_idle:
+        alpha = PolicyConfig().interest_threshold
+        handset.sim.run(until=handset.sim.now + alpha)
+        handset.ril.request_fast_dormancy()
+        handset.sim.run(until=handset.sim.now + 1.0)
+        assert handset.machine.state is RrcState.IDLE
+
+    # Reading period accounting on whatever state the policy left.
+    start = handset.sim.now
+    handset.sim.run(until=start + 20.0)
+    energy = handset.accountant.total_energy(start, start + 20.0)
+    assert energy > 0
+
+
+def test_both_engines_agree_on_what_was_downloaded():
+    page = find_page("www.apple.com")
+    loads = {}
+    for engine_cls in (OriginalEngine, EnergyAwareEngine):
+        handset = Handset()
+        engine = handset.make_engine(engine_cls, page)
+        results = []
+        engine.load(results.append)
+        handset.sim.run()
+        loads[engine_cls.name] = results[0]
+    original, ours = loads["original"], loads["energy-aware"]
+    assert {t.label for t in original.transfers} \
+        == {t.label for t in ours.transfers}
+    assert original.bytes_downloaded == pytest.approx(
+        ours.bytes_downloaded)
+    assert original.dom_nodes == ours.dom_nodes
+
+
+def test_predictor_survives_phone_deployment_roundtrip(
+        trained_predictor, small_trace, tmp_path):
+    """Offline training → JSON → 'phone' → same decisions."""
+    path = tmp_path / "deployed.json"
+    trained_predictor.save_json(str(path))
+    from repro.prediction.predictor import ReadingTimePredictor
+    deployed = ReadingTimePredictor.load_json(str(path))
+    policy_a = PredictivePolicy(trained_predictor, PolicyConfig())
+    policy_b = PredictivePolicy(deployed, PolicyConfig())
+    for record in small_trace.records[:50]:
+        features = record.feature_vector()
+        assert (policy_a.decide(features, 0.0).switch_to_idle
+                == policy_b.decide(features, 0.0).switch_to_idle)
+
+
+def test_simulation_is_fully_deterministic():
+    """Two identical end-to-end runs produce identical traces."""
+    page = find_page("cnn")
+    energies = []
+    for _ in range(2):
+        handset = Handset()
+        engine = handset.make_engine(EnergyAwareEngine, page)
+        results = []
+        engine.load(results.append)
+        handset.sim.run()
+        energies.append(handset.accountant.total_energy())
+        times = [t.completed_at for t in results[0].transfers]
+        energies.append(tuple(times))
+    assert energies[0] == energies[2]
+    assert energies[1] == energies[3]
+
+
+def test_engine_fetch_order_consistent_with_content_layer():
+    """Cross-layer check: the energy-aware engine's grouped fetches are
+    exactly what scanning/executing the page's real sources discovers."""
+    from repro.content import synthesize_sources, derive_graph
+
+    page = find_page("www.motors.ebay.com")
+    sources = synthesize_sources(page, seed=4)
+    derived = derive_graph(sources)
+
+    handset = Handset()
+    engine = handset.make_engine(EnergyAwareEngine, page)
+    results = []
+    engine.load(results.append)
+    handset.sim.run()
+
+    fetched = {t.label for t in results[0].transfers}
+    discoverable = set(derived)
+    assert fetched == discoverable
+    # Everything the root's source scan reveals was requested before any
+    # script finished downloading (the grouping property, content-level).
+    transfers = {t.label: t for t in results[0].transfers}
+    root_scan_refs = derived[page.root_id]
+    first_script_done = min(
+        (t.completed_at for label, t in transfers.items()
+         if label.endswith(".js")), default=float("inf"))
+    for ref in root_scan_refs:
+        assert transfers[ref].requested_at <= first_script_done

@@ -1,0 +1,104 @@
+"""Trace generator: determinism, CDF calibration, correlation bounds."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import pearson
+from repro.traces.generator import (
+    TraceConfig,
+    _triangle,
+    build_catalog,
+    generate_trace,
+    readability_score,
+)
+from repro.traces.records import FEATURE_NAMES
+
+
+def test_generation_is_deterministic(small_trace_config):
+    a = generate_trace(small_trace_config)
+    b = generate_trace(small_trace_config)
+    assert len(a) == len(b)
+    assert all(x == y for x, y in zip(a, b))
+
+
+def test_record_count_tracks_config(small_trace_config):
+    dataset = generate_trace(small_trace_config)
+    expected = (small_trace_config.n_users
+                * small_trace_config.mean_views_per_user)
+    assert expected * 0.7 <= len(dataset) <= expected * 1.3
+
+
+def test_every_user_present(small_trace_config, small_trace):
+    users = {record.user_id for record in small_trace}
+    assert users == set(range(small_trace_config.n_users))
+
+
+def test_sessions_have_contiguous_sequences(small_trace):
+    for session in small_trace.sessions():
+        sequences = [r.sequence for r in session.records]
+        # filtering can remove records, but order must stay increasing
+        assert sequences == sorted(sequences)
+
+
+def test_catalog_matches_trace_pages(small_trace_config, small_trace):
+    catalog_names = {c.name for c in build_catalog(small_trace_config)}
+    assert {r.page_name for r in small_trace} <= catalog_names
+
+
+def test_catalog_has_requested_mix(small_trace_config):
+    catalog = build_catalog(small_trace_config)
+    assert len(catalog) == small_trace_config.catalog_size
+    mobile = sum(1 for c in catalog if c.mobile)
+    assert mobile == round(small_trace_config.mobile_fraction
+                           * len(catalog))
+
+
+def test_default_cdf_matches_paper_anchors(default_trace):
+    """Fig. 7 calibration: 30 % < 2 s, 53 % < 9 s, 68 % < 20 s (±3 pp)."""
+    times = default_trace.reading_times()
+    assert np.mean(times < 2.0) == pytest.approx(0.30, abs=0.03)
+    assert np.mean(times < 9.0) == pytest.approx(0.53, abs=0.03)
+    assert np.mean(times < 20.0) == pytest.approx(0.68, abs=0.03)
+
+
+def test_default_correlations_near_zero(default_trace):
+    """Table 4: no notable linear correlation with any feature."""
+    x, y = default_trace.to_arrays()
+    for index in range(len(FEATURE_NAMES)):
+        assert abs(pearson(x[:, index], y)) < 0.12
+
+
+def test_reading_times_positive(small_trace):
+    assert (small_trace.reading_times() > 0).all()
+
+
+def test_features_physically_sensible(small_trace):
+    for record in small_trace:
+        assert record.transmission_time > 2.0  # includes promotion
+        assert record.page_size_kb > 0
+        assert record.download_objects >= 1
+        assert record.figure_size_kb >= 0
+        assert record.page_width in (320, 1024)
+
+
+def test_triangle_shape():
+    assert _triangle(5.0, 0.0, 5.0, 10.0) == 1.0
+    assert _triangle(0.0, 0.0, 5.0, 10.0) == 0.0
+    assert _triangle(10.0, 0.0, 5.0, 10.0) == 0.0
+    assert _triangle(2.5, 0.0, 5.0, 10.0) == pytest.approx(0.5)
+    assert _triangle(-1.0, 0.0, 5.0, 10.0) == 0.0
+
+
+def test_readability_score_bounded():
+    for size in (1, 50, 200, 500):
+        for height in (300, 2000, 5000, 10_000):
+            for figures in (0, 7, 25, 60):
+                score = readability_score(size, height, figures)
+                assert 0.0 <= score <= 1.0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TraceConfig(n_users=0)
+    with pytest.raises(ValueError):
+        TraceConfig(catalog_size=0)

@@ -1,0 +1,73 @@
+"""Trace records, dataset operations, CSV round trip."""
+
+import numpy as np
+import pytest
+
+from repro.traces.records import (
+    FEATURE_NAMES,
+    BrowsingRecord,
+    TraceDataset,
+)
+
+
+def make_record(reading=5.0, user=0, session=1, seq=0):
+    return BrowsingRecord(
+        user_id=user, session_id=session, sequence=seq,
+        page_name="p", mobile=True, reading_time=reading,
+        transmission_time=4.0, page_size_kb=30.0, download_objects=8,
+        download_js_files=1, download_figures=5, figure_size_kb=40.0,
+        js_running_time=0.5, second_urls=12, page_height=1500,
+        page_width=320)
+
+
+def test_feature_vector_order_matches_schema():
+    record = make_record()
+    vector = record.feature_vector()
+    assert len(vector) == len(FEATURE_NAMES) == 10
+    assert vector[0] == record.transmission_time
+    assert vector[-1] == record.page_width
+
+
+def test_filter_reading_time_applies_ten_minute_discard():
+    dataset = TraceDataset([make_record(5.0), make_record(700.0)])
+    kept = dataset.filter_reading_time()
+    assert len(kept) == 1
+    assert kept.records[0].reading_time == 5.0
+
+
+def test_exclude_quick_bounces():
+    dataset = TraceDataset([make_record(0.5), make_record(1.9),
+                            make_record(2.1)])
+    kept = dataset.exclude_quick_bounces(2.0)
+    assert [r.reading_time for r in kept] == [2.1]
+
+
+def test_sessions_grouping_preserves_order():
+    records = [make_record(seq=0, session=1), make_record(seq=1, session=1),
+               make_record(seq=0, session=2, user=3)]
+    sessions = TraceDataset(records).sessions()
+    assert len(sessions) == 2
+    assert [r.sequence for r in sessions[0].records] == [0, 1]
+    assert sessions[1].user_id == 3
+
+
+def test_to_arrays_shapes():
+    dataset = TraceDataset([make_record(), make_record(8.0)])
+    x, y = dataset.to_arrays()
+    assert x.shape == (2, 10)
+    assert np.allclose(y, [5.0, 8.0])
+
+
+def test_to_arrays_empty_rejected():
+    with pytest.raises(ValueError):
+        TraceDataset([]).to_arrays()
+
+
+def test_csv_roundtrip(tmp_path):
+    dataset = TraceDataset([make_record(3.3), make_record(44.0, user=2)])
+    path = tmp_path / "trace.csv"
+    dataset.save_csv(str(path))
+    restored = TraceDataset.load_csv(str(path))
+    assert len(restored) == 2
+    for original, loaded in zip(dataset, restored):
+        assert loaded == original

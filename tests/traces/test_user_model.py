@@ -1,0 +1,47 @@
+"""User interest profiles."""
+
+import numpy as np
+import pytest
+
+from repro.traces.user_model import TOPICS, UserProfile, sample_user
+
+
+def test_profile_requires_one_weight_per_topic():
+    with pytest.raises(ValueError):
+        UserProfile(user_id=0, interests=(0.5,), dwell_offset=0.0)
+
+
+def test_weights_must_be_unit_interval():
+    bad = tuple([1.5] + [0.5] * (len(TOPICS) - 1))
+    with pytest.raises(ValueError):
+        UserProfile(user_id=0, interests=bad, dwell_offset=0.0)
+
+
+def test_interest_lookup():
+    interests = tuple(i / 10 for i in range(len(TOPICS)))
+    profile = UserProfile(user_id=0, interests=interests, dwell_offset=0.0)
+    assert profile.interest_in(TOPICS[3]) == 0.3
+
+
+def test_bounce_probability_decreases_with_interest():
+    lo = UserProfile(0, tuple([0.0] * len(TOPICS)), 0.0)
+    hi = UserProfile(0, tuple([1.0] * len(TOPICS)), 0.0)
+    assert lo.bounce_probability(TOPICS[0]) > hi.bounce_probability(TOPICS[0])
+
+
+def test_bounce_probability_clipped():
+    hi = UserProfile(0, tuple([1.0] * len(TOPICS)), 0.0)
+    assert hi.bounce_probability(TOPICS[0]) >= 0.05
+
+
+def test_sample_user_is_seeded():
+    a = sample_user(1, np.random.default_rng(42))
+    b = sample_user(1, np.random.default_rng(42))
+    assert a == b
+
+
+def test_sampled_users_differ():
+    rng = np.random.default_rng(42)
+    a = sample_user(1, rng)
+    b = sample_user(2, rng)
+    assert a.interests != b.interests

@@ -1,0 +1,55 @@
+"""Table 3 benchmark corpus."""
+
+import pytest
+
+from repro.webpages.corpus import (
+    FULL_BENCHMARK,
+    MOBILE_BENCHMARK,
+    benchmark_pages,
+    find_page,
+    load_benchmark_page,
+)
+
+
+def test_ten_pages_per_half():
+    assert len(MOBILE_BENCHMARK) == 10
+    assert len(FULL_BENCHMARK) == 10
+
+
+def test_mobile_pages_are_small_and_mobile():
+    for page in benchmark_pages(mobile=True):
+        assert page.mobile
+        assert 30 <= page.total_kb <= 200
+        assert page.page_width == 320
+
+
+def test_full_pages_are_heavy():
+    for page in benchmark_pages(mobile=False):
+        assert not page.mobile
+        assert 300 <= page.total_kb <= 1000
+        assert page.object_count >= 25
+
+
+def test_espn_pinned_near_760_kb():
+    page = find_page("espn.go.com/sports")
+    assert page.total_kb == pytest.approx(760, rel=0.08)
+
+
+def test_find_page_unknown_raises():
+    with pytest.raises(KeyError):
+        find_page("gopher://nonexistent")
+
+
+def test_pages_are_memoised():
+    entry = MOBILE_BENCHMARK[0]
+    assert load_benchmark_page(entry) is load_benchmark_page(entry)
+
+
+def test_paper_names_match_table3():
+    mobile_names = {e.paper_name for e in MOBILE_BENCHMARK}
+    assert {"cnn", "ebay", "amazon", "msn", "myspace", "aol", "nytime",
+            "youtube", "espn.go.com", "bbc.co.uk"} == mobile_names
+    full_names = {e.paper_name for e in FULL_BENCHMARK}
+    assert "espn.go.com/sports" in full_names
+    assert "www.motors.ebay.com" in full_names
+    assert "www.apple.com" in full_names

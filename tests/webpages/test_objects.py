@@ -1,0 +1,42 @@
+"""WebObject model invariants."""
+
+import pytest
+
+from repro.webpages.objects import ObjectKind, WebObject
+
+
+def test_references_concatenates_static_then_dynamic():
+    obj = WebObject("s", ObjectKind.JS, 100,
+                    static_references=("a",), dynamic_references=("b",))
+    assert obj.references == ("a", "b")
+
+
+def test_only_scripts_discover_dynamically():
+    with pytest.raises(ValueError, match="dynamic"):
+        WebObject("h", ObjectKind.HTML, 100, dynamic_references=("x",))
+
+
+def test_multimedia_cannot_reference():
+    with pytest.raises(ValueError, match="multimedia"):
+        WebObject("i", ObjectKind.IMAGE, 100, static_references=("x",))
+
+
+def test_multimedia_kinds():
+    assert ObjectKind.IMAGE.is_multimedia
+    assert ObjectKind.FLASH.is_multimedia
+    assert not ObjectKind.HTML.is_multimedia
+    assert not ObjectKind.CSS.is_multimedia
+    assert not ObjectKind.JS.is_multimedia
+
+
+def test_size_kb():
+    assert WebObject("x", ObjectKind.CSS, 2500).size_kb == 2.5
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        WebObject("x", ObjectKind.CSS, -1)
+    with pytest.raises(ValueError):
+        WebObject("x", ObjectKind.JS, 10, complexity=0)
+    with pytest.raises(ValueError):
+        WebObject("x", ObjectKind.JS, 10, dom_nodes=-1)

@@ -1,0 +1,93 @@
+"""Webpage structural invariants."""
+
+import pytest
+
+from repro.webpages.objects import ObjectKind, WebObject
+from repro.webpages.page import PageValidationError, Webpage
+
+
+def make_objects():
+    return {
+        "root": WebObject("root", ObjectKind.HTML, 1000,
+                          static_references=("a.css", "b.js"),
+                          dom_nodes=10),
+        "a.css": WebObject("a.css", ObjectKind.CSS, 500,
+                           static_references=("img",)),
+        "b.js": WebObject("b.js", ObjectKind.JS, 300,
+                          dynamic_references=("img2",)),
+        "img": WebObject("img", ObjectKind.IMAGE, 2000),
+        "img2": WebObject("img2", ObjectKind.IMAGE, 800),
+    }
+
+
+def make_page(**overrides):
+    objects = make_objects()
+    objects.update(overrides)
+    return Webpage(url="http://x", root_id="root", objects=objects)
+
+
+def test_valid_page_builds():
+    page = make_page()
+    assert page.object_count == 5
+    assert page.total_bytes == 4600
+    assert page.total_kb == pytest.approx(4.6)
+
+
+def test_missing_root_rejected():
+    with pytest.raises(PageValidationError, match="root"):
+        Webpage(url="http://x", root_id="nope", objects=make_objects())
+
+
+def test_non_html_root_rejected():
+    objects = make_objects()
+    with pytest.raises(PageValidationError, match="HTML"):
+        Webpage(url="http://x", root_id="a.css", objects=objects)
+
+
+def test_dangling_reference_rejected():
+    objects = make_objects()
+    objects["root"] = WebObject("root", ObjectKind.HTML, 1000,
+                                static_references=("ghost",))
+    with pytest.raises(PageValidationError, match="unknown"):
+        Webpage(url="http://x", root_id="root", objects=objects)
+
+
+def test_cycle_rejected():
+    objects = {
+        "root": WebObject("root", ObjectKind.HTML, 100,
+                          static_references=("a.js",)),
+        "a.js": WebObject("a.js", ObjectKind.JS, 100,
+                          dynamic_references=("b.js",)),
+        "b.js": WebObject("b.js", ObjectKind.JS, 100,
+                          dynamic_references=("a.js",)),
+    }
+    with pytest.raises(PageValidationError, match="cycle"):
+        Webpage(url="http://x", root_id="root", objects=objects)
+
+
+def test_unreachable_object_rejected():
+    objects = make_objects()
+    objects["orphan"] = WebObject("orphan", ObjectKind.IMAGE, 10)
+    with pytest.raises(PageValidationError, match="unreachable"):
+        Webpage(url="http://x", root_id="root", objects=objects)
+
+
+def test_reachable_ids_bfs_order():
+    page = make_page()
+    order = page.reachable_ids()
+    assert order[0] == "root"
+    assert set(order) == set(page.objects)
+
+
+def test_kind_accessors():
+    page = make_page()
+    assert page.count_of_kind(ObjectKind.IMAGE) == 2
+    assert page.bytes_of_kind(ObjectKind.IMAGE) == 2800
+    assert [o.object_id for o in page.objects_of_kind(ObjectKind.IMAGE)] \
+        == ["img", "img2"]
+
+
+def test_total_dom_nodes():
+    page = make_page()
+    expected = sum(o.dom_nodes for o in page.objects.values())
+    assert page.total_dom_nodes == expected
