@@ -1,6 +1,10 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench experiments ablations examples clean
+.PHONY: install test bench experiments experiments-parallel ablations \
+	ci examples clean
+
+# Worker count for the parallel experiment runner (override: make N=8 ...).
+N ?= 4
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,8 +18,15 @@ bench:
 experiments:
 	python -m repro.experiments.runner
 
+experiments-parallel:
+	python -m repro experiments --parallel $(N) --cache
+
 ablations:
 	python -m repro ablations
+
+ci:
+	python -m pytest -x -q
+	python -m repro experiments --parallel 2 fig01 table05
 
 examples:
 	python examples/quickstart.py

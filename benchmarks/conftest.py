@@ -4,19 +4,44 @@ Each file regenerates one of the paper's tables or figures: the
 benchmark times the experiment run, and the experiment's report — the
 same rows/series the paper plots — is echoed so ``pytest benchmarks/
 --benchmark-only -s`` doubles as the reproduction record.
+
+Alongside every report the harness prints the kernel runtime metrics
+accumulated during the benchmark — events processed, cancellations,
+peak queue depth, and the sim-time/real-time ratio — collected from
+:data:`repro.runtime.observability.KERNEL_STATS`.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.runtime.observability import KERNEL_STATS
+
+
+@pytest.fixture(autouse=True)
+def _reset_kernel_stats():
+    """Give each benchmark its own kernel-stats attribution window."""
+    KERNEL_STATS.reset()
+    yield
+
 
 @pytest.fixture
 def record_report(request):
-    """Print an experiment's report under the benchmark's name."""
+    """Print an experiment's report (plus kernel metrics) under the
+    benchmark's name."""
 
     def _record(result) -> None:
         text = result.report()
-        print(f"\n[{request.node.name}]\n{text}\n")
+        stats = KERNEL_STATS.snapshot()
+        lines = [f"\n[{request.node.name}]", text]
+        if stats.events_processed:
+            lines.append(
+                f"[kernel] {stats.events_processed} events, "
+                f"{stats.cancellations} cancellations, "
+                f"peak queue depth {stats.peak_queue_depth}, "
+                f"sim/real {stats.sim_time_ratio:.0f}x "
+                f"({stats.sim_time:.1f}s simulated in "
+                f"{stats.wall_time:.3f}s)")
+        print("\n".join(lines) + "\n")
 
     return _record

@@ -21,7 +21,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.capacity.simulator import CapacityConfig, CapacityResult
+from repro.capacity.simulator import CapacityConfig, CapacityResult, CapacitySimulator
 from repro.units import require_positive
 
 
@@ -76,7 +76,7 @@ class FiniteSourceCapacitySimulator:
         return CapacityResult(n_users=n_users, sessions=sessions,
                               dropped=dropped)
 
-    def sweep(self, user_counts: Sequence[int],
-              seed: Optional[int] = None) -> list:
-        """Run a user-count sweep; returns a list of results."""
-        return [self.run(n, seed=seed) for n in user_counts]
+    # Same decorrelated-by-default sweep seeding as the M/G/N model;
+    # both only need ``self.config`` and ``self.run``.
+    sweep_seeds = CapacitySimulator.sweep_seeds
+    sweep = CapacitySimulator.sweep

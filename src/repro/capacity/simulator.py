@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.runtime.seeding import spawn_seeds
 from repro.units import hours, require_positive
 
 
@@ -101,10 +102,31 @@ class CapacitySimulator:
         return CapacityResult(n_users=n_users, sessions=int(arrivals.size),
                               dropped=dropped)
 
+    def sweep_seeds(self, n_points: int,
+                    seed: Optional[int] = None,
+                    common_random_numbers: bool = False) -> list:
+        """Per-point seeds for a sweep of ``n_points`` user counts.
+
+        By default each point gets an independent child of one
+        ``SeedSequence`` root, so adjacent sweep points are statistically
+        decorrelated (sharing one seed biases the whole curve up or down
+        together).  ``common_random_numbers=True`` opts back into a
+        single shared seed — the classic variance-reduction trick for
+        *comparing* two systems point-by-point on the same arrival luck.
+        """
+        base = self.config.seed if seed is None else seed
+        if common_random_numbers:
+            return [base] * n_points
+        return spawn_seeds(base, n_points)
+
     def sweep(self, user_counts: Sequence[int],
-              seed: Optional[int] = None) -> list:
+              seed: Optional[int] = None,
+              common_random_numbers: bool = False) -> list:
         """Run a user-count sweep; returns a list of results."""
-        return [self.run(n, seed=seed) for n in user_counts]
+        seeds = self.sweep_seeds(len(user_counts), seed=seed,
+                                 common_random_numbers=common_random_numbers)
+        return [self.run(n, seed=s)
+                for n, s in zip(user_counts, seeds)]
 
 
 def capacity_at_drop_target(simulator: CapacitySimulator, target: float,

@@ -3,8 +3,9 @@
 Subcommands::
 
     repro compare --page espn.go.com/sports --reading 20
-    repro experiments [fig08 table04 ...]
-    repro ablations [reorganisation timers predictor alpha]
+    repro experiments [fig08 table04 ...] [--parallel N] [--cache]
+                      [--report out.json]
+    repro ablations [reorganisation timers predictor alpha] [--parallel N]
     repro trace --out trace.csv
     repro train --trace trace.csv --out model.json
     repro predict --model model.json --trace trace.csv --threshold 9
@@ -16,13 +17,18 @@ Also reachable as ``python -m repro``.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import List, Optional
 
 from repro.core.comparison import compare_engines
-from repro.experiments import ablations
-from repro.experiments.runner import ALL_EXPERIMENTS, run_all
+from repro.experiments.ablations import ALL_ABLATIONS
+from repro.experiments.runner import ALL_EXPERIMENTS
 from repro.prediction.predictor import ReadingTimePredictor
+from repro.runtime import parallel as runtime_parallel
+from repro.runtime.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runtime.report import write_report
+from repro.runtime.seeding import DEFAULT_ROOT_SEED
 from repro.traces.generator import TraceConfig, generate_trace
 from repro.traces.records import TraceDataset
 from repro.webpages.corpus import find_page
@@ -46,6 +52,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_suite(kind: str, ids: List[str],
+               args: argparse.Namespace) -> int:
+    cache = None
+    if getattr(args, "cache", False) or getattr(args, "cache_dir", None):
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    try:
+        suite = runtime_parallel.run_tasks(
+            kind, ids or None, processes=args.parallel, cache=cache,
+            root_seed=args.seed)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(suite.render())
+    print(suite.render_summary())
+    if getattr(args, "report", None):
+        write_report(suite.to_dict(), args.report)
+        print(f"report -> {args.report}")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     known = {experiment_id for experiment_id, _, _ in ALL_EXPERIMENTS}
     unknown = set(args.ids) - known
@@ -53,29 +79,16 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print(f"unknown experiment ids: {sorted(unknown)}; "
               f"known: {sorted(known)}", file=sys.stderr)
         return 2
-    suite = run_all(only=tuple(args.ids))
-    print(suite.render())
-    return 0
+    return _run_suite(runtime_parallel.KIND_EXPERIMENT, args.ids, args)
 
 
 def _cmd_ablations(args: argparse.Namespace) -> int:
-    studies = {
-        "reorganisation": ablations.reorganisation_ablation,
-        "timers": ablations.timer_ablation,
-        "predictor": ablations.predictor_ablation,
-        "alpha": ablations.interest_threshold_ablation,
-        "carriers": ablations.carrier_ablation,
-    }
-    names = args.names or list(studies)
-    unknown = set(names) - set(studies)
+    unknown = set(args.names) - set(ALL_ABLATIONS)
     if unknown:
         print(f"unknown ablations: {sorted(unknown)}; "
-              f"known: {sorted(studies)}", file=sys.stderr)
+              f"known: {sorted(ALL_ABLATIONS)}", file=sys.stderr)
         return 2
-    for name in names:
-        print(studies[name]().report())
-        print()
-    return 0
+    return _run_suite(runtime_parallel.KIND_ABLATION, args.names, args)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -154,6 +167,23 @@ def _cmd_session(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by the suite-running subcommands."""
+    parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="fan tasks out across N worker processes (default: 1)")
+    parser.add_argument(
+        "--cache", action="store_true",
+        help=f"skip tasks already cached under {DEFAULT_CACHE_DIR}/")
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="cache directory (implies --cache)")
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_ROOT_SEED,
+        help="root seed for per-task seed derivation "
+             f"(default: {DEFAULT_ROOT_SEED})")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -173,12 +203,20 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate the paper's tables and figures")
     experiments.add_argument("ids", nargs="*",
                              help="experiment ids (default: all)")
+    _add_runtime_options(experiments)
+    experiments.add_argument(
+        "--report", metavar="PATH",
+        help="write a structured run report (.json or .csv)")
     experiments.set_defaults(func=_cmd_experiments)
 
     ablation = subparsers.add_parser("ablations",
                                      help="run the ablation studies")
     ablation.add_argument("names", nargs="*",
                           help="reorganisation|timers|predictor|alpha|carriers")
+    _add_runtime_options(ablation)
+    ablation.add_argument(
+        "--report", metavar="PATH",
+        help="write a structured run report (.json or .csv)")
     ablation.set_defaults(func=_cmd_ablations)
 
     trace = subparsers.add_parser(
@@ -215,6 +253,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    # Die quietly on SIGPIPE so `repro experiments | head` doesn't
+    # traceback: the suite reports are long and made to be piped.
+    if hasattr(signal, "SIGPIPE"):
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

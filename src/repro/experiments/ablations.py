@@ -320,3 +320,14 @@ def carrier_ablation(reading_time: float = 20.0,
         rows.append(CarrierRow(carrier=carrier, t1=t1, t2=t2,
                                energy_saving=comparison.energy_saving))
     return CarrierAblation(rows=rows, reading_time=reading_time)
+
+
+#: Canonical name → zero-argument runner registry, shared by the CLI and
+#: the parallel runner (:mod:`repro.runtime.parallel`).
+ALL_ABLATIONS = {
+    "reorganisation": reorganisation_ablation,
+    "timers": timer_ablation,
+    "predictor": predictor_ablation,
+    "alpha": interest_threshold_ablation,
+    "carriers": carrier_ablation,
+}

@@ -2,11 +2,14 @@
 
 ``python -m repro.experiments.runner`` prints each experiment's report;
 the same entry points drive the pytest-benchmark harness under
-``benchmarks/``.
+``benchmarks/``.  ``--parallel N`` delegates to the process-pool runner
+in :mod:`repro.runtime.parallel` (the ``repro experiments`` subcommand
+exposes the full option set: caching, report export, seeding).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
@@ -78,7 +81,23 @@ def run_all(only: Tuple[str, ...] = ()) -> SuiteRun:
 
 
 def main(argv: List[str]) -> int:
-    only = tuple(argv[1:])
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="regenerate the paper's tables and figures")
+    parser.add_argument("ids", nargs="*",
+                        help="experiment ids (default: all)")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="worker processes (default: 1, sequential)")
+    args = parser.parse_args(argv[1:])
+    only = tuple(args.ids)
+    if args.parallel > 1:
+        # Imported here: repro.runtime.parallel imports this module.
+        from repro.runtime.parallel import run_experiments
+
+        suite = run_experiments(only or None, processes=args.parallel)
+        print(suite.render())
+        print(suite.render_summary())
+        return 0
     suite = run_all(only=only)
     for experiment_id, title, _ in ALL_EXPERIMENTS:
         if experiment_id in suite.reports:

@@ -1,9 +1,14 @@
 """The 3G link: a bandwidth/RTT pipe gated by the RRC state machine.
 
-Transfers are serialised FIFO.  On a 3G downlink the handset's parallel
+Transfers are serialised.  On a 3G downlink the handset's parallel
 HTTP connections share one dedicated channel, so aggregate throughput —
 which is what the energy accounting depends on — is the same whether the
-byte streams interleave or queue; FIFO keeps the simulation deterministic.
+byte streams interleave or queue; serialising keeps the simulation
+deterministic.  Within the serial order, documents/stylesheets/scripts
+take priority over media, and a request whose round trip has already
+elapsed (response bytes ready to stream) goes out before one that would
+stall the downlink for its remaining RTT — the serial stand-in for the
+parallel connections real browsers use.
 
 Every transfer acquires the dedicated channel first (paying the promotion
 latency when the radio is in FACH or IDLE) and brackets its wire time with
@@ -125,11 +130,10 @@ class Link:
         if not (self._high or self._low):  # all requests were drained
             self._active = False
             return
-        transfer, on_complete = (self._high.popleft() if self._high
-                                 else self._low.popleft())
         now = self._sim.now
         if self._streak_ready is None:
             self._streak_ready = now
+        transfer, on_complete = self._pop_next(now)
         transfer.started_at = now
         self._machine.tx_begin()
         # The RTT can only overlap time during which the request could
@@ -139,6 +143,33 @@ class Link:
         wire = self.config.wire_time(transfer.size_bytes,
                                      queue_delay=overlap)
         self._sim.schedule(wire, self._transfer_done, transfer, on_complete)
+
+    def _pop_next(self, now: float
+                  ) -> Tuple[Transfer, Callable[[Transfer], None]]:
+        """Pick the next transfer to put on the downlink.
+
+        Prefer a request whose round trip has already elapsed — its
+        response bytes are at the handset, ready to stream, so the
+        downlink pays no dead air — documents before media as usual.
+        Only when *no* queued response is ready does the strict
+        priority-FIFO head go out and pay its remaining RTT.  Each queue
+        is FIFO in request time, so checking heads is enough: if any
+        entry is ready, the head is.  Without this, a freshly issued
+        request (a script discovered late in a chain) stalls the pipe
+        for a full RTT while long-queued responses sit ready behind it.
+        """
+        def head_ready(queue) -> bool:
+            if not queue:
+                return False
+            head, _ = queue[0]
+            waited = now - max(head.requested_at, self._streak_ready)
+            return waited >= self.config.rtt
+        if head_ready(self._high):
+            return self._high.popleft()
+        if head_ready(self._low):
+            return self._low.popleft()
+        return (self._high.popleft() if self._high
+                else self._low.popleft())
 
     def _transfer_done(self, transfer: Transfer,
                        on_complete: Callable[[Transfer], None]) -> None:

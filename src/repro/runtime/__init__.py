@@ -1,0 +1,49 @@
+"""Parallel execution, result caching, and observability for the suite.
+
+Layout:
+
+- :mod:`repro.runtime.observability` — kernel counters and the
+  process-wide collector ``Simulator.run`` reports into;
+- :mod:`repro.runtime.seeding` — deterministic seed derivation
+  (``SeedSequence`` positional spawns and keyed task seeds);
+- :mod:`repro.runtime.cache` — content-addressed on-disk result cache
+  keyed by task, parameters, and a code-version hash;
+- :mod:`repro.runtime.report` — JSON/CSV export of suite runs;
+- :mod:`repro.runtime.parallel` — the process-pool runner itself
+  (imported on demand: it reaches into :mod:`repro.experiments`, which
+  the sim kernel — an importer of this package — must not).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.cache import ResultCache, cache_key, code_version_hash
+from repro.runtime.observability import (
+    KERNEL_STATS,
+    KernelStatsCollector,
+    SimRunStats,
+    collecting,
+)
+from repro.runtime.report import write_csv_report, write_json_report, write_report
+from repro.runtime.seeding import (
+    DEFAULT_ROOT_SEED,
+    spawn_seeds,
+    task_seed,
+    task_seeds,
+)
+
+__all__ = [
+    "ResultCache",
+    "cache_key",
+    "code_version_hash",
+    "KERNEL_STATS",
+    "KernelStatsCollector",
+    "SimRunStats",
+    "collecting",
+    "write_csv_report",
+    "write_json_report",
+    "write_report",
+    "DEFAULT_ROOT_SEED",
+    "spawn_seeds",
+    "task_seed",
+    "task_seeds",
+]

@@ -1,0 +1,130 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A cache entry is keyed by the SHA-256 of everything that could change the
+result:
+
+- the task kind and identifier (``experiment:fig08``),
+- the task parameters (seed, config overrides) in canonical JSON,
+- the **code version** — a digest over every ``.py`` file in the
+  installed ``repro`` package.
+
+Any source edit therefore invalidates the whole cache; no staleness
+heuristics, no mtime races.  Entries are small JSON documents (the
+rendered report plus runtime metrics), written atomically so a killed
+run never leaves a torn entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_code_version_memo: Optional[str] = None
+
+
+def code_version_hash() -> str:
+    """Digest of the installed ``repro`` package's Python source.
+
+    Memoised per process: the source cannot change underneath a running
+    interpreter in any way that matters to already-imported modules.
+    """
+    global _code_version_memo
+    if _code_version_memo is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_version_memo = digest.hexdigest()
+    return _code_version_memo
+
+
+def cache_key(kind: str, task_id: str, params: Dict[str, Any],
+              code_version: Optional[str] = None) -> str:
+    """Content hash identifying one task execution."""
+    payload = json.dumps(
+        {
+            "kind": kind,
+            "task_id": task_id,
+            "params": params,
+            "code_version": code_version or code_version_hash(),
+        },
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` entries, one per completed task."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else Path(DEFAULT_CACHE_DIR)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the cached payload for ``key``, or ``None`` on a miss.
+
+        A corrupt entry (torn write from a hard kill, manual edit) is
+        treated as a miss and removed so it gets regenerated.
+        """
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.root),
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,125 @@
+"""Kernel observability: per-run counters and a process-wide collector.
+
+The simulation kernel (:mod:`repro.sim.kernel`) reports a
+:class:`SimRunStats` record to :data:`KERNEL_STATS` every time
+``Simulator.run`` returns.  Harnesses that want to attribute kernel work
+to a unit of their own — one experiment in the parallel runner, one
+benchmark round — bracket that unit with :meth:`KernelStatsCollector.
+reset` / :meth:`KernelStatsCollector.snapshot` (or the
+:func:`collecting` context manager) and read the aggregate.
+
+This module deliberately imports nothing from the rest of the library so
+the kernel can depend on it without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+
+@dataclass(frozen=True)
+class SimRunStats:
+    """Counters from one ``Simulator.run`` call (or one lifetime)."""
+
+    #: Callbacks executed.
+    events_processed: int = 0
+    #: Events cancelled via ``Simulator.cancel``.
+    cancellations: int = 0
+    #: Largest number of live events queued at once.
+    peak_queue_depth: int = 0
+    #: Simulated seconds the clock advanced.
+    sim_time: float = 0.0
+    #: Real seconds spent inside the event loop.
+    wall_time: float = 0.0
+
+    @property
+    def sim_time_ratio(self) -> float:
+        """Simulated seconds per real second (speed-up factor).
+
+        The headline "runs as fast as the hardware allows" metric: a
+        ratio of 1000 means one wall-clock second simulates 1000 seconds
+        of device time.  Zero wall time (nothing ran) reports 0.
+        """
+        if self.wall_time <= 0.0:
+            return 0.0
+        return self.sim_time / self.wall_time
+
+    def merged(self, other: "SimRunStats") -> "SimRunStats":
+        """Combine two records: sums for flows, max for the peak."""
+        return SimRunStats(
+            events_processed=self.events_processed + other.events_processed,
+            cancellations=self.cancellations + other.cancellations,
+            peak_queue_depth=max(self.peak_queue_depth,
+                                 other.peak_queue_depth),
+            sim_time=self.sim_time + other.sim_time,
+            wall_time=self.wall_time + other.wall_time)
+
+    def to_dict(self) -> Dict[str, float]:
+        """Flat dict for JSON/CSV report rows."""
+        return {
+            "events_processed": self.events_processed,
+            "cancellations": self.cancellations,
+            "peak_queue_depth": self.peak_queue_depth,
+            "sim_time": self.sim_time,
+            "wall_time": self.wall_time,
+            "sim_time_ratio": self.sim_time_ratio,
+        }
+
+
+class KernelStatsCollector:
+    """Aggregates :class:`SimRunStats` across every simulator in-process.
+
+    Thread-safe: benchmarks and the inline (``--parallel 1``) runner may
+    drive simulators from worker threads.  In the process-pool runner
+    each worker process has its own collector, which is exactly the
+    per-task attribution we want.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._total = SimRunStats()
+        self._runs = 0
+
+    def record(self, stats: SimRunStats) -> None:
+        """Fold one run's counters into the aggregate."""
+        with self._lock:
+            self._total = self._total.merged(stats)
+            self._runs += 1
+
+    def reset(self) -> None:
+        """Zero the aggregate (start of a new attribution window)."""
+        with self._lock:
+            self._total = SimRunStats()
+            self._runs = 0
+
+    def snapshot(self) -> SimRunStats:
+        """The aggregate since the last :meth:`reset`."""
+        with self._lock:
+            return self._total
+
+    @property
+    def runs_recorded(self) -> int:
+        """Number of ``Simulator.run`` calls folded in so far."""
+        with self._lock:
+            return self._runs
+
+
+#: Process-wide collector the kernel reports into.
+KERNEL_STATS = KernelStatsCollector()
+
+
+@contextmanager
+def collecting() -> Iterator[KernelStatsCollector]:
+    """Reset :data:`KERNEL_STATS`, yield it, leave the aggregate readable.
+
+    The pattern used around one experiment::
+
+        with collecting() as stats:
+            result = experiment.run()
+        kernel_metrics = stats.snapshot()
+    """
+    KERNEL_STATS.reset()
+    yield KERNEL_STATS

@@ -1,0 +1,306 @@
+"""Process-pool experiment runner with caching and kernel observability.
+
+``ALL_EXPERIMENTS`` is embarrassingly parallel — every figure/table
+builds its own handsets and traces — yet the sequential runner serialises
+roughly two minutes of independent work.  This module fans experiments
+(and ablations, and capacity sweeps) out across worker processes while
+keeping three guarantees:
+
+- **determinism**: each task's seed derives from ``(root_seed, task id)``
+  via :func:`repro.runtime.seeding.task_seed`, so output is independent
+  of worker count, scheduling order, and which subset of tasks runs.
+  ``--parallel 8`` is byte-identical to ``--parallel 1``.
+- **idempotence**: with a :class:`repro.runtime.cache.ResultCache`, a
+  task whose (id, params, code version) triple already has an entry is
+  skipped and served from disk.
+- **attribution**: every task reports kernel counters (events processed,
+  cancellations, peak queue depth) and the wall-clock/sim-time ratio,
+  collected via :mod:`repro.runtime.observability`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.cache import ResultCache, cache_key, code_version_hash
+from repro.runtime.observability import SimRunStats, collecting
+from repro.runtime.seeding import DEFAULT_ROOT_SEED, task_seed
+
+KIND_EXPERIMENT = "experiment"
+KIND_ABLATION = "ablation"
+
+
+def _experiment_registry() -> "Dict[str, Tuple[str, Callable]]":
+    # Imported lazily: repro.experiments pulls in every figure module,
+    # which this module's importers (the kernel-adjacent ones) must not.
+    from repro.experiments.runner import ALL_EXPERIMENTS
+
+    return {task_id: (title, runner)
+            for task_id, title, runner in ALL_EXPERIMENTS}
+
+
+def _ablation_registry() -> "Dict[str, Tuple[str, Callable]]":
+    from repro.experiments.ablations import ALL_ABLATIONS
+
+    return {name: (f"Ablation: {name}", runner)
+            for name, runner in ALL_ABLATIONS.items()}
+
+
+_REGISTRIES = {
+    KIND_EXPERIMENT: _experiment_registry,
+    KIND_ABLATION: _ablation_registry,
+}
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One completed (or cache-served) task."""
+
+    task_id: str
+    kind: str
+    title: str
+    seed: int
+    report: str
+    wall_time: float
+    kernel: SimRunStats
+    cached: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        row: Dict[str, Any] = {
+            "task_id": self.task_id,
+            "kind": self.kind,
+            "title": self.title,
+            "seed": self.seed,
+            "cached": self.cached,
+            "wall_time": self.wall_time,
+            "report": self.report,
+        }
+        row.update(self.kernel.to_dict())
+        return row
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any],
+                  cached: bool = False) -> "TaskResult":
+        return cls(
+            task_id=payload["task_id"],
+            kind=payload["kind"],
+            title=payload["title"],
+            seed=payload["seed"],
+            report=payload["report"],
+            wall_time=payload["wall_time"],
+            kernel=SimRunStats(
+                events_processed=int(payload.get("events_processed", 0)),
+                cancellations=int(payload.get("cancellations", 0)),
+                peak_queue_depth=int(payload.get("peak_queue_depth", 0)),
+                sim_time=float(payload.get("sim_time", 0.0)),
+                wall_time=float(payload.get("wall_time", 0.0))),
+            cached=cached)
+
+
+@dataclass
+class SuiteReport:
+    """Every task's report plus the run's own runtime metrics."""
+
+    results: List[TaskResult]
+    processes: int
+    root_seed: int
+    total_wall_time: float
+    code_version: str = field(default_factory=code_version_hash)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for result in self.results if result.cached)
+
+    def render(self) -> str:
+        """The experiment reports, in canonical registry order."""
+        blocks: List[str] = []
+        for result in self.results:
+            blocks.append(f"== {result.task_id}: {result.title} ==")
+            blocks.append(result.report)
+            blocks.append("")
+        return "\n".join(blocks)
+
+    def render_summary(self) -> str:
+        """One line per task: where the wall-clock went."""
+        lines = [f"-- runtime: {len(self.results)} tasks, "
+                 f"{self.n_cached} cached, {self.processes} workers, "
+                 f"{self.total_wall_time:.2f}s wall --"]
+        for result in self.results:
+            source = "cache" if result.cached else "run"
+            kernel = result.kernel
+            lines.append(
+                f"  {result.task_id:10s} {result.wall_time:7.2f}s "
+                f"[{source:5s}]  {kernel.events_processed:8d} events  "
+                f"{kernel.cancellations:6d} cancels  "
+                f"depth {kernel.peak_queue_depth:4d}  "
+                f"sim/real {kernel.sim_time_ratio:9.1f}x")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "suite": {
+                "n_tasks": len(self.results),
+                "n_cached": self.n_cached,
+                "processes": self.processes,
+                "root_seed": self.root_seed,
+                "code_version": self.code_version,
+                "total_wall_time": self.total_wall_time,
+            },
+            "tasks": [result.to_dict() for result in self.results],
+        }
+
+
+def _execute_task(kind: str, task_id: str, seed: int) -> Dict[str, Any]:
+    """Worker entry point: run one task and return its payload dict.
+
+    Runs in a pool worker (or inline for ``processes=1``).  The legacy
+    global NumPy stream is re-seeded from the task seed so any code path
+    still drawing from ``np.random`` is reproducible regardless of which
+    worker picks the task up or what ran in that worker before.
+    """
+    title, runner = _REGISTRIES[kind]()[task_id]
+    np.random.seed(seed % (2 ** 32))
+    started = _time.perf_counter()
+    with collecting() as collector:
+        report = runner().report()
+    wall_time = _time.perf_counter() - started
+    kernel = collector.snapshot()
+    payload = {
+        "task_id": task_id,
+        "kind": kind,
+        "title": title,
+        "seed": seed,
+        "report": report,
+        "wall_time": wall_time,
+    }
+    payload.update(kernel.to_dict())
+    # wall_time in the kernel record is time inside Simulator.run only;
+    # the task-level wall_time above wins for the flat payload.
+    payload["wall_time"] = wall_time
+    return payload
+
+
+def _task_params(seed: int) -> Dict[str, Any]:
+    return {"seed": seed}
+
+
+def run_tasks(kind: str,
+              ids: Optional[Sequence[str]] = None,
+              processes: int = 1,
+              cache: Optional[ResultCache] = None,
+              root_seed: int = DEFAULT_ROOT_SEED) -> SuiteReport:
+    """Run a batch of registered tasks, possibly in parallel.
+
+    ``ids=None`` means every task in the registry, in registry order —
+    results always come back in that canonical order, whatever order the
+    workers finish in.  Unknown ids raise ``KeyError`` before any work
+    starts.
+    """
+    if processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    registry = _REGISTRIES[kind]()
+    if ids is None or not ids:
+        selected = list(registry)
+    else:
+        unknown = [task_id for task_id in ids if task_id not in registry]
+        if unknown:
+            raise KeyError(
+                f"unknown {kind} ids: {sorted(unknown)}; "
+                f"known: {sorted(registry)}")
+        # Canonical order + dedup, whatever order the caller typed.
+        requested = set(ids)
+        selected = [task_id for task_id in registry
+                    if task_id in requested]
+
+    started = _time.perf_counter()
+    code_version = code_version_hash()
+    seeds = {task_id: task_seed(root_seed, f"{kind}:{task_id}")
+             for task_id in selected}
+
+    results: Dict[str, TaskResult] = {}
+    pending: List[str] = []
+    keys: Dict[str, str] = {}
+    for task_id in selected:
+        if cache is not None:
+            key = cache_key(kind, task_id, _task_params(seeds[task_id]),
+                            code_version)
+            keys[task_id] = key
+            hit = cache.get(key)
+            if hit is not None:
+                results[task_id] = TaskResult.from_dict(hit, cached=True)
+                continue
+        pending.append(task_id)
+
+    if pending:
+        if processes == 1 or len(pending) == 1:
+            payloads = [_execute_task(kind, task_id, seeds[task_id])
+                        for task_id in pending]
+        else:
+            workers = min(processes, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_execute_task, kind, task_id,
+                                       seeds[task_id])
+                           for task_id in pending]
+                payloads = [future.result() for future in futures]
+        for payload in payloads:
+            task_id = payload["task_id"]
+            if cache is not None:
+                cache.put(keys[task_id], payload)
+            results[task_id] = TaskResult.from_dict(payload)
+
+    return SuiteReport(
+        results=[results[task_id] for task_id in selected],
+        processes=processes,
+        root_seed=root_seed,
+        total_wall_time=_time.perf_counter() - started,
+        code_version=code_version)
+
+
+def run_experiments(ids: Optional[Sequence[str]] = None,
+                    processes: int = 1,
+                    cache: Optional[ResultCache] = None,
+                    root_seed: int = DEFAULT_ROOT_SEED) -> SuiteReport:
+    """Fan the figure/table suite out across ``processes`` workers."""
+    return run_tasks(KIND_EXPERIMENT, ids, processes, cache, root_seed)
+
+
+def run_ablations(names: Optional[Sequence[str]] = None,
+                  processes: int = 1,
+                  cache: Optional[ResultCache] = None,
+                  root_seed: int = DEFAULT_ROOT_SEED) -> SuiteReport:
+    """Fan the ablation studies out across ``processes`` workers."""
+    return run_tasks(KIND_ABLATION, names, processes, cache, root_seed)
+
+
+def _run_capacity_point(simulator, n_users: int, seed: int):
+    return simulator.run(n_users, seed=seed)
+
+
+def parallel_sweep(simulator, user_counts: Sequence[int],
+                   processes: int = 1,
+                   seed: Optional[int] = None,
+                   common_random_numbers: bool = False) -> list:
+    """Parallel ``CapacitySimulator.sweep`` with identical results.
+
+    Seeds are derived exactly as :meth:`CapacitySimulator.sweep_seeds`
+    does, *before* fanning out, so the parallel sweep returns the same
+    list the sequential one would.  Works with any simulator exposing
+    ``run(n_users, seed=...)`` and ``sweep_seeds`` semantics; simulators
+    are pickled once per task, which is cheap next to a multi-hour-horizon
+    run.
+    """
+    counts = list(user_counts)
+    seeds = simulator.sweep_seeds(len(counts), seed=seed,
+                                  common_random_numbers=common_random_numbers)
+    if processes <= 1 or len(counts) <= 1:
+        return [simulator.run(n, seed=s) for n, s in zip(counts, seeds)]
+    workers = min(processes, len(counts))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_run_capacity_point, simulator, n, s)
+                   for n, s in zip(counts, seeds)]
+        return [future.result() for future in futures]

@@ -1,0 +1,71 @@
+"""Structured export of a suite run: JSON for machines, CSV for sheets.
+
+The parallel runner produces a :class:`repro.runtime.parallel.SuiteReport`
+whose ``to_dict()`` is the canonical schema::
+
+    {
+      "suite": {"n_tasks": ..., "n_cached": ..., "processes": ...,
+                 "root_seed": ..., "code_version": ...,
+                 "total_wall_time": ...},
+      "tasks": [
+        {"task_id": "fig08", "kind": "experiment", "title": ...,
+         "seed": ..., "cached": false, "wall_time": ...,
+         "events_processed": ..., "cancellations": ...,
+         "peak_queue_depth": ..., "sim_time": ...,
+         "sim_time_ratio": ..., "report": "..."},
+        ...
+      ]
+    }
+
+``write_report`` dispatches on the output suffix so the CLI needs no
+format flag: ``--report out.json`` or ``--report out.csv``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+#: Per-task scalar columns exported to CSV, in column order.  The
+#: rendered report text is JSON-only: multi-line cells make spreadsheet
+#: round-trips miserable.
+CSV_COLUMNS = (
+    "task_id", "kind", "title", "seed", "cached", "wall_time",
+    "events_processed", "cancellations", "peak_queue_depth",
+    "sim_time", "sim_time_ratio",
+)
+
+
+def write_json_report(payload: Dict[str, Any], path: Path) -> None:
+    """Write the canonical suite schema as pretty-printed JSON."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def write_csv_report(payload: Dict[str, Any], path: Path) -> None:
+    """Write one CSV row per task (scalar metrics only)."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    tasks: List[Dict[str, Any]] = payload.get("tasks", [])
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_COLUMNS,
+                                extrasaction="ignore")
+        writer.writeheader()
+        for task in tasks:
+            writer.writerow(task)
+
+
+def write_report(payload: Dict[str, Any], path: "str | Path") -> None:
+    """Dispatch on suffix: ``.csv`` → CSV, anything else → JSON."""
+    path = Path(path)
+    if path.suffix.lower() == ".csv":
+        write_csv_report(payload, path)
+    else:
+        write_json_report(payload, path)

@@ -9,8 +9,16 @@ kernel two properties the substrates rely on:
 - **FIFO ties**: events scheduled for the same instant fire in the order
   they were scheduled, which matches the intuition of sequential code.
 
-Cancellation is lazy: a cancelled event stays in the heap but is skipped
-when popped, which keeps cancellation O(1).
+Cancellation is lazy: a cancelled event stays in the heap and is skipped
+when popped, which keeps :meth:`Event.cancel` O(1).  Pure laziness,
+however, leaks: a long session that keeps re-arming timers (the RRC tail
+timers are cancelled and rescheduled on every transmission) accumulates
+cancelled entries and the heap grows without bound.  The queue therefore
+compacts — rebuilds the heap from only the live events — whenever
+cancelled entries outnumber live ones.  Each compaction is O(n) but
+removes at least half the heap, so the cost amortises to O(1) per
+cancellation and the heap never holds more than ``2 * live + O(1)``
+entries.
 """
 
 from __future__ import annotations
@@ -18,6 +26,11 @@ from __future__ import annotations
 import heapq
 import itertools
 from typing import Any, Callable, Optional
+
+#: Heaps at or below this size are never compacted: the O(n) rebuild buys
+#: nothing measurable and skipping it keeps micro-simulations allocation
+#: free.
+_COMPACT_MIN_SIZE = 16
 
 
 class Event:
@@ -58,6 +71,8 @@ class EventQueue:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._live = 0
+        #: Cancelled events still physically present in the heap.
+        self._stale = 0
 
     def push(self, time: float, callback: Callable[..., Any],
              args: tuple = ()) -> Event:
@@ -75,6 +90,7 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._stale -= 1
                 continue
             self._live -= 1
             return event
@@ -84,6 +100,7 @@ class EventQueue:
         """Return the time of the earliest live event without removing it."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._stale -= 1
         if not self._heap:
             return None
         return self._heap[0].time
@@ -91,6 +108,26 @@ class EventQueue:
     def note_cancelled(self) -> None:
         """Bookkeeping hook: an event in the heap was cancelled externally."""
         self._live -= 1
+        self._stale += 1
+        if (self._stale > len(self._heap) // 2
+                and len(self._heap) > _COMPACT_MIN_SIZE):
+            self.compact()
+
+    def compact(self) -> None:
+        """Rebuild the heap from only the live events.
+
+        Heapify over the surviving ``(time, sequence)`` keys preserves
+        pop order exactly — sequence numbers are assigned at push time
+        and never reused — so compaction is invisible to callers.
+        """
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._stale = 0
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, including stale cancelled entries."""
+        return len(self._heap)
 
     def __len__(self) -> int:
         return max(self._live, 0)

@@ -5,12 +5,22 @@ that hold a reference to the :class:`Simulator` and schedule callbacks on
 it.  There is no coroutine machinery; sequential behaviour is expressed by
 a callback scheduling its continuation (see :mod:`repro.sim.process` for a
 helper that does this for CPU task chains).
+
+Every simulator instruments itself: counters for events processed,
+cancellations, and peak queue depth, plus wall-clock accounting inside
+:meth:`Simulator.run`.  Completed runs are reported to the process-wide
+:data:`repro.runtime.observability.KERNEL_STATS` collector so harnesses
+(the parallel experiment runner, the benchmarks) can attribute kernel
+work to the experiment that caused it without reaching into substrates.
 """
 
 from __future__ import annotations
 
+import math
+import time as _time
 from typing import Any, Callable, Optional
 
+from repro.runtime.observability import KERNEL_STATS, SimRunStats
 from repro.sim.events import Event, EventQueue
 from repro.units import require_non_negative
 
@@ -24,32 +34,62 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self.now = float(start_time)
+        self._start_time = float(start_time)
         self._queue = EventQueue()
         self._running = False
         self._events_processed = 0
+        self._cancellations = 0
+        self._peak_queue_depth = 0
+        self._wall_time = 0.0
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[..., Any],
                  *args: Any) -> Event:
-        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be a finite, non-negative number.  NaN and ±inf
+        raise :class:`SimulationError`: every comparison with NaN is
+        false, so a NaN timestamp would pass the ``< 0`` range check yet
+        silently corrupt the heap ordering invariant.
+        """
+        if not math.isfinite(delay):
+            raise SimulationError(
+                f"delay must be finite, got {delay!r}")
         require_non_negative("delay", delay)
-        return self._queue.push(self.now + delay, callback, args)
+        return self._push(self.now + delay, callback, args)
 
     def schedule_at(self, time: float, callback: Callable[..., Any],
                     *args: Any) -> Event:
-        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        """Schedule ``callback(*args)`` at an absolute simulation time.
+
+        ``time`` must be finite (NaN compares false against the clock
+        and would slip past the past-time check below) and not earlier
+        than the current clock.
+        """
+        if not math.isfinite(time):
+            raise SimulationError(
+                f"schedule_at time must be finite, got {time!r}")
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at {time:.6f}, clock is at {self.now:.6f}")
-        return self._queue.push(time, callback, args)
+        return self._push(time, callback, args)
+
+    def _push(self, time: float, callback: Callable[..., Any],
+              args: tuple) -> Event:
+        event = self._queue.push(time, callback, args)
+        depth = len(self._queue)
+        if depth > self._peak_queue_depth:
+            self._peak_queue_depth = depth
+        return event
 
     def cancel(self, event: Optional[Event]) -> None:
         """Cancel a previously scheduled event (``None`` is a no-op)."""
         if event is not None and not event.cancelled:
             event.cancel()
             self._queue.note_cancelled()
+            self._cancellations += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -80,6 +120,10 @@ class Simulator:
                                   "reentrant")
         self._running = True
         processed = 0
+        run_started_at = self.now
+        events_before = self._events_processed
+        cancellations_before = self._cancellations
+        wall_start = _time.perf_counter()
         try:
             while True:
                 next_time = self._queue.peek_time()
@@ -96,6 +140,14 @@ class Simulator:
                 self.now = until
         finally:
             self._running = False
+            wall_time = _time.perf_counter() - wall_start
+            self._wall_time += wall_time
+            KERNEL_STATS.record(SimRunStats(
+                events_processed=self._events_processed - events_before,
+                cancellations=self._cancellations - cancellations_before,
+                peak_queue_depth=self._peak_queue_depth,
+                sim_time=self.now - run_started_at,
+                wall_time=wall_time))
 
     @property
     def pending_events(self) -> int:
@@ -106,6 +158,30 @@ class Simulator:
     def events_processed(self) -> int:
         """Total number of callbacks executed so far."""
         return self._events_processed
+
+    @property
+    def cancellations(self) -> int:
+        """Total number of events cancelled via :meth:`cancel`."""
+        return self._cancellations
+
+    @property
+    def peak_queue_depth(self) -> int:
+        """Largest number of live events ever queued at once."""
+        return self._peak_queue_depth
+
+    @property
+    def wall_time(self) -> float:
+        """Cumulative real seconds spent inside :meth:`run`."""
+        return self._wall_time
+
+    def stats(self) -> SimRunStats:
+        """Lifetime counters for this simulator as one record."""
+        return SimRunStats(
+            events_processed=self._events_processed,
+            cancellations=self._cancellations,
+            peak_queue_depth=self._peak_queue_depth,
+            sim_time=self.now - self._start_time,
+            wall_time=self._wall_time)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Simulator(now={self.now:.6f}, "

@@ -7,7 +7,7 @@ separation and never return to DCH after the channel release.
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro.browser.energy_aware import EnergyAwareEngine
@@ -92,6 +92,16 @@ def test_property_energy_aware_engine_invariants(spec):
 
 @settings(max_examples=15, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
+# Regression: a chained-script page whose late-discovered fetches hit a
+# drained queue.  Before the link's ready-first dispatch, each paid a
+# fresh RTT as downlink dead air while long-queued media sat ready
+# behind it, pushing the energy-aware tx phase past the original
+# browser's whole load.
+@example(spec=PageSpec(
+    name="prop", url="http://prop.example", mobile=False, seed=0,
+    html_kb=2.0, css_count=0, css_kb=1.0, js_count=3, js_kb=2.0,
+    js_complexity=1.0, js_dynamic_image_fraction=0.5, js_chain=True,
+    image_count=8, image_kb=1.0, flash_count=1, iframe_count=0))
 @given(spec=page_specs)
 def test_property_engines_agree_on_page_content(spec):
     page = generate_page(spec)

@@ -79,6 +79,51 @@ def test_capacity_binary_search_is_tight():
     assert simulator.run(capacity + 25, seed=2).drop_probability > 0.02
 
 
+def test_sweep_is_deterministic():
+    simulator = make_simulator(service=20.0, channels=40)
+    a = simulator.sweep([50, 100, 200], seed=11)
+    b = simulator.sweep([50, 100, 200], seed=11)
+    assert [(r.sessions, r.dropped) for r in a] \
+        == [(r.sessions, r.dropped) for r in b]
+
+
+def test_sweep_points_use_independent_seeds():
+    """Each sweep point must draw from its own stream: with one shared
+    seed, every point reuses the same arrival luck and the whole curve
+    is biased up or down together."""
+    simulator = make_simulator(service=20.0, channels=40)
+    n = 120
+    independent = simulator.sweep([n, n, n], seed=11)
+    # Independent streams: same user count, different session draws.
+    sessions = {r.sessions for r in independent}
+    assert len(sessions) > 1
+    # And none of the per-point seeds is the root seed itself.
+    assert all(s != 11 for s in simulator.sweep_seeds(3, seed=11))
+
+
+def test_sweep_common_random_numbers_opt_in():
+    """CRN mode restores the shared-seed behaviour for paired
+    comparisons: identical points give identical results."""
+    simulator = make_simulator(service=20.0, channels=40)
+    n = 120
+    crn = simulator.sweep([n, n, n], seed=11,
+                          common_random_numbers=True)
+    assert len({(r.sessions, r.dropped) for r in crn}) == 1
+    # CRN matches what run() itself produces with the root seed.
+    direct = simulator.run(n, seed=11)
+    assert (crn[0].sessions, crn[0].dropped) \
+        == (direct.sessions, direct.dropped)
+
+
+def test_finite_source_sweep_shares_seeding():
+    from repro.capacity.finite_source import FiniteSourceCapacitySimulator
+
+    simulator = CapacitySimulator([10.0], CapacityConfig(seed=5))
+    finite = FiniteSourceCapacitySimulator([10.0], CapacityConfig(seed=5))
+    assert simulator.sweep_seeds(4) == finite.sweep_seeds(4)
+    assert finite.sweep_seeds(2, common_random_numbers=True) == [5, 5]
+
+
 def test_validation():
     with pytest.raises(ValueError):
         CapacitySimulator([])

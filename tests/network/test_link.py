@@ -72,6 +72,46 @@ def test_high_priority_jumps_ahead_of_images():
     assert order == ["doc1", "doc2", "img"]
 
 
+def test_ready_response_jumps_ahead_of_fresh_request():
+    """A long-queued image whose RTT has elapsed streams before a
+    just-issued document request that would stall the pipe for a fresh
+    round trip (the serial model of parallel connections)."""
+    config = NetworkConfig()
+    sim, machine, link = make_link(config)
+    order = []
+    link.fetch(kb(40), lambda t: order.append(t.label), label="doc1")
+    link.fetch(kb(5), lambda t: order.append(t.label), label="img",
+               high_priority=False)
+
+    def late_doc():
+        link.fetch(kb(5), lambda t: order.append(t.label), label="doc2")
+
+    # Issue doc2 moments before doc1's last byte: its RTT has not
+    # elapsed, while img has been queued for the whole doc1 transfer.
+    promo = machine.config.promo_idle_latency
+    sim.schedule(promo + config.wire_time(kb(40)) - 0.01, late_doc)
+    sim.run()
+    assert order == ["doc1", "img", "doc2"]
+    img, doc2 = link.transfers[1], link.transfers[2]
+    # img streams with its RTT fully pipelined away...
+    assert img.duration == pytest.approx(
+        config.wire_time(kb(5), queue_delay=10.0))
+    # ...and doc2's remaining RTT is partly hidden behind it.
+    assert doc2.duration < config.wire_time(kb(5))
+
+
+def test_fresh_requests_keep_priority_order_when_none_ready():
+    """With no response ready to stream, the strict priority-FIFO order
+    still applies (nothing to hide the RTT behind)."""
+    sim, machine, link = make_link()
+    order = []
+    link.fetch(kb(20), lambda t: order.append(t.label), label="img",
+               high_priority=False)
+    link.fetch(kb(20), lambda t: order.append(t.label), label="doc")
+    sim.run()
+    assert order == ["doc", "img"]
+
+
 def test_radio_transmits_exactly_during_wire_time():
     sim, machine, link = make_link()
     link.fetch(kb(70), lambda t: None)

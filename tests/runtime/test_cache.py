@@ -1,0 +1,52 @@
+"""Content-addressed result cache."""
+
+from repro.runtime.cache import (
+    ResultCache,
+    cache_key,
+    code_version_hash,
+)
+
+
+def test_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = cache_key("experiment", "fig01", {"seed": 1})
+    assert cache.get(key) is None
+    cache.put(key, {"report": "hello", "wall_time": 0.5})
+    assert cache.get(key) == {"report": "hello", "wall_time": 0.5}
+    assert key in cache
+    assert len(cache) == 1
+
+
+def test_key_sensitivity():
+    base = cache_key("experiment", "fig01", {"seed": 1}, "code-v1")
+    assert base == cache_key("experiment", "fig01", {"seed": 1},
+                             "code-v1")
+    assert base != cache_key("experiment", "fig02", {"seed": 1},
+                             "code-v1")
+    assert base != cache_key("experiment", "fig01", {"seed": 2},
+                             "code-v1")
+    assert base != cache_key("experiment", "fig01", {"seed": 1},
+                             "code-v2")
+    assert base != cache_key("ablation", "fig01", {"seed": 1}, "code-v1")
+
+
+def test_code_version_hash_stable():
+    assert code_version_hash() == code_version_hash()
+    assert len(code_version_hash()) == 64
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cache_key("experiment", "fig01", {"seed": 1}, "v")
+    cache.put(key, {"ok": True})
+    (tmp_path / f"{key}.json").write_text("{torn", encoding="utf-8")
+    assert cache.get(key) is None
+    assert key not in cache  # the torn entry was removed
+
+
+def test_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    for task in ("a", "b"):
+        cache.put(cache_key("experiment", task, {}, "v"), {"t": task})
+    assert cache.clear() == 2
+    assert len(cache) == 0

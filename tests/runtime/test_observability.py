@@ -1,0 +1,69 @@
+"""Kernel stats records and the process-wide collector."""
+
+import pytest
+
+from repro.runtime.observability import (
+    KERNEL_STATS,
+    KernelStatsCollector,
+    SimRunStats,
+    collecting,
+)
+from repro.sim.kernel import Simulator
+
+
+def test_merged_sums_flows_and_maxes_peak():
+    a = SimRunStats(events_processed=2, cancellations=1,
+                    peak_queue_depth=5, sim_time=10.0, wall_time=0.1)
+    b = SimRunStats(events_processed=3, cancellations=0,
+                    peak_queue_depth=7, sim_time=5.0, wall_time=0.4)
+    merged = a.merged(b)
+    assert merged.events_processed == 5
+    assert merged.cancellations == 1
+    assert merged.peak_queue_depth == 7
+    assert merged.sim_time == 15.0
+    assert merged.wall_time == pytest.approx(0.5)
+
+
+def test_sim_time_ratio():
+    stats = SimRunStats(sim_time=100.0, wall_time=0.5)
+    assert stats.sim_time_ratio == pytest.approx(200.0)
+    assert SimRunStats().sim_time_ratio == 0.0
+
+
+def test_to_dict_round_numbers():
+    keys = set(SimRunStats().to_dict())
+    assert keys == {"events_processed", "cancellations",
+                    "peak_queue_depth", "sim_time", "wall_time",
+                    "sim_time_ratio"}
+
+
+def test_collector_aggregates_and_resets():
+    collector = KernelStatsCollector()
+    collector.record(SimRunStats(events_processed=1, sim_time=1.0,
+                                 wall_time=0.1))
+    collector.record(SimRunStats(events_processed=4, sim_time=3.0,
+                                 wall_time=0.1))
+    snapshot = collector.snapshot()
+    assert snapshot.events_processed == 5
+    assert snapshot.sim_time == 4.0
+    assert collector.runs_recorded == 2
+    collector.reset()
+    assert collector.snapshot() == SimRunStats()
+    assert collector.runs_recorded == 0
+
+
+def test_simulator_reports_into_global_collector():
+    with collecting() as collector:
+        sim = Simulator()
+        for delay in (1.0, 2.0):
+            sim.schedule(delay, lambda: None)
+        sim.run()
+        other = Simulator()
+        other.schedule(5.0, lambda: None)
+        other.run()
+    snapshot = collector.snapshot()
+    assert collector is KERNEL_STATS
+    assert snapshot.events_processed == 3
+    assert snapshot.sim_time == 7.0
+    assert snapshot.wall_time > 0.0
+    assert KERNEL_STATS.runs_recorded == 2

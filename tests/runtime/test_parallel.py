@@ -1,0 +1,134 @@
+"""Process-pool runner: determinism, caching, report export.
+
+Uses the two cheapest experiments (fig01, table05) so the parallel
+pipeline — including real worker processes — stays fast enough for the
+tier-1 suite.
+"""
+
+import json
+
+import pytest
+
+from repro.capacity.simulator import CapacityConfig, CapacitySimulator
+from repro.runtime.cache import ResultCache
+from repro.runtime.parallel import (
+    parallel_sweep,
+    run_ablations,
+    run_experiments,
+    run_tasks,
+)
+from repro.runtime.report import write_report
+
+FAST_IDS = ("fig01", "table05")
+
+
+def test_parallel_output_identical_to_sequential():
+    """The acceptance bar: --parallel N is byte-identical to
+    sequential execution for the same root seed."""
+    sequential = run_experiments(FAST_IDS, processes=1, root_seed=99)
+    parallel = run_experiments(FAST_IDS, processes=2, root_seed=99)
+    assert sequential.render() == parallel.render()
+    by_id = {r.task_id: r for r in parallel.results}
+    for result in sequential.results:
+        assert result.report == by_id[result.task_id].report
+        assert result.seed == by_id[result.task_id].seed
+
+
+def test_results_come_back_in_registry_order():
+    suite = run_experiments(("table05", "fig01"), processes=2)
+    assert [r.task_id for r in suite.results] == ["fig01", "table05"]
+
+
+def test_unknown_id_raises_before_work():
+    with pytest.raises(KeyError, match="fig99"):
+        run_experiments(("fig99",))
+
+
+def test_zero_processes_rejected():
+    with pytest.raises(ValueError):
+        run_experiments(FAST_IDS, processes=0)
+
+
+def test_warm_cache_skips_completed_experiments(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cold = run_experiments(FAST_IDS, processes=1, cache=cache)
+    assert [r.cached for r in cold.results] == [False, False]
+    assert len(cache) == 2
+
+    warm = run_experiments(FAST_IDS, processes=1, cache=cache)
+    assert [r.cached for r in warm.results] == [True, True]
+    assert warm.n_cached == 2
+    assert warm.render() == cold.render()
+    # Cached results keep their recorded metrics.
+    for result in warm.results:
+        assert result.kernel.events_processed > 0
+        assert result.wall_time > 0.0
+
+
+def test_cache_respects_root_seed(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_experiments(("fig01",), cache=cache, root_seed=1)
+    other = run_experiments(("fig01",), cache=cache, root_seed=2)
+    assert other.results[0].cached is False
+    assert len(cache) == 2
+
+
+def test_report_includes_runtime_metrics(tmp_path):
+    suite = run_experiments(FAST_IDS, processes=1)
+    payload = suite.to_dict()
+    assert payload["suite"]["n_tasks"] == 2
+    for task in payload["tasks"]:
+        assert task["wall_time"] > 0.0
+        assert task["events_processed"] > 0
+        assert task["sim_time"] > 0.0
+        assert task["sim_time_ratio"] > 0.0
+        assert "report" in task
+
+    json_path = tmp_path / "report.json"
+    write_report(payload, json_path)
+    reloaded = json.loads(json_path.read_text(encoding="utf-8"))
+    assert reloaded == json.loads(json.dumps(payload))
+
+    csv_path = tmp_path / "report.csv"
+    write_report(payload, csv_path)
+    lines = csv_path.read_text(encoding="utf-8").strip().splitlines()
+    assert len(lines) == 3  # header + one row per task
+    assert lines[0].startswith("task_id,")
+
+
+def test_render_summary_mentions_cache_state():
+    suite = run_experiments(("fig01",), processes=1)
+    summary = suite.render_summary()
+    assert "1 tasks" in summary
+    assert "[run" in summary
+
+
+def test_run_tasks_rejects_unknown_kind():
+    with pytest.raises(KeyError):
+        run_tasks("nonsense", ("x",))
+
+
+def test_ablation_registry_is_wired():
+    # Don't run one (they are slow); just check id resolution fails
+    # cleanly for unknowns, which exercises the registry lookup.
+    with pytest.raises(KeyError, match="nonsense"):
+        run_ablations(("nonsense",))
+
+
+def test_parallel_sweep_matches_sequential_sweep():
+    simulator = CapacitySimulator(
+        [10.0], CapacityConfig(n_channels=50, horizon=3600.0, seed=1))
+    counts = [40, 80, 120, 160]
+    sequential = simulator.sweep(counts, seed=7)
+    fanned = parallel_sweep(simulator, counts, processes=2, seed=7)
+    assert [(r.n_users, r.sessions, r.dropped) for r in sequential] \
+        == [(r.n_users, r.sessions, r.dropped) for r in fanned]
+
+
+def test_parallel_sweep_crn_mode():
+    simulator = CapacitySimulator(
+        [10.0], CapacityConfig(n_channels=50, horizon=3600.0, seed=1))
+    fanned = parallel_sweep(simulator, [60, 60], processes=2, seed=3,
+                            common_random_numbers=True)
+    assert (fanned[0].sessions, fanned[0].dropped) \
+        == (fanned[1].sessions, fanned[1].dropped)

@@ -63,6 +63,87 @@ def test_bool_reflects_live_content():
     assert not queue
 
 
+def test_compaction_bounds_heap_growth():
+    """Re-armed timers (cancel + reschedule, the RRC tail pattern) must
+    not grow the heap without bound."""
+    queue = EventQueue()
+    sentinel = queue.push(1e9, lambda: None)  # one long-lived event
+    for step in range(10_000):
+        event = queue.push(float(step), lambda: None)
+        event.cancel()
+        queue.note_cancelled()
+    assert len(queue) == 1
+    # Physical heap stays a small multiple of the live count, not 10k.
+    assert queue.heap_size < 64
+    assert queue.pop() is sentinel
+
+
+def test_compaction_preserves_order_and_len():
+    queue = EventQueue()
+    live = [queue.push(float(t), lambda: None) for t in range(40)]
+    doomed = [queue.push(t + 0.5, lambda: None) for t in range(60)]
+    for event in doomed:
+        event.cancel()
+        queue.note_cancelled()
+    assert len(queue) == 40
+    assert queue.heap_size < 100  # compaction ran
+    popped = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        popped.append(event)
+    assert popped == live  # same objects, ascending time order
+
+
+def test_explicit_compact_noop_on_clean_heap():
+    queue = EventQueue()
+    events = [queue.push(float(t), lambda: None) for t in (3, 1, 2)]
+    queue.compact()
+    assert len(queue) == 3
+    assert [queue.pop() for _ in range(3)] == [events[1], events[2],
+                                               events[0]]
+
+
+def test_fifo_ties_survive_compaction():
+    queue = EventQueue()
+    first = queue.push(5.0, lambda: "a")
+    doomed = [queue.push(1.0, lambda: None) for _ in range(40)]
+    second = queue.push(5.0, lambda: "b")
+    for event in doomed:
+        event.cancel()
+        queue.note_cancelled()
+    assert queue.pop() is first
+    assert queue.pop() is second
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=1e6),
+                          st.booleans()), min_size=1, max_size=200))
+def test_cancellation_pattern_matches_reference(entries):
+    """Property: any push/cancel pattern pops exactly the live events in
+    (time, sequence) order, and the heap never holds more than
+    ``2 * live + compaction-floor`` entries."""
+    queue = EventQueue()
+    live = []
+    for time, keep in entries:
+        event = queue.push(time, lambda: None)
+        if keep:
+            live.append(event)
+        else:
+            event.cancel()
+            queue.note_cancelled()
+    assert len(queue) == len(live)
+    assert queue.heap_size <= 2 * len(live) + 17
+    popped = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        popped.append(event)
+    assert popped == sorted(live,
+                            key=lambda e: (e.time, e.sequence))
+
+
 @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
                 max_size=200))
 def test_pop_order_is_sorted_and_stable(times):

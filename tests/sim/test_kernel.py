@@ -22,6 +22,38 @@ def test_negative_delay_rejected():
         sim.schedule(-1.0, lambda: None)
 
 
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                 float("-inf")])
+def test_non_finite_delay_rejected(bad):
+    """NaN passes ``< 0`` checks (every NaN comparison is false) and
+    would silently corrupt heap ordering; the kernel must refuse it."""
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="finite"):
+        sim.schedule(bad, lambda: None)
+    assert sim.pending_events == 0
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                 float("-inf")])
+def test_non_finite_schedule_at_rejected(bad):
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError, match="finite"):
+        sim.schedule_at(bad, lambda: None)
+    assert sim.pending_events == 0
+
+
+def test_nan_never_corrupts_event_order():
+    """Even after a rejected NaN, later events still fire in order."""
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(float("nan"), lambda: None)
+    observed = []
+    for delay in (3.0, 1.0, 2.0):
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == [1.0, 2.0, 3.0]
+
+
 def test_schedule_at_in_the_past_rejected():
     sim = Simulator(start_time=10.0)
     with pytest.raises(SimulationError):
@@ -125,6 +157,30 @@ def test_events_processed_counter():
         sim.schedule(delay, lambda: None)
     sim.run()
     assert sim.events_processed == 3
+
+
+def test_observability_counters():
+    sim = Simulator()
+    events = [sim.schedule(delay, lambda: None)
+              for delay in (1.0, 2.0, 3.0, 4.0)]
+    assert sim.peak_queue_depth == 4
+    sim.cancel(events[1])
+    sim.cancel(events[1])  # double-cancel counts once
+    sim.run()
+    stats = sim.stats()
+    assert stats.events_processed == 3
+    assert stats.cancellations == 1
+    assert stats.peak_queue_depth == 4
+    assert stats.sim_time == 4.0
+    assert stats.wall_time > 0.0
+    assert stats.sim_time_ratio > 0.0
+
+
+def test_stats_sim_time_relative_to_start():
+    sim = Simulator(start_time=100.0)
+    sim.schedule(2.5, lambda: None)
+    sim.run()
+    assert sim.stats().sim_time == 2.5
 
 
 @given(st.lists(st.floats(min_value=0.001, max_value=100), min_size=1,
