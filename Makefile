@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction workflow.
 
 .PHONY: install test bench experiments experiments-parallel ablations \
-	ci examples clean
+	faults-sweep ci examples clean
 
 # Worker count for the parallel experiment runner (override: make N=8 ...).
 N ?= 4
@@ -24,9 +24,13 @@ experiments-parallel:
 ablations:
 	python -m repro ablations
 
+faults-sweep:
+	python -m repro faults-sweep --parallel $(N)
+
 ci:
 	python -m pytest -x -q
 	python -m repro experiments --parallel 2 fig01 table05
+	python -m repro faults-sweep --parallel 2 ideal congested
 
 examples:
 	python examples/quickstart.py

@@ -118,8 +118,12 @@ class EnergyAwareEngine(BrowserEngine):
             if self.config.dormancy_after_tx and self._ril is not None:
                 # Release the dedicated channels while layout runs
                 # (Section 4.1); the FACH→IDLE decision is Algorithm 2's,
-                # made after the page opens.
-                self._ril.request_channel_release()
+                # made after the page opens.  A failed release (lost RIL
+                # message, firmware ignoring the command) is logged and
+                # survived: the radio burns its T1 tail in DCH instead,
+                # and the inactivity timers demote it as usual.
+                self._ril.request_channel_release(
+                    on_error=self._log_ril_error)
             self._start_layout_phase()
         elif self._phase == "layout" and self.quiescent:
             self._phase = "done"

@@ -70,6 +70,10 @@ class PageLoadResult:
     object_count: int
     transfers: List[Transfer] = field(default_factory=list)
     display_events: List[DisplayEvent] = field(default_factory=list)
+    #: Objects whose transfer exhausted its retries (page degraded).
+    failed_objects: List[str] = field(default_factory=list)
+    #: RIL errors the engine logged and survived (e.g. failed dormancy).
+    ril_errors: List[str] = field(default_factory=list)
 
     @property
     def layout_phase_time(self) -> float:
@@ -88,6 +92,16 @@ class PageLoadResult:
         if total == 0:
             return 0.0
         return self.layout_compute_time / total
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one object was abandoned to impairments."""
+        return bool(self.failed_objects)
+
+    @property
+    def transfer_attempts(self) -> int:
+        """Total wire attempts across all transfers (retries included)."""
+        return sum(t.attempts for t in self.transfers)
 
 
 class BrowserEngine:
@@ -117,6 +131,8 @@ class BrowserEngine:
 
         self.transfers: List[Transfer] = []
         self.display_events: List[DisplayEvent] = []
+        self.failed_objects: List[str] = []
+        self.ril_errors: List[str] = []
         self._compute_time: Dict[str, float] = {TX_COMPUTE: 0.0,
                                                 LAYOUT_COMPUTE: 0.0}
         self.js_exec_time = 0.0
@@ -169,11 +185,23 @@ class BrowserEngine:
     def _make_arrival(self, obj: WebObject) -> Callable[[Transfer], None]:
         def arrived(transfer: Transfer) -> None:
             self._pending_fetches -= 1
+            if transfer.failed:
+                # Recovery gave the object up; render without it rather
+                # than hanging the load (its references are never
+                # discovered, so the page degrades transitively).
+                self.failed_objects.append(obj.object_id)
+                self._maybe_advance()
+                return
             self._last_byte_time = max(self._last_byte_time,
                                        transfer.completed_at)
             self.on_object_arrived(obj)
             self._maybe_advance()
         return arrived
+
+    def _log_ril_error(self, message) -> None:
+        """``on_error`` hook for RIL requests: log and carry on — the
+        inactivity timers still demote the radio eventually."""
+        self.ril_errors.append(message.error or "unknown RIL error")
 
     # ------------------------------------------------------------------
     # Task bookkeeping
@@ -263,6 +291,8 @@ class BrowserEngine:
             object_count=len(self.transfers),
             transfers=list(self.transfers),
             display_events=list(self.display_events),
+            failed_objects=list(self.failed_objects),
+            ril_errors=list(self.ril_errors),
         )
         if self._on_complete is not None:
             self._on_complete(self.result)

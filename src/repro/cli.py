@@ -6,6 +6,7 @@ Subcommands::
     repro experiments [fig08 table04 ...] [--parallel N] [--cache]
                       [--report out.json]
     repro ablations [reorganisation timers predictor alpha] [--parallel N]
+    repro faults-sweep [ideal suburban ...] [--parallel N] [--report out.json]
     repro trace --out trace.csv
     repro train --trace trace.csv --out model.json
     repro predict --model model.json --trace trace.csv --threshold 9
@@ -24,6 +25,7 @@ from typing import List, Optional
 from repro.core.comparison import compare_engines
 from repro.experiments.ablations import ALL_ABLATIONS
 from repro.experiments.runner import ALL_EXPERIMENTS
+from repro.faults.profiles import PROFILES
 from repro.prediction.predictor import ReadingTimePredictor
 from repro.runtime import parallel as runtime_parallel
 from repro.runtime.cache import DEFAULT_CACHE_DIR, ResultCache
@@ -89,6 +91,15 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
               f"known: {sorted(ALL_ABLATIONS)}", file=sys.stderr)
         return 2
     return _run_suite(runtime_parallel.KIND_ABLATION, args.names, args)
+
+
+def _cmd_faults_sweep(args: argparse.Namespace) -> int:
+    unknown = set(args.profiles) - set(PROFILES)
+    if unknown:
+        print(f"unknown channel profiles: {sorted(unknown)}; "
+              f"known: {sorted(PROFILES)}", file=sys.stderr)
+        return 2
+    return _run_suite(runtime_parallel.KIND_FAULTS, args.profiles, args)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -219,12 +230,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a structured run report (.json or .csv)")
     ablation.set_defaults(func=_cmd_ablations)
 
+    faults = subparsers.add_parser(
+        "faults-sweep",
+        help="sweep channel profiles: engine savings under faults")
+    faults.add_argument("profiles", nargs="*",
+                        help=f"channel profiles (default: all): "
+                             f"{' '.join(PROFILES)}")
+    _add_runtime_options(faults)
+    faults.add_argument(
+        "--report", metavar="PATH",
+        help="write a structured run report (.json or .csv)")
+    faults.set_defaults(func=_cmd_faults_sweep)
+
     trace = subparsers.add_parser(
         "trace", help="generate a synthetic browsing trace as CSV")
     trace.add_argument("--out", required=True)
     trace.add_argument("--users", type=int, default=40)
     trace.add_argument("--views", type=int, default=180)
-    trace.add_argument("--seed", type=int, default=2013)
+    trace.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED,
+                       help="root seed for trace generation "
+                            f"(default: {DEFAULT_ROOT_SEED})")
     trace.set_defaults(func=_cmd_trace)
 
     train = subparsers.add_parser(
@@ -247,7 +272,9 @@ def build_parser() -> argparse.ArgumentParser:
     session.add_argument("--user", type=int, default=35)
     session.add_argument("--mode", choices=("power", "delay"),
                          default="power")
-    session.add_argument("--seed", type=int, default=2013)
+    session.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED,
+                         help="root seed for trace generation "
+                              f"(default: {DEFAULT_ROOT_SEED})")
     session.set_defaults(func=_cmd_session)
     return parser
 

@@ -15,6 +15,7 @@ from repro.browser.energy_aware import EnergyAwareEngine
 from repro.browser.original import OriginalEngine
 from repro.core.config import ExperimentConfig
 from repro.core.session import SessionResult, browse_and_read
+from repro.faults.injector import FaultPlan
 from repro.webpages.corpus import benchmark_pages
 from repro.webpages.page import Webpage
 
@@ -76,6 +77,7 @@ class EngineComparison:
 
 def compare_engines(page: Webpage, reading_time: float = 0.0,
                     config: Optional[ExperimentConfig] = None,
+                    faults: Optional[FaultPlan] = None,
                     ) -> EngineComparison:
     """Load ``page`` with both engines on fresh handsets.
 
@@ -83,11 +85,16 @@ def compare_engines(page: Webpage, reading_time: float = 0.0,
     additionally switches to IDLE when the page opens — the paper's
     Fig. 10 scenario, where the reading period exceeds the switching
     threshold.
+
+    With a ``faults`` plan, both handsets draw their impairments from
+    the *same* seeded plan (common random numbers), so the engines face
+    identical channel conditions and the comparison stays fair.
     """
     original = browse_and_read(page, OriginalEngine, reading_time,
-                               config=config)
+                               config=config, faults=faults)
     energy_aware = browse_and_read(page, EnergyAwareEngine, reading_time,
-                                   config=config, idle_at_open=True)
+                                   config=config, idle_at_open=True,
+                                   faults=faults)
     return EngineComparison(page=page, original=original,
                             energy_aware=energy_aware)
 

@@ -6,6 +6,12 @@ page on a fresh handset; :func:`browse_and_read` additionally models the
 post-load reading period the paper's Fig. 10 measures (load the page,
 then read for ``reading_time`` seconds while the radio follows its timers
 — or is already dormant, for the energy-aware engine).
+
+A handset may be built under a :class:`repro.faults.injector.FaultPlan`,
+in which case a seeded :class:`~repro.faults.injector.FaultInjector`
+impairs its link and RIL chain and the link retries lost transfers under
+the plan's recovery policy.  Without a plan (the default) the handset
+runs the exact baseline code path.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import Optional, Type
 
 from repro.browser.engine import BrowserEngine, PageLoadResult
 from repro.core.config import ExperimentConfig
+from repro.faults.injector import FaultPlan
 from repro.measurement.meter import EnergyBreakdown, PowerAccountant
 from repro.measurement.sampler import PowerSampler
 from repro.network.link import Link
@@ -29,12 +36,17 @@ from repro.webpages.page import Webpage
 class Handset:
     """One simulated smartphone: all substrates wired together."""
 
-    def __init__(self, config: Optional[ExperimentConfig] = None):
+    def __init__(self, config: Optional[ExperimentConfig] = None,
+                 faults: Optional[FaultPlan] = None):
         self.config = config or ExperimentConfig()
+        self.faults = faults
+        self.injector = faults.injector() if faults is not None else None
+        recovery = faults.recovery if faults is not None else None
         self.sim = Simulator()
         self.machine = RrcMachine(self.sim, self.config.rrc)
-        self.ril = RilLink(self.sim, self.machine)
-        self.link = Link(self.sim, self.machine, self.config.network)
+        self.ril = RilLink(self.sim, self.machine, injector=self.injector)
+        self.link = Link(self.sim, self.machine, self.config.network,
+                         injector=self.injector, recovery=recovery)
         self.cpu = CpuProcess(self.sim)
         self.accountant = PowerAccountant(self.machine, self.cpu)
         self.sampler = PowerSampler(self.machine, self.cpu)
@@ -69,27 +81,33 @@ class SessionResult:
 
 def load_page(page: Webpage, engine_cls: Type[BrowserEngine],
               config: Optional[ExperimentConfig] = None,
-              handset: Optional[Handset] = None) -> SessionResult:
+              handset: Optional[Handset] = None,
+              faults: Optional[FaultPlan] = None) -> SessionResult:
     """Load one page on a fresh (or supplied) handset; no reading period."""
     return browse_and_read(page, engine_cls, reading_time=0.0,
-                           config=config, handset=handset)
+                           config=config, handset=handset, faults=faults)
 
 
 def browse_and_read(page: Webpage, engine_cls: Type[BrowserEngine],
                     reading_time: float,
                     config: Optional[ExperimentConfig] = None,
                     handset: Optional[Handset] = None,
-                    idle_at_open: bool = False) -> SessionResult:
+                    idle_at_open: bool = False,
+                    faults: Optional[FaultPlan] = None) -> SessionResult:
     """Load a page, then let the user read for ``reading_time`` seconds.
 
     During reading no data moves.  With ``idle_at_open`` the radio is
     switched to IDLE through the RIL as soon as the page opens — the
     behaviour of the paper's energy-aware approach when the (predicted)
     reading time exceeds the threshold (Figs. 9–10).  Otherwise the
-    radio just follows its inactivity timers.
+    radio just follows its inactivity timers.  If the dormancy request
+    fails (an impaired RIL chain, firmware ignoring the command), the
+    error is logged on the handset's RIL and the inactivity timers demote
+    the radio instead — the session still terminates and its energy
+    ledger stays consistent, just with the tail energy paid.
     """
     require_non_negative("reading_time", reading_time)
-    device = handset or Handset(config)
+    device = handset or Handset(config, faults=faults)
     engine = device.make_engine(engine_cls, page)
 
     results = []
@@ -97,7 +115,8 @@ def browse_and_read(page: Webpage, engine_cls: Type[BrowserEngine],
     def completed(result: PageLoadResult) -> None:
         results.append(result)
         if idle_at_open:
-            device.ril.request_fast_dormancy()
+            device.ril.request_fast_dormancy(
+                on_error=lambda message: None)
 
     engine.load(completed)
     device.sim.run()

@@ -1,0 +1,168 @@
+"""Sensitivity sweep — energy savings under impaired 3G channels.
+
+The paper evaluates on a healthy 2012-era T-Mobile UMTS link (Fig. 4
+calibration).  This sweep asks how robust the energy-aware browser's
+advantage is when the channel is not healthy: each
+:data:`repro.faults.profiles.PROFILES` preset (ideal → suburban →
+congested → cell edge) is replayed over both Table 3 benchmark halves
+with both engines, under common random numbers — the two engines face
+the *same* seeded fades, losses and RIL failures — so the saving deltas
+are attributable to the workflow, not to luck.
+
+Per-page seeds derive from the task seed via
+:func:`repro.runtime.seeding.spawn_seeds`, so the sweep is byte-identical
+across ``--parallel 1`` and ``--parallel N`` and across reruns with the
+same root seed.
+
+Expected shape of the result: the saving shrinks as the channel degrades
+(impairments stretch the transmission phase both engines share and the
+tail energy of failed dormancy eats into the reorganisation's win) but
+stays positive — grouping transmissions helps even at the cell edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.tables import format_table
+from repro.core.comparison import EngineComparison, compare_engines, mean
+from repro.core.config import ExperimentConfig
+from repro.faults.injector import FaultPlan, FaultStats
+from repro.faults.profiles import PROFILE_ORDER, get_profile
+from repro.runtime.seeding import DEFAULT_ROOT_SEED, spawn_seeds
+from repro.webpages.corpus import benchmark_pages
+
+#: Reading period after each load, seconds — past the switching threshold
+#: so the Fig. 10 (read-then-click) scenario is what the sweep measures.
+SWEEP_READING_TIME = 30.0
+
+
+@dataclass
+class PageSensitivity:
+    """One page under one channel profile."""
+
+    page_url: str
+    comparison: EngineComparison
+    #: Impairments injected across both handsets (original + ours).
+    faults: FaultStats
+
+    @property
+    def degraded(self) -> bool:
+        return (self.comparison.original.load.degraded
+                or self.comparison.energy_aware.load.degraded)
+
+
+@dataclass
+class SensitivityResult:
+    """One profile's sweep over both benchmark halves."""
+
+    profile_name: str
+    seed: int
+    reading_time: float
+    rows: List[PageSensitivity]
+
+    @property
+    def mean_energy_saving(self) -> float:
+        return mean([r.comparison.energy_saving for r in self.rows])
+
+    @property
+    def mean_loading_saving(self) -> float:
+        return mean([r.comparison.loading_time_saving for r in self.rows])
+
+    @property
+    def total_faults(self) -> FaultStats:
+        total = FaultStats()
+        for row in self.rows:
+            total = total.merged(row.faults)
+        return total
+
+    def report(self) -> str:
+        table_rows = []
+        for row in self.rows:
+            comp = row.comparison
+            attempts = (comp.original.load.transfer_attempts
+                        + comp.energy_aware.load.transfer_attempts)
+            failed = (len(comp.original.load.failed_objects)
+                      + len(comp.energy_aware.load.failed_objects))
+            ril_errors = (len(comp.original.handset.ril.errors)
+                          + len(comp.energy_aware.handset.ril.errors))
+            table_rows.append((
+                row.page_url,
+                round(comp.original.total_energy, 2),
+                round(comp.energy_aware.total_energy, 2),
+                f"{100 * comp.energy_saving:.1f}%",
+                attempts,
+                row.faults.transfer_retries,
+                failed,
+                ril_errors,
+            ))
+        total = self.total_faults
+        table_rows.append((
+            "MEAN / TOTAL",
+            round(mean([r.comparison.original.total_energy
+                        for r in self.rows]), 2),
+            round(mean([r.comparison.energy_aware.total_energy
+                        for r in self.rows]), 2),
+            f"{100 * self.mean_energy_saving:.1f}%",
+            sum(r.comparison.original.load.transfer_attempts
+                + r.comparison.energy_aware.load.transfer_attempts
+                for r in self.rows),
+            total.transfer_retries,
+            total.transfers_failed,
+            total.ril_drops + total.dormancy_failures,
+        ))
+        return format_table(
+            ("page", "orig J", "ours J", "E save",
+             "attempts", "retries", "failed", "ril errs"),
+            table_rows,
+            title=(f"Sensitivity: {self.profile_name} channel "
+                   f"(read {self.reading_time:.0f}s, "
+                   f"{total.faults_injected} faults injected)"))
+
+
+def run_profile(profile_name: str,
+                seed: int = DEFAULT_ROOT_SEED,
+                config: Optional[ExperimentConfig] = None,
+                reading_time: float = SWEEP_READING_TIME,
+                ) -> SensitivityResult:
+    """Sweep one channel profile over both benchmark halves.
+
+    Each page gets its own child seed (positional, from ``seed``), and
+    within a page both engines share the plan — common random numbers,
+    so the engine comparison is fair under identical channel histories.
+    """
+    get_profile(profile_name)  # validate the name before any work
+    pages = benchmark_pages(mobile=True) + benchmark_pages(mobile=False)
+    seeds = spawn_seeds(seed, len(pages))
+    rows: List[PageSensitivity] = []
+    for page, page_seed in zip(pages, seeds):
+        plan = FaultPlan.named(profile_name, seed=page_seed)
+        comparison = compare_engines(page, reading_time, config=config,
+                                     faults=plan)
+        faults = FaultStats()
+        for session in (comparison.original, comparison.energy_aware):
+            injector = session.handset.injector
+            if injector is not None:
+                faults = faults.merged(injector.stats)
+        rows.append(PageSensitivity(page_url=page.url,
+                                    comparison=comparison, faults=faults))
+    return SensitivityResult(profile_name=profile_name, seed=seed,
+                             reading_time=reading_time, rows=rows)
+
+
+def _make_runner(profile_name: str):
+    def runner(seed: int = DEFAULT_ROOT_SEED) -> SensitivityResult:
+        return run_profile(profile_name, seed=seed)
+    runner.needs_seed = True
+    runner.__name__ = f"run_{profile_name}"
+    runner.__doc__ = f"Sensitivity sweep under the {profile_name} profile."
+    return runner
+
+
+#: Registry consumed by the parallel runner: one task per channel preset,
+#: in severity order.  Runners are seed-aware (``needs_seed``) — the
+#: runner hands each its task seed so per-page child seeds derive from it.
+SWEEP_TASKS = tuple(
+    (name, f"Sensitivity sweep: {name} channel", _make_runner(name))
+    for name in PROFILE_ORDER)

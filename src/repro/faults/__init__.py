@@ -1,0 +1,47 @@
+"""Network-variability and fault-injection subsystem.
+
+The calibrated simulation assumes an ideal link: constant bandwidth,
+constant RTT, a RIL chain that never misbehaves.  This package models
+the conditions the paper actually measured under — a live UMTS network —
+as deterministic, seeded impairments:
+
+- :mod:`repro.faults.profiles` — named channel conditions
+  (``ideal``/``suburban``/``congested``/``cell_edge``) expressed as
+  deviations from the calibrated baseline;
+- :mod:`repro.faults.injector` — the per-handset impairment oracle and
+  its fault counters;
+- :mod:`repro.faults.recovery` — per-fetch timeout and bounded-backoff
+  retry parameters, executed by the link.
+
+Everything is opt-in: a handset built without a :class:`FaultPlan` runs
+the exact baseline code path, and one built with the ``ideal`` profile
+produces byte-identical output to it.
+"""
+
+from repro.faults.injector import FaultInjector, FaultPlan, FaultStats
+from repro.faults.profiles import (
+    CELL_EDGE,
+    CONGESTED,
+    IDEAL,
+    PROFILE_ORDER,
+    PROFILES,
+    SUBURBAN,
+    ChannelProfile,
+    get_profile,
+)
+from repro.faults.recovery import RecoveryPolicy
+
+__all__ = [
+    "CELL_EDGE",
+    "CONGESTED",
+    "ChannelProfile",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "IDEAL",
+    "PROFILES",
+    "PROFILE_ORDER",
+    "RecoveryPolicy",
+    "SUBURBAN",
+    "get_profile",
+]

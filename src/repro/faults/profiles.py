@@ -1,0 +1,216 @@
+"""Named channel profiles: deterministic time-varying 3G impairments.
+
+The paper's measurements come from a live T-Mobile UMTS network whose
+bandwidth, round-trip time, and fast-dormancy behaviour all vary in the
+wild, while the calibrated baseline (:class:`repro.network.link.
+NetworkConfig`) is a constant pipe.  A :class:`ChannelProfile` layers
+*relative* impairments on top of that baseline — multiplicative
+bandwidth fades, additive RTT jitter, a Gilbert–Elliott per-attempt loss
+process, promotion-latency spikes, and RIL-chain message faults — so the
+calibration (70 KB/s, 400 ms RTT) stays the anchor and a profile only
+describes how far conditions stray from it.
+
+Profiles are pure parameter records; all randomness lives in
+:class:`repro.faults.injector.FaultInjector`, which draws every
+impairment from ``SeedSequence``-derived streams.  The ``ideal`` preset
+is the identity: every probability zero, every multiplier one, so a
+session run under it is byte-identical to one run with no injection at
+all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.units import require_non_negative
+
+
+def _require_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], "
+                         f"got {value!r}")
+
+
+@dataclass(frozen=True)
+class ChannelProfile:
+    """One named network condition, as deviations from the baseline.
+
+    Every parameter defaults to "no impairment", so ``ChannelProfile
+    (name)`` is a null profile and presets only state what they break.
+    """
+
+    name: str
+
+    # -- bandwidth fades ------------------------------------------------
+    #: Lowest multiplicative fade of the downlink bandwidth (1.0 = none).
+    fade_floor: float = 1.0
+    #: Highest multiplier; fades draw uniformly in [floor, ceiling].
+    fade_ceiling: float = 1.0
+    #: Mean duration of one piecewise-constant fade segment, seconds.
+    fade_interval: float = 8.0
+
+    # -- RTT jitter -----------------------------------------------------
+    #: Mean additive per-attempt RTT jitter, seconds (exponential draw).
+    rtt_jitter_mean: float = 0.0
+
+    # -- Gilbert–Elliott per-attempt loss --------------------------------
+    #: Per-attempt probability of entering the bad (bursty-loss) state.
+    p_good_to_bad: float = 0.0
+    #: Per-attempt probability of recovering to the good state.
+    p_bad_to_good: float = 1.0
+    #: Transfer-attempt loss probability in the good state.
+    loss_good: float = 0.0
+    #: Transfer-attempt loss probability in the bad state.
+    loss_bad: float = 0.0
+
+    # -- RRC promotion spikes -------------------------------------------
+    #: Probability that a promotion (IDLE/FACH → DCH) stalls first.
+    promo_spike_prob: float = 0.0
+    #: Mean extra stall when a promotion spikes, seconds (exponential).
+    promo_spike_mean: float = 0.0
+
+    # -- RIL message chain ----------------------------------------------
+    #: Probability a RIL message is lost between framework and firmware.
+    ril_drop_prob: float = 0.0
+    #: Probability a delivered RIL message is delayed in the socket hop.
+    ril_delay_prob: float = 0.0
+    #: Mean extra socket-hop delay when delayed, seconds (exponential).
+    ril_delay_mean: float = 0.0
+
+    # -- failed fast dormancy -------------------------------------------
+    #: Probability the firmware ignores a dormancy/release request — the
+    #: radio stays in DCH/FACH and the tail timers burn energy anyway.
+    dormancy_failure_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("profile name must be non-empty")
+        if not 0.0 < self.fade_floor <= self.fade_ceiling:
+            raise ValueError(
+                f"fade bounds must satisfy 0 < floor <= ceiling, got "
+                f"[{self.fade_floor!r}, {self.fade_ceiling!r}]")
+        require_non_negative("fade_interval", self.fade_interval)
+        require_non_negative("rtt_jitter_mean", self.rtt_jitter_mean)
+        require_non_negative("promo_spike_mean", self.promo_spike_mean)
+        require_non_negative("ril_delay_mean", self.ril_delay_mean)
+        for field_name in ("p_good_to_bad", "p_bad_to_good", "loss_good",
+                          "loss_bad", "promo_spike_prob", "ril_drop_prob",
+                          "ril_delay_prob", "dormancy_failure_prob"):
+            _require_probability(field_name, getattr(self, field_name))
+
+    # ------------------------------------------------------------------
+    @property
+    def fades(self) -> bool:
+        """True when the profile varies the downlink bandwidth at all."""
+        return self.fade_floor < 1.0 or self.fade_ceiling > 1.0
+
+    @property
+    def loses_transfers(self) -> bool:
+        """True when any transfer attempt can be lost."""
+        return (self.loss_good > 0.0
+                or (self.p_good_to_bad > 0.0 and self.loss_bad > 0.0))
+
+    @property
+    def is_null(self) -> bool:
+        """True when the profile impairs nothing (``ideal``)."""
+        return not (self.fades or self.loses_transfers
+                    or self.rtt_jitter_mean > 0.0
+                    or self.promo_spike_prob > 0.0
+                    or self.ril_drop_prob > 0.0
+                    or self.ril_delay_prob > 0.0
+                    or self.dormancy_failure_prob > 0.0)
+
+    def scaled(self, severity: float, name: str = "") -> "ChannelProfile":
+        """A copy with every probability/deviation scaled by ``severity``.
+
+        ``severity=0`` is the null profile, ``severity=1`` this one;
+        values above 1 overdrive it (probabilities clamp at 1).  Used by
+        the sensitivity sweep to interpolate a quality axis through a
+        preset.
+        """
+        require_non_negative("severity", severity)
+
+        def prob(value: float) -> float:
+            return min(1.0, value * severity)
+
+        floor = 1.0 - min(1.0 - 1e-3, (1.0 - self.fade_floor) * severity)
+        ceiling = max(floor,
+                      1.0 - (1.0 - self.fade_ceiling) * severity)
+        return replace(
+            self,
+            name=name or f"{self.name}x{severity:g}",
+            fade_floor=floor,
+            fade_ceiling=ceiling,
+            rtt_jitter_mean=self.rtt_jitter_mean * severity,
+            p_good_to_bad=prob(self.p_good_to_bad),
+            loss_good=prob(self.loss_good),
+            loss_bad=prob(self.loss_bad),
+            promo_spike_prob=prob(self.promo_spike_prob),
+            promo_spike_mean=self.promo_spike_mean * severity,
+            ril_drop_prob=prob(self.ril_drop_prob),
+            ril_delay_prob=prob(self.ril_delay_prob),
+            ril_delay_mean=self.ril_delay_mean * severity,
+            dormancy_failure_prob=prob(self.dormancy_failure_prob))
+
+
+#: The calibrated baseline itself: no impairment of any kind.  Running
+#: under ``ideal`` must be byte-identical to running with no injector.
+IDEAL = ChannelProfile(name="ideal")
+
+#: A stationary handset with decent coverage: shallow slow fades, light
+#: jitter, rare bursty loss, dormancy requests almost always honoured.
+SUBURBAN = ChannelProfile(
+    name="suburban",
+    fade_floor=0.55, fade_ceiling=1.0, fade_interval=10.0,
+    rtt_jitter_mean=0.08,
+    p_good_to_bad=0.05, p_bad_to_good=0.45,
+    loss_good=0.002, loss_bad=0.08,
+    promo_spike_prob=0.05, promo_spike_mean=0.8,
+    ril_drop_prob=0.01,
+    ril_delay_prob=0.10, ril_delay_mean=0.05,
+    dormancy_failure_prob=0.05)
+
+#: A loaded urban cell: deep fades, heavy jitter, frequent bursty loss,
+#: promotions that stall, and a RIL chain that misbehaves.
+CONGESTED = ChannelProfile(
+    name="congested",
+    fade_floor=0.25, fade_ceiling=0.9, fade_interval=6.0,
+    rtt_jitter_mean=0.25,
+    p_good_to_bad=0.15, p_bad_to_good=0.30,
+    loss_good=0.01, loss_bad=0.20,
+    promo_spike_prob=0.20, promo_spike_mean=1.5,
+    ril_drop_prob=0.05,
+    ril_delay_prob=0.25, ril_delay_mean=0.12,
+    dormancy_failure_prob=0.15)
+
+#: The cell edge: bandwidth collapses for long stretches, loss is the
+#: norm in the bad state, and a third of dormancy requests are ignored.
+CELL_EDGE = ChannelProfile(
+    name="cell_edge",
+    fade_floor=0.12, fade_ceiling=0.7, fade_interval=5.0,
+    rtt_jitter_mean=0.5,
+    p_good_to_bad=0.30, p_bad_to_good=0.25,
+    loss_good=0.03, loss_bad=0.35,
+    promo_spike_prob=0.35, promo_spike_mean=2.5,
+    ril_drop_prob=0.10,
+    ril_delay_prob=0.35, ril_delay_mean=0.25,
+    dormancy_failure_prob=0.30)
+
+#: Presets in decreasing network quality — the sensitivity sweep's axis.
+PROFILE_ORDER: Tuple[str, ...] = ("ideal", "suburban", "congested",
+                                  "cell_edge")
+
+PROFILES: Dict[str, ChannelProfile] = {
+    profile.name: profile
+    for profile in (IDEAL, SUBURBAN, CONGESTED, CELL_EDGE)
+}
+
+
+def get_profile(name: str) -> ChannelProfile:
+    """Look up a preset by name; ``KeyError`` lists the known ones."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(f"unknown channel profile {name!r}; "
+                       f"known: {sorted(PROFILES)}") from None

@@ -20,18 +20,38 @@ of 760 KB completes in ~11 s wire time (~70 KB/s effective downlink
 goodput on the 2012-era T-Mobile UMTS network) with a 400 ms round trip,
 and the browsing workloads then reproduce the loading-time ratios of
 Figs. 8–10.
+
+The constant pipe is the *baseline*.  An optional
+:class:`repro.faults.injector.FaultInjector` layers time-varying
+impairments on top — bandwidth fades, RTT jitter, Gilbert–Elliott loss,
+promotion stalls — and an optional :class:`repro.faults.recovery.
+RecoveryPolicy` bounds the damage: an attempt that is lost or outlasts
+the timeout is retried after an exponential backoff, and a transfer that
+exhausts its attempts is delivered *failed* so the page degrades instead
+of hanging.  Both hooks default to ``None``, in which case the code path
+is exactly the baseline one.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
 
 from repro.network.transfer import Transfer
 from repro.rrc.machine import RrcMachine
+from repro.rrc.states import RrcState
 from repro.sim.kernel import Simulator
 from repro.units import require_non_negative, require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.faults.injector import FaultInjector
+    from repro.faults.recovery import RecoveryPolicy
+
+#: Outcomes of one wire attempt.
+_ATTEMPT_OK = "ok"
+_ATTEMPT_LOST = "lost"
+_ATTEMPT_TIMEOUT = "timeout"
 
 
 @dataclass(frozen=True)
@@ -76,10 +96,14 @@ class Link:
     """FIFO transfer scheduler over the RRC-gated 3G pipe."""
 
     def __init__(self, sim: Simulator, machine: RrcMachine,
-                 config: Optional[NetworkConfig] = None):
+                 config: Optional[NetworkConfig] = None,
+                 injector: Optional["FaultInjector"] = None,
+                 recovery: Optional["RecoveryPolicy"] = None):
         self._sim = sim
         self._machine = machine
         self.config = config or NetworkConfig()
+        self._injector = injector
+        self._recovery = recovery
         # Two-level priority: documents, stylesheets and scripts jump
         # ahead of images/flash, as real browsers schedule them.
         self._high: Deque[Tuple[Transfer, Callable[[Transfer], None]]] = \
@@ -107,12 +131,15 @@ class Link:
               None], label: str = "", high_priority: bool = True
               ) -> Transfer:
         """Request a download of ``size_bytes``; ``on_complete(transfer)``
-        fires when the last byte arrives.  ``high_priority`` transfers
-        (documents, stylesheets, scripts) are scheduled before
-        low-priority ones (images, flash)."""
+        fires when the last byte arrives — or, under fault injection,
+        when the recovery policy gives the transfer up for good, with
+        ``transfer.failed`` set.  ``high_priority`` transfers (documents,
+        stylesheets, scripts) are scheduled before low-priority ones
+        (images, flash)."""
         require_non_negative("size_bytes", size_bytes)
         transfer = Transfer(label=label, size_bytes=size_bytes,
-                            requested_at=self._sim.now)
+                            requested_at=self._sim.now,
+                            high_priority=high_priority)
         self.transfers.append(transfer)
         queue = self._high if high_priority else self._low
         queue.append((transfer, on_complete))
@@ -124,6 +151,16 @@ class Link:
         if self._active or not (self._high or self._low):
             return
         self._active = True
+        if (self._injector is not None
+                and self._machine.state is not RrcState.DCH):
+            # A stalled promotion: the RACH procedure retries before the
+            # RRC connection setup even starts, so the spike precedes
+            # (and adds to) the usual promotion latency.
+            spike = self._injector.promotion_spike()
+            if spike > 0.0:
+                self._sim.schedule(spike, self._machine.acquire_channel,
+                                   self._channel_granted)
+                return
         self._machine.acquire_channel(self._channel_granted)
 
     def _channel_granted(self) -> None:
@@ -134,15 +171,47 @@ class Link:
         if self._streak_ready is None:
             self._streak_ready = now
         transfer, on_complete = self._pop_next(now)
-        transfer.started_at = now
+        if transfer.started_at is None:
+            transfer.started_at = now
+        transfer.attempts += 1
         self._machine.tx_begin()
         # The RTT can only overlap time during which the request could
-        # actually have been in flight: after it was issued AND after the
-        # channel came up (a promotion wait buys no overlap).
-        overlap = now - max(transfer.requested_at, self._streak_ready)
+        # actually have been in flight: after it was (re-)issued AND
+        # after the channel came up (a promotion wait buys no overlap).
+        overlap = now - max(transfer.issued_at, self._streak_ready)
         wire = self.config.wire_time(transfer.size_bytes,
                                      queue_delay=overlap)
-        self._sim.schedule(wire, self._transfer_done, transfer, on_complete)
+        wire, outcome = self._shape_attempt(now, transfer, wire)
+        self._sim.schedule(wire, self._attempt_done, transfer, on_complete,
+                           outcome)
+
+    def _shape_attempt(self, now: float, transfer: Transfer,
+                       wire: float) -> Tuple[float, str]:
+        """Apply channel impairments to one attempt's wire time.
+
+        Returns the (possibly stretched) time the attempt occupies the
+        radio and its outcome.  A lost attempt occupies the radio for the
+        full recovery timeout — the handset waits for a response that
+        never comes — which is exactly the energy waste the recovery
+        layer exists to bound.
+        """
+        if self._injector is None:
+            return wire, _ATTEMPT_OK
+        scale = self._injector.bandwidth_scale(now)
+        if scale != 1.0:
+            payload_time = transfer.size_bytes / self.config.downlink_bandwidth
+            wire += payload_time * (1.0 / scale - 1.0)
+        wire += self._injector.attempt_rtt_jitter()
+        if self._recovery is None:
+            # Loss needs a retry path to be survivable; without a
+            # recovery policy the channel only fades and jitters.
+            return wire, _ATTEMPT_OK
+        if self._injector.attempt_lost():
+            return self._recovery.timeout, _ATTEMPT_LOST
+        if wire > self._recovery.timeout:
+            self._injector.note_timeout()
+            return self._recovery.timeout, _ATTEMPT_TIMEOUT
+        return wire, _ATTEMPT_OK
 
     def _pop_next(self, now: float
                   ) -> Tuple[Transfer, Callable[[Transfer], None]]:
@@ -162,7 +231,7 @@ class Link:
             if not queue:
                 return False
             head, _ = queue[0]
-            waited = now - max(head.requested_at, self._streak_ready)
+            waited = now - max(head.issued_at, self._streak_ready)
             return waited >= self.config.rtt
         if head_ready(self._high):
             return self._high.popleft()
@@ -171,14 +240,40 @@ class Link:
         return (self._high.popleft() if self._high
                 else self._low.popleft())
 
-    def _transfer_done(self, transfer: Transfer,
-                       on_complete: Callable[[Transfer], None]) -> None:
-        transfer.completed_at = self._sim.now
+    def _attempt_done(self, transfer: Transfer,
+                      on_complete: Callable[[Transfer], None],
+                      outcome: str) -> None:
+        if outcome == _ATTEMPT_OK:
+            transfer.completed_at = self._sim.now
+        elif outcome == _ATTEMPT_LOST:
+            transfer.lost_attempts += 1
+        else:
+            transfer.timeout_attempts += 1
         self._machine.tx_end()
         self._active = False
+        retrying = (outcome != _ATTEMPT_OK and self._recovery is not None
+                    and transfer.attempts < self._recovery.max_attempts)
+        if retrying:
+            if self._injector is not None:
+                self._injector.note_retry()
+            self._sim.schedule(self._recovery.backoff(transfer.attempts),
+                               self._requeue, transfer, on_complete)
+        elif outcome != _ATTEMPT_OK:
+            transfer.failed = True
+            if self._injector is not None:
+                self._injector.note_transfer_failed()
         if not (self._high or self._low):
             self._streak_ready = None
         # Start the next queued transfer before user code runs so that
         # back-to-back transfers never arm T1 spuriously for a full tick.
         self._dispatch()
-        on_complete(transfer)
+        if not retrying:
+            on_complete(transfer)
+
+    def _requeue(self, transfer: Transfer,
+                 on_complete: Callable[[Transfer], None]) -> None:
+        """Put a lost/timed-out transfer back in its queue after backoff."""
+        transfer.retry_issued_at = self._sim.now
+        queue = self._high if transfer.high_priority else self._low
+        queue.append((transfer, on_complete))
+        self._dispatch()

@@ -4,6 +4,13 @@ A :class:`Transfer` is one HTTP-level request/response: its size, when it
 was requested (queued), when bytes started moving, and when it completed.
 The experiments use these records for transmission-time accounting and to
 reconstruct traffic-over-time plots.
+
+Under fault injection (:mod:`repro.faults`) one transfer may take several
+wire *attempts*: a lost or timed-out attempt is retried after a backoff
+until the recovery policy's attempt budget runs out, at which point the
+transfer is delivered as *failed* and the page degrades instead of
+hanging.  The attempt accounting lives here so both the engines and the
+sensitivity sweep can read it off the record.
 """
 
 from __future__ import annotations
@@ -23,9 +30,29 @@ class Transfer:
     requested_at: float
     started_at: Optional[float] = None
     completed_at: Optional[float] = None
+    #: Scheduling class the link used (documents/styles/scripts vs media).
+    high_priority: bool = True
+    #: Wire attempts made so far (1 for an unimpaired transfer).
+    attempts: int = 0
+    #: Attempts whose response was lost in the channel.
+    lost_attempts: int = 0
+    #: Attempts abandoned at the recovery timeout.
+    timeout_attempts: int = 0
+    #: True once the recovery policy gave the transfer up for good.
+    failed: bool = False
+    #: When the most recent retry was re-queued (None before any retry).
+    retry_issued_at: Optional[float] = None
 
     def __post_init__(self) -> None:
         require_non_negative("size_bytes", self.size_bytes)
+
+    @property
+    def issued_at(self) -> float:
+        """When the transfer last entered the link queue (original
+        request, or the most recent retry)."""
+        if self.retry_issued_at is not None:
+            return self.retry_issued_at
+        return self.requested_at
 
     @property
     def queue_delay(self) -> float:
@@ -36,7 +63,8 @@ class Transfer:
 
     @property
     def duration(self) -> float:
-        """Seconds of actual wire time (request + response)."""
+        """Seconds from first byte on the wire to the last byte arriving
+        (retries and backoffs of an impaired transfer included)."""
         if self.started_at is None or self.completed_at is None:
             raise ValueError(f"transfer {self.label!r} not complete")
         return self.completed_at - self.started_at

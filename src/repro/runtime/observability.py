@@ -34,6 +34,11 @@ class SimRunStats:
     sim_time: float = 0.0
     #: Real seconds spent inside the event loop.
     wall_time: float = 0.0
+    #: Impairments injected by :mod:`repro.faults` (losses, timeouts,
+    #: RIL drops/delays, promotion spikes, dormancy failures).
+    faults_injected: int = 0
+    #: Transfer retries issued in response to impairments.
+    transfer_retries: int = 0
 
     @property
     def sim_time_ratio(self) -> float:
@@ -55,7 +60,10 @@ class SimRunStats:
             peak_queue_depth=max(self.peak_queue_depth,
                                  other.peak_queue_depth),
             sim_time=self.sim_time + other.sim_time,
-            wall_time=self.wall_time + other.wall_time)
+            wall_time=self.wall_time + other.wall_time,
+            faults_injected=self.faults_injected + other.faults_injected,
+            transfer_retries=self.transfer_retries
+            + other.transfer_retries)
 
     def to_dict(self) -> Dict[str, float]:
         """Flat dict for JSON/CSV report rows."""
@@ -66,6 +74,8 @@ class SimRunStats:
             "sim_time": self.sim_time,
             "wall_time": self.wall_time,
             "sim_time_ratio": self.sim_time_ratio,
+            "faults_injected": self.faults_injected,
+            "transfer_retries": self.transfer_retries,
         }
 
 
@@ -88,6 +98,16 @@ class KernelStatsCollector:
         with self._lock:
             self._total = self._total.merged(stats)
             self._runs += 1
+
+    def accumulate(self, stats: SimRunStats) -> None:
+        """Fold counters in without counting a run.
+
+        Used by out-of-kernel instrumentation — the fault injector
+        reports impairments as they happen, which must not inflate
+        :attr:`runs_recorded`.
+        """
+        with self._lock:
+            self._total = self._total.merged(stats)
 
     def reset(self) -> None:
         """Zero the aggregate (start of a new attribution window)."""

@@ -33,6 +33,7 @@ from repro.runtime.seeding import DEFAULT_ROOT_SEED, task_seed
 
 KIND_EXPERIMENT = "experiment"
 KIND_ABLATION = "ablation"
+KIND_FAULTS = "faults"
 
 
 def _experiment_registry() -> "Dict[str, Tuple[str, Callable]]":
@@ -51,9 +52,16 @@ def _ablation_registry() -> "Dict[str, Tuple[str, Callable]]":
             for name, runner in ALL_ABLATIONS.items()}
 
 
+def _faults_registry() -> "Dict[str, Tuple[str, Callable]]":
+    from repro.experiments.fig_sensitivity import SWEEP_TASKS
+
+    return {name: (title, runner) for name, title, runner in SWEEP_TASKS}
+
+
 _REGISTRIES = {
     KIND_EXPERIMENT: _experiment_registry,
     KIND_ABLATION: _ablation_registry,
+    KIND_FAULTS: _faults_registry,
 }
 
 
@@ -98,7 +106,9 @@ class TaskResult:
                 cancellations=int(payload.get("cancellations", 0)),
                 peak_queue_depth=int(payload.get("peak_queue_depth", 0)),
                 sim_time=float(payload.get("sim_time", 0.0)),
-                wall_time=float(payload.get("wall_time", 0.0))),
+                wall_time=float(payload.get("wall_time", 0.0)),
+                faults_injected=int(payload.get("faults_injected", 0)),
+                transfer_retries=int(payload.get("transfer_retries", 0))),
             cached=cached)
 
 
@@ -167,7 +177,12 @@ def _execute_task(kind: str, task_id: str, seed: int) -> Dict[str, Any]:
     np.random.seed(seed % (2 ** 32))
     started = _time.perf_counter()
     with collecting() as collector:
-        report = runner().report()
+        if getattr(runner, "needs_seed", False):
+            # Seed-aware runners (the faults sweep) derive their own
+            # per-unit child streams from the task seed explicitly.
+            report = runner(seed=seed).report()
+        else:
+            report = runner().report()
     wall_time = _time.perf_counter() - started
     kernel = collector.snapshot()
     payload = {
@@ -275,6 +290,18 @@ def run_ablations(names: Optional[Sequence[str]] = None,
                   root_seed: int = DEFAULT_ROOT_SEED) -> SuiteReport:
     """Fan the ablation studies out across ``processes`` workers."""
     return run_tasks(KIND_ABLATION, names, processes, cache, root_seed)
+
+
+def run_faults_sweep(names: Optional[Sequence[str]] = None,
+                     processes: int = 1,
+                     cache: Optional[ResultCache] = None,
+                     root_seed: int = DEFAULT_ROOT_SEED) -> SuiteReport:
+    """Fan the channel-sensitivity sweep out across ``processes`` workers.
+
+    One task per channel profile; each task's per-page seeds derive from
+    its task seed, so reports are byte-identical across worker counts.
+    """
+    return run_tasks(KIND_FAULTS, names, processes, cache, root_seed)
 
 
 def _run_capacity_point(simulator, n_users: int, seed: int):

@@ -34,7 +34,7 @@ from typing import Any, Dict, List
 CSV_COLUMNS = (
     "task_id", "kind", "title", "seed", "cached", "wall_time",
     "events_processed", "cancellations", "peak_queue_depth",
-    "sim_time", "sim_time_ratio",
+    "sim_time", "sim_time_ratio", "faults_injected", "transfer_retries",
 )
 
 

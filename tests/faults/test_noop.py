@@ -1,0 +1,63 @@
+"""The strict no-op guarantee: injection off (or ideal) changes nothing.
+
+The acceptance bar for the whole subsystem: a handset built with no
+fault plan must execute the *exact* baseline code path, and one built
+under the ``ideal`` profile must be byte-identical to it — same floats,
+same event schedule, same energies.
+"""
+
+import pytest
+
+from repro.browser.energy_aware import EnergyAwareEngine
+from repro.browser.original import OriginalEngine
+from repro.core.comparison import compare_engines
+from repro.core.session import browse_and_read
+from repro.faults.injector import FaultPlan
+from repro.webpages.corpus import benchmark_pages
+
+
+def outcome_tuple(result):
+    load = result.load
+    return (load.data_transmission_time, load.load_complete_time,
+            load.first_display_time, load.final_display_time,
+            load.bytes_downloaded,
+            result.loading_energy.total, result.reading_energy.total,
+            tuple((t.label, t.started_at, t.completed_at, t.attempts)
+                  for t in load.transfers))
+
+
+@pytest.mark.parametrize("engine_cls", [OriginalEngine, EnergyAwareEngine])
+def test_ideal_plan_is_byte_identical_to_no_plan(engine_cls):
+    for page in benchmark_pages(mobile=True)[:3]:
+        bare = browse_and_read(page, engine_cls, reading_time=12.0)
+        ideal = browse_and_read(page, engine_cls, reading_time=12.0,
+                                faults=FaultPlan.named("ideal", seed=2013))
+        assert outcome_tuple(bare) == outcome_tuple(ideal)
+
+
+def test_ideal_plan_comparison_matches_baseline():
+    page = benchmark_pages(mobile=False)[0]
+    bare = compare_engines(page, reading_time=30.0)
+    ideal = compare_engines(page, reading_time=30.0,
+                            faults=FaultPlan.named("ideal", seed=7))
+    assert bare.energy_saving == ideal.energy_saving
+    assert bare.original.total_energy == ideal.original.total_energy
+    assert (bare.energy_aware.total_energy
+            == ideal.energy_aware.total_energy)
+
+
+def test_no_plan_means_no_injector():
+    page = benchmark_pages(mobile=True)[0]
+    result = browse_and_read(page, OriginalEngine, reading_time=0.0)
+    assert result.handset.injector is None
+    assert result.handset.faults is None
+
+
+def test_ideal_plan_records_zero_faults():
+    page = benchmark_pages(mobile=True)[0]
+    result = browse_and_read(page, OriginalEngine, reading_time=0.0,
+                             faults=FaultPlan.named("ideal"))
+    assert result.handset.injector is not None
+    assert result.handset.injector.stats.faults_injected == 0
+    assert not result.load.degraded
+    assert result.load.ril_errors == []

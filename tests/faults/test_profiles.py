@@ -1,0 +1,73 @@
+"""Channel profile presets and validation."""
+
+import pytest
+
+from repro.faults.profiles import (
+    CELL_EDGE,
+    IDEAL,
+    PROFILE_ORDER,
+    PROFILES,
+    ChannelProfile,
+    get_profile,
+)
+
+
+def test_presets_registered_in_severity_order():
+    assert PROFILE_ORDER == ("ideal", "suburban", "congested", "cell_edge")
+    assert set(PROFILES) == set(PROFILE_ORDER)
+    for name in PROFILE_ORDER:
+        assert PROFILES[name].name == name
+
+
+def test_ideal_is_null():
+    assert IDEAL.is_null
+    assert not IDEAL.fades
+    assert not IDEAL.loses_transfers
+
+
+def test_lossy_presets_are_not_null():
+    for name in PROFILE_ORDER[1:]:
+        profile = PROFILES[name]
+        assert not profile.is_null
+        assert profile.fades
+        assert profile.loses_transfers
+
+
+def test_default_profile_impairs_nothing():
+    assert ChannelProfile(name="custom").is_null
+
+
+def test_get_profile_unknown_name_lists_known():
+    with pytest.raises(KeyError, match="cell_edge"):
+        get_profile("marianas_trench")
+
+
+def test_probability_validation():
+    with pytest.raises(ValueError):
+        ChannelProfile(name="bad", ril_drop_prob=1.5)
+    with pytest.raises(ValueError):
+        ChannelProfile(name="bad", loss_bad=-0.1)
+
+
+def test_fade_bounds_validation():
+    with pytest.raises(ValueError):
+        ChannelProfile(name="bad", fade_floor=0.0, fade_ceiling=0.5)
+    with pytest.raises(ValueError):
+        ChannelProfile(name="bad", fade_floor=0.9, fade_ceiling=0.5)
+
+
+def test_scaled_zero_is_null_and_one_is_identity():
+    assert CELL_EDGE.scaled(0.0).is_null
+    rescaled = CELL_EDGE.scaled(1.0)
+    assert rescaled.fade_floor == pytest.approx(CELL_EDGE.fade_floor)
+    assert rescaled.loss_bad == pytest.approx(CELL_EDGE.loss_bad)
+    assert rescaled.dormancy_failure_prob == pytest.approx(
+        CELL_EDGE.dormancy_failure_prob)
+
+
+def test_scaled_overdrive_clamps_probabilities():
+    overdriven = CELL_EDGE.scaled(10.0, name="worst")
+    assert overdriven.name == "worst"
+    assert overdriven.loss_bad == 1.0
+    assert overdriven.dormancy_failure_prob == 1.0
+    assert 0.0 < overdriven.fade_floor <= overdriven.fade_ceiling

@@ -172,6 +172,21 @@ def test_zero_byte_fetch_completes():
     assert done[0].complete
 
 
+def test_zero_byte_fetch_pays_only_request_overheads():
+    """An empty payload still costs the RTT, the request upload and the
+    per-request overhead — just no downlink time."""
+    config = NetworkConfig()
+    sim, machine, link = make_link(config)
+    done = []
+    link.fetch(0.0, done.append, label="empty")
+    sim.run()
+    assert done[0].duration == pytest.approx(
+        config.rtt + config.pipeline_overhead
+        + config.request_bytes / config.uplink_bandwidth)
+    assert done[0].attempts == 1
+    assert not done[0].failed
+
+
 def test_negative_size_rejected():
     sim, machine, link = make_link()
     with pytest.raises(ValueError):

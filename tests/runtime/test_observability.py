@@ -34,7 +34,19 @@ def test_to_dict_round_numbers():
     keys = set(SimRunStats().to_dict())
     assert keys == {"events_processed", "cancellations",
                     "peak_queue_depth", "sim_time", "wall_time",
-                    "sim_time_ratio"}
+                    "sim_time_ratio", "faults_injected",
+                    "transfer_retries"}
+
+
+def test_accumulate_merges_without_counting_a_run():
+    collector = KernelStatsCollector()
+    collector.record(SimRunStats(events_processed=1))
+    collector.accumulate(SimRunStats(faults_injected=3,
+                                     transfer_retries=2))
+    snapshot = collector.snapshot()
+    assert snapshot.faults_injected == 3
+    assert snapshot.transfer_retries == 2
+    assert collector.runs_recorded == 1
 
 
 def test_collector_aggregates_and_resets():
