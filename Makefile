@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench experiments experiments-parallel ablations \
-	faults-sweep ci examples clean
+.PHONY: install test bench bench-baseline bench-compare experiments \
+	experiments-parallel ablations faults-sweep ci examples clean
 
 # Worker count for the parallel experiment runner (override: make N=8 ...).
 N ?= 4
@@ -14,6 +14,15 @@ test:
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only -s
+
+# Performance trajectory: bench-baseline writes the committed baseline
+# artifact; bench-compare writes the next BENCH_<n>.json and fails on a
+# >25% suite-total regression against the baseline.
+bench-baseline:
+	python -m repro.runtime.profiling bench --out BENCH_0.json
+
+bench-compare:
+	python -m repro.runtime.profiling bench --out auto --compare BENCH_0.json
 
 experiments:
 	python -m repro.experiments.runner

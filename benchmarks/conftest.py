@@ -19,10 +19,15 @@ from repro.runtime.observability import KERNEL_STATS
 
 
 @pytest.fixture(autouse=True)
-def _reset_kernel_stats():
-    """Give each benchmark its own kernel-stats attribution window."""
+def _reset_kernel_stats(benchmark):
+    """Give each benchmark its own kernel-stats attribution window and
+    publish the aggregate into the benchmark's ``extra_info`` so the
+    ``BENCH_<n>.json`` trajectory artifacts (see
+    :mod:`repro.runtime.profiling`) carry events/sec and sim/real per
+    benchmark."""
     KERNEL_STATS.reset()
     yield
+    benchmark.extra_info.update(KERNEL_STATS.snapshot().to_dict())
 
 
 @pytest.fixture

@@ -1,0 +1,26 @@
+"""GBRT training bench: one full fit of the fig15 configuration.
+
+Fig. 15 trains the reading-time predictor (300 trees, 8 leaves) on the
+synthetic trace; this benchmark isolates that `fit` so the committed
+``BENCH_<n>.json`` trajectory tracks training cost directly rather than
+through the whole experiment.
+"""
+
+import numpy as np
+
+from repro.prediction.predictor import ReadingTimePredictor
+from repro.traces.generator import generate_trace
+
+
+def test_gbrt_fit_fig15(benchmark):
+    dataset = generate_trace().filter_reading_time()
+    x, y = dataset.to_arrays()
+
+    def fit():
+        return ReadingTimePredictor(interest_threshold=None).fit_arrays(
+            x, y)
+
+    predictor = benchmark.pedantic(fit, rounds=1, iterations=1)
+    predicted = predictor.predict(x)
+    assert predicted.shape == y.shape
+    assert np.isfinite(predicted).all()

@@ -176,11 +176,21 @@ class BrowserEngine:
 
     def _fetch_references(self, obj: WebObject,
                           include_dynamic: bool = False) -> None:
-        for ref in obj.static_references:
-            self._fetch(ref)
+        refs = list(obj.static_references)
         if include_dynamic:
-            for ref in obj.dynamic_references:
-                self._fetch(ref)
+            refs.extend(obj.dynamic_references)
+        requests = []
+        for ref in refs:
+            if ref in self._requested:
+                continue
+            self._requested.add(ref)
+            child = self.page.objects[ref]
+            requests.append((child.size_bytes, self._make_arrival(child),
+                             ref, not child.kind.is_multimedia))
+        if not requests:
+            return
+        self._pending_fetches += len(requests)
+        self.transfers.extend(self._link.fetch_many(requests))
 
     def _make_arrival(self, obj: WebObject) -> Callable[[Transfer], None]:
         def arrived(transfer: Transfer) -> None:

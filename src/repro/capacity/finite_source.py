@@ -45,34 +45,55 @@ class FiniteSourceCapacitySimulator:
 
     def run(self, n_users: int, seed: Optional[int] = None
             ) -> CapacityResult:
-        """Simulate ``n_users`` cycling think → request → hold/drop."""
+        """Simulate ``n_users`` cycling think → request → hold/drop.
+
+        The loop is the library's single hottest path (millions of
+        sessions per Fig. 11 point), so it runs on plain floats with
+        locally-bound heap ops.  Two identities keep the RNG stream and
+        results exactly those of the straightforward version: a scalar
+        ``rng.choice(a)`` consumes the generator identically to
+        ``a[rng.integers(0, a.size)]`` (without the array-handling
+        overhead), and the per-user heap needs no user identity — users
+        are statistically interchangeable, every draw is
+        identity-independent, so a heap of bare request times yields the
+        same session/drop counts as a heap of ``(time, user)`` pairs.
+        """
         require_positive("n_users", n_users)
         config = self.config
         rng = np.random.default_rng(config.seed if seed is None else seed)
 
+        horizon = config.horizon
+        n_channels = config.n_channels
+        mean_interval = config.mean_interval
+        service_list = self.service_times.tolist()
+        n_service = self.service_times.size
+        exponential = rng.exponential
+        integers = rng.integers
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
         # Per-user next-request instants, processed in time order.
-        requests = [(float(t), index) for index, t in enumerate(
-            rng.exponential(config.mean_interval, size=n_users))]
+        requests = rng.exponential(mean_interval, size=n_users).tolist()
         heapq.heapify(requests)
         busy: list = []  # channel release times
         sessions = dropped = 0
 
         while requests:
-            at, user = heapq.heappop(requests)
-            if at >= config.horizon:
+            at = heappop(requests)
+            if at >= horizon:
                 continue
             while busy and busy[0] <= at:
-                heapq.heappop(busy)
+                heappop(busy)
             sessions += 1
-            think = float(rng.exponential(config.mean_interval))
-            if len(busy) >= config.n_channels:
+            think = exponential(mean_interval)
+            if len(busy) >= n_channels:
                 dropped += 1
                 next_at = at + think  # dropped session: think again
             else:
-                service = float(rng.choice(self.service_times))
-                heapq.heappush(busy, at + service)
+                service = service_list[integers(0, n_service)]
+                heappush(busy, at + service)
                 next_at = at + service + think
-            heapq.heappush(requests, (next_at, user))
+            heappush(requests, next_at)
         return CapacityResult(n_users=n_users, sessions=sessions,
                               dropped=dropped)
 

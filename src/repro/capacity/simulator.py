@@ -92,13 +92,18 @@ class CapacitySimulator:
 
         busy: list = []  # min-heap of channel release times
         dropped = 0
-        for arrival, service in zip(arrivals, services):
+        n_channels = config.n_channels
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        # Iterate plain floats: numpy-scalar comparisons inside the heap
+        # would dominate this loop's cost.
+        for arrival, service in zip(arrivals.tolist(), services.tolist()):
             while busy and busy[0] <= arrival:
-                heapq.heappop(busy)
-            if len(busy) >= config.n_channels:
+                heappop(busy)
+            if len(busy) >= n_channels:
                 dropped += 1
                 continue
-            heapq.heappush(busy, arrival + service)
+            heappush(busy, arrival + service)
         return CapacityResult(n_users=n_users, sessions=int(arrivals.size),
                               dropped=dropped)
 

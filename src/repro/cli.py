@@ -7,6 +7,7 @@ Subcommands::
                       [--report out.json]
     repro ablations [reorganisation timers predictor alpha] [--parallel N]
     repro faults-sweep [ideal suburban ...] [--parallel N] [--report out.json]
+    repro profile fig11 [--kind experiment] [--top 25] [--report prof.json]
     repro trace --out trace.csv
     repro train --trace trace.csv --out model.json
     repro predict --model model.json --trace trace.csv --threshold 9
@@ -100,6 +101,22 @@ def _cmd_faults_sweep(args: argparse.Namespace) -> int:
               f"known: {sorted(PROFILES)}", file=sys.stderr)
         return 2
     return _run_suite(runtime_parallel.KIND_FAULTS, args.profiles, args)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.runtime.profiling import profile_task, render_profile
+
+    try:
+        payload = profile_task(args.kind, args.task, seed=args.seed,
+                               top_n=args.top, sort=args.sort)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(render_profile(payload))
+    if args.report:
+        write_report(payload, args.report)
+        print(f"report -> {args.report}")
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -241,6 +258,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", metavar="PATH",
         help="write a structured run report (.json or .csv)")
     faults.set_defaults(func=_cmd_faults_sweep)
+
+    profile = subparsers.add_parser(
+        "profile", help="run one task under cProfile and report hotspots")
+    profile.add_argument("task", help="task id (e.g. fig11, alpha, ideal)")
+    profile.add_argument(
+        "--kind", default=runtime_parallel.KIND_EXPERIMENT,
+        choices=(runtime_parallel.KIND_EXPERIMENT,
+                 runtime_parallel.KIND_ABLATION,
+                 runtime_parallel.KIND_FAULTS),
+        help="task registry to look in (default: experiment)")
+    profile.add_argument("--top", type=int, default=25,
+                         help="hotspot rows to keep (default: 25)")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=("cumulative", "tottime", "ncalls"),
+                         help="pstats sort order (default: cumulative)")
+    profile.add_argument("--seed", type=int, default=None,
+                         help="root seed for task-seed derivation "
+                              f"(default: {DEFAULT_ROOT_SEED})")
+    profile.add_argument("--report", metavar="PATH",
+                         help="write hotspots + kernel metrics as JSON")
+    profile.set_defaults(func=_cmd_profile)
 
     trace = subparsers.add_parser(
         "trace", help="generate a synthetic browsing trace as CSV")

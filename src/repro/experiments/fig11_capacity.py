@@ -22,6 +22,7 @@ from repro.capacity.simulator import (
 from repro.core.comparison import benchmark_comparison
 from repro.core.config import ExperimentConfig
 from repro.units import hours
+from repro.webpages.corpus import warm_corpus
 
 PAPER_GAIN = {"mobile": 14.3, "full": 19.6}
 
@@ -97,6 +98,10 @@ def run(config: Optional[ExperimentConfig] = None,
         horizon: float = hours(2),
         seed: int = 7) -> Fig11Result:
     """Run the capacity comparison for both benchmark halves."""
+    # Page generation and the corpus-wide engine comparison are paid
+    # once per process (warm memo), not once per capacity grid point;
+    # only the per-point seeds differ below.
+    warm_corpus()
     benchmarks: List[BenchmarkCapacity] = []
     finite_gains: Dict[str, float] = {}
     for mobile, label in ((True, "mobile"), (False, "full")):

@@ -125,15 +125,21 @@ def run_profile(profile_name: str,
                 seed: int = DEFAULT_ROOT_SEED,
                 config: Optional[ExperimentConfig] = None,
                 reading_time: float = SWEEP_READING_TIME,
+                pages: Optional[List] = None,
                 ) -> SensitivityResult:
     """Sweep one channel profile over both benchmark halves.
 
     Each page gets its own child seed (positional, from ``seed``), and
     within a page both engines share the plan — common random numbers,
     so the engine comparison is fair under identical channel histories.
+
+    ``pages`` substitutes an explicit page list for the full corpus —
+    used by the golden-equivalence tests to sweep a small subset (child
+    seeds are positional over whatever list is swept).
     """
     get_profile(profile_name)  # validate the name before any work
-    pages = benchmark_pages(mobile=True) + benchmark_pages(mobile=False)
+    if pages is None:
+        pages = benchmark_pages(mobile=True) + benchmark_pages(mobile=False)
     seeds = spawn_seeds(seed, len(pages))
     rows: List[PageSensitivity] = []
     for page, page_seed in zip(pages, seeds):

@@ -15,12 +15,13 @@ round (the leaf line-search still uses only the drawn samples).
 
 from __future__ import annotations
 
+import os
 from typing import Iterator, List, Optional
 
 import numpy as np
 
 from repro.ml.losses import Loss, SquaredLoss
-from repro.ml.tree import RegressionTree
+from repro.ml.tree import _SLOW_GBRT_ENV, RegressionTree
 
 
 class GradientBoostedRegressor:
@@ -67,29 +68,51 @@ class GradientBoostedRegressor:
         self.trees_ = []
         self.train_losses_ = []
 
+        slow = bool(os.environ.get(_SLOW_GBRT_ENV))
+        full_sample = self.subsample >= 1.0
+        # The feature matrix never changes between rounds when every
+        # round trains on the full sample, so the stable argsort the
+        # split search needs is paid once here, not once per round.
+        presorted = (np.argsort(x, axis=0, kind="stable")
+                     if full_sample and not slow else None)
+
         for _ in range(self.n_estimators):
-            if self.subsample < 1.0:
+            if full_sample:
+                # Avoid n-sized fancy-index copies of x/y/prediction
+                # every round; identical values, the arrays themselves.
+                x_round, y_round, pred_round = x, y, prediction
+            else:
                 size = max(2 * self.min_samples_leaf,
                            int(round(self.subsample * n)))
                 chosen = rng.choice(n, size=min(size, n), replace=False)
-            else:
-                chosen = np.arange(n)
+                x_round = x[chosen]
+                y_round = y[chosen]
+                pred_round = prediction[chosen]
 
-            residuals = self.loss.negative_gradient(y[chosen],
-                                                    prediction[chosen])
+            residuals = self.loss.negative_gradient(y_round, pred_round)
             tree = RegressionTree(max_leaves=self.max_leaves,
                                   min_samples_leaf=self.min_samples_leaf)
-            tree.fit(x[chosen], residuals)
+            tree.fit(x_round, residuals, presorted=presorted)
 
             # Per-leaf line search on the true loss (γ_jm in Algorithm 1).
-            regions = tree.apply(x[chosen])
-            for leaf_id, leaf in enumerate(tree.leaves()):
+            regions = tree.apply(x_round)
+            leaves = tree.leaves()
+            for leaf_id, leaf in enumerate(leaves):
                 in_leaf = regions == leaf_id
                 if in_leaf.any():
                     leaf.value = self.loss.leaf_value(
-                        y[chosen][in_leaf], prediction[chosen][in_leaf])
+                        y_round[in_leaf], pred_round[in_leaf])
 
-            prediction += self.learning_rate * tree.predict(x)
+            if slow:
+                prediction += self.learning_rate * tree.predict(x)
+            else:
+                # tree.predict(x) would re-partition x; the regions are
+                # already known (identically) from apply, so look the
+                # leaf values up instead.  Full sample: reuse the
+                # line-search regions outright.
+                regions_full = regions if full_sample else tree.apply(x)
+                leaf_values = np.array([leaf.value for leaf in leaves])
+                prediction += self.learning_rate * leaf_values[regions_full]
             self.trees_.append(tree)
             self.train_losses_.append(self.loss.loss(y, prediction))
         return self
@@ -114,6 +137,11 @@ class GradientBoostedRegressor:
         """Scalar prediction by sequential tree traversal — the low-
         overhead on-phone code path the paper times in Table 7."""
         self._check_fitted()
+        if isinstance(row, np.ndarray):
+            # Hundreds of trees each index the row a handful of times;
+            # plain-list indexing returns Python floats without the
+            # numpy scalar boxing that dominates the traversal cost.
+            row = row.tolist()
         value = self.init_
         rate = self.learning_rate
         for tree in self.trees_:

@@ -11,26 +11,49 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+#: Set to any non-empty value to route split search through the original
+#: per-node, per-feature loop.  The vectorised path is required to grow
+#: byte-identical trees (the golden tests serialise both and diff).
+_SLOW_GBRT_ENV = "REPRO_GBRT_SLOW"
 
-@dataclass
+
 class TreeNode:
     """One node of a fitted regression tree.
 
     Internal nodes carry ``(feature, threshold)`` and children; terminal
     nodes carry ``value`` (the region's prediction b_j in Eq. 7).
+
+    ``__slots__`` (hand-written; ``dataclass(slots=True)`` needs 3.10)
+    because ensembles hold thousands of nodes and the traversal loops
+    touch their attributes constantly.
     """
 
-    value: float
-    n_samples: int
-    feature: Optional[int] = None
-    threshold: Optional[float] = None
-    left: Optional["TreeNode"] = None
-    right: Optional["TreeNode"] = None
+    __slots__ = ("value", "n_samples", "feature", "threshold", "left",
+                 "right")
+
+    def __init__(self, value: float, n_samples: int,
+                 feature: Optional[int] = None,
+                 threshold: Optional[float] = None,
+                 left: Optional["TreeNode"] = None,
+                 right: Optional["TreeNode"] = None) -> None:
+        self.value = value
+        self.n_samples = n_samples
+        self.feature = feature
+        self.threshold = threshold
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.is_leaf:
+            return f"TreeNode(value={self.value!r}, n={self.n_samples})"
+        return (f"TreeNode(feature={self.feature}, "
+                f"threshold={self.threshold!r}, n={self.n_samples})")
 
     @property
     def is_leaf(self) -> bool:
@@ -64,11 +87,92 @@ class _Split:
     right_index: np.ndarray
     left_value: float
     right_value: float
+    #: Per-feature stable sort orders of each child's rows, propagated
+    #: by the vectorised split search so children never re-sort (absent
+    #: on the reference path).
+    left_order: Optional[np.ndarray] = None
+    right_order: Optional[np.ndarray] = None
 
 
 def _best_split(x: np.ndarray, y: np.ndarray, index: np.ndarray,
-                min_samples_leaf: int) -> Optional[_Split]:
-    """Exact best SSE-reducing split of the samples in ``index``."""
+                min_samples_leaf: int,
+                order: np.ndarray) -> Optional[_Split]:
+    """Exact best SSE-reducing split of the samples in ``index``.
+
+    One pass over the whole feature matrix instead of a per-feature
+    Python loop.  ``order`` (d, n) holds this node's rows stably sorted
+    per feature; the root's comes from one ``np.argsort(x, axis=0,
+    kind="stable")`` per fit (reusable across boosting rounds when the
+    training matrix doesn't change) and children inherit theirs by
+    filtering the parent's — a stable sort of a subset is the subset of
+    the stable sort, so every node sees exactly the sorted values,
+    prefix sums, floats, and tie-breaks the original per-node loop
+    computed.
+    """
+    n_features, n = order.shape
+    if n < 2 * min_samples_leaf:
+        return None
+    y_node = y[index]
+    total_sum = y_node.sum()
+
+    feature_rows = np.arange(n_features)[:, None]
+    sorted_values = x[order, feature_rows]            # (d, n)
+    prefix_sum = np.cumsum(y[order], axis=1)          # (d, n)
+
+    # Candidate split after position p puts p+1 samples on the left, so
+    # both-children-big-enough restricts p to the band [msl-1, n-msl);
+    # the reference loop computed every position and masked, this slices
+    # the band up front (identical arithmetic, evaluated in the same
+    # left-to-right order, just in-place on the band).
+    lo = min_samples_leaf - 1
+    hi = n - min_samples_leaf                         # exclusive; >= lo+1
+    left_sizes = np.arange(lo + 1, hi + 1)
+    right_sizes = n - left_sizes
+    left_sums = prefix_sum[:, lo:hi]
+    gains = left_sums ** 2
+    gains /= left_sizes
+    right_part = total_sum - left_sums
+    right_part **= 2
+    right_part /= right_sizes
+    gains += right_part
+    gains -= total_sum ** 2 / n
+    # Thresholds must fall between distinct values.
+    distinct = sorted_values[:, lo:hi] < sorted_values[:, lo + 1:hi + 1]
+    gains[~distinct] = -np.inf
+    positions = np.argmax(gains, axis=1)              # per-feature best
+    per_feature_gain = gains[np.arange(n_features), positions]
+    # The sequential loop kept the first feature to beat the running
+    # best by a strict margin, i.e. the lowest-indexed maximum — which
+    # is exactly np.argmax's first-occurrence rule.
+    feature = int(np.argmax(per_feature_gain))
+    gain = float(per_feature_gain[feature])
+    if gain <= 1e-12:  # require strictly positive gain
+        return None
+    pos = lo + int(positions[feature])
+    threshold = float((sorted_values[feature, pos]
+                       + sorted_values[feature, pos + 1]) / 2)
+    values = x[index, feature]
+    left_mask = values <= threshold
+    left_index = index[left_mask]
+    right_index = index[~left_mask]
+
+    member = np.zeros(x.shape[0], dtype=bool)
+    member[left_index] = True
+    in_left = member[order]                           # (d, n)
+    left_order = order[in_left].reshape(n_features, left_index.size)
+    right_order = order[~in_left].reshape(n_features, right_index.size)
+    return _Split(
+        gain=gain, feature=feature, threshold=threshold,
+        left_index=left_index, right_index=right_index,
+        left_value=float(y[left_index].mean()),
+        right_value=float(y[right_index].mean()),
+        left_order=left_order, right_order=right_order)
+
+
+def _best_split_slow(x: np.ndarray, y: np.ndarray, index: np.ndarray,
+                     min_samples_leaf: int) -> Optional[_Split]:
+    """Original per-feature split search, kept as the equivalence
+    reference behind ``REPRO_GBRT_SLOW``."""
     n = index.size
     if n < 2 * min_samples_leaf:
         return None
@@ -137,8 +241,15 @@ class RegressionTree:
         self.split_gains: List[Tuple[int, float]] = []
 
     # ------------------------------------------------------------------
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
-        """Grow the tree on ``x`` (n, d) against targets ``y`` (n,)."""
+    def fit(self, x: np.ndarray, y: np.ndarray,
+            presorted: Optional[np.ndarray] = None) -> "RegressionTree":
+        """Grow the tree on ``x`` (n, d) against targets ``y`` (n,).
+
+        ``presorted`` is an optional ``np.argsort(x, axis=0,
+        kind="stable")`` computed by the caller; boosting passes it so
+        the sort is paid once per ensemble instead of once per round
+        when the training matrix doesn't change between rounds.
+        """
         x = np.asarray(x, dtype=float)
         y = np.asarray(y, dtype=float)
         if x.ndim != 2:
@@ -152,17 +263,35 @@ class RegressionTree:
         self.root = TreeNode(value=float(y.mean()), n_samples=index.size)
         self.split_gains = []
 
+        if os.environ.get(_SLOW_GBRT_ENV):
+            def find_split(node_index: np.ndarray,
+                           order: Optional[np.ndarray]) -> Optional[_Split]:
+                return _best_split_slow(x, y, node_index,
+                                        self.min_samples_leaf)
+
+            root_order: Optional[np.ndarray] = None
+        else:
+            def find_split(node_index: np.ndarray,
+                           order: Optional[np.ndarray]) -> Optional[_Split]:
+                return _best_split(x, y, node_index,
+                                   self.min_samples_leaf, order)
+
+            sort_idx = (presorted if presorted is not None
+                        else np.argsort(x, axis=0, kind="stable"))
+            root_order = sort_idx.T
+
         # Best-first growth: a max-heap of (−gain, tiebreak, node, split).
         counter = itertools.count()
         heap: list = []
 
-        def push(node: TreeNode, node_index: np.ndarray) -> None:
-            split = _best_split(x, y, node_index, self.min_samples_leaf)
+        def push(node: TreeNode, node_index: np.ndarray,
+                 order: Optional[np.ndarray]) -> None:
+            split = find_split(node_index, order)
             if split is not None:
                 heapq.heappush(heap, (-split.gain, next(counter), node,
                                       split))
 
-        push(self.root, index)
+        push(self.root, index, root_order)
         leaves = 1
         while heap and leaves < self.max_leaves:
             neg_gain, _, node, split = heapq.heappop(heap)
@@ -174,24 +303,40 @@ class RegressionTree:
                                   n_samples=split.right_index.size)
             self.split_gains.append((split.feature, -neg_gain))
             leaves += 1
-            push(node.left, split.left_index)
-            push(node.right, split.right_index)
+            push(node.left, split.left_index, split.left_order)
+            push(node.right, split.right_index, split.right_order)
         return self
 
     # ------------------------------------------------------------------
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Vectorised prediction for rows of ``x``."""
+        """Vectorised prediction for rows of ``x``.
+
+        Iterative frontier partition: each internal node splits its
+        index set with one vectorised comparison, leaves write their
+        value into the output slice.  Same values as a per-row
+        traversal, O(n) numpy work per tree level.
+        """
         if self.root is None:
             raise RuntimeError("tree is not fitted")
         x = np.asarray(x, dtype=float)
         if x.ndim == 1:
             x = x.reshape(1, -1)
         out = np.empty(x.shape[0], dtype=float)
-        self._predict_into(self.root, x, np.arange(x.shape[0]), out)
+        stack = [(self.root, np.arange(x.shape[0]))]
+        while stack:
+            node, index = stack.pop()
+            while not node.is_leaf:
+                mask = x[index, node.feature] <= node.threshold
+                stack.append((node.right, index[~mask]))
+                node = node.left
+                index = index[mask]
+            out[index] = node.value
         return out
 
     def _predict_into(self, node: TreeNode, x: np.ndarray,
                       index: np.ndarray, out: np.ndarray) -> None:
+        """Recursive reference partition (kept for the equivalence
+        tests; :meth:`predict` uses the iterative frontier)."""
         if node.is_leaf:
             out[index] = node.value
             return
@@ -283,25 +428,29 @@ class RegressionTree:
         return out
 
     def apply(self, x: np.ndarray) -> np.ndarray:
-        """Region index (leaf id in left-to-right order) for each row."""
+        """Region index (leaf id in left-to-right order) for each row.
+
+        Iterative frontier partition, like :meth:`predict`.  Popping the
+        stack after always descending left first visits leaves in
+        left-to-right order, so numbering them as they are reached
+        reproduces the recursive numbering (including leaves no row of
+        ``x`` lands in).
+        """
         if self.root is None:
             raise RuntimeError("tree is not fitted")
         x = np.asarray(x, dtype=float)
-        leaf_ids = {}
-
-        def number(node: TreeNode) -> None:
-            if node.is_leaf:
-                leaf_ids[id(node)] = len(leaf_ids)
-                return
-            number(node.left)
-            number(node.right)
-
-        number(self.root)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
         out = np.empty(x.shape[0], dtype=int)
-        for i in range(x.shape[0]):
-            node = self.root
+        next_leaf = 0
+        stack = [(self.root, np.arange(x.shape[0]))]
+        while stack:
+            node, index = stack.pop()
             while not node.is_leaf:
-                node = node.left if x[i, node.feature] <= node.threshold \
-                    else node.right
-            out[i] = leaf_ids[id(node)]
+                mask = x[index, node.feature] <= node.threshold
+                stack.append((node.right, index[~mask]))
+                node = node.left
+                index = index[mask]
+            out[index] = next_leaf
+            next_leaf += 1
         return out

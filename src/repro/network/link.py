@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Sequence, Tuple
 
 from repro.network.transfer import Transfer
 from repro.rrc.machine import RrcMachine
@@ -145,6 +145,35 @@ class Link:
         queue.append((transfer, on_complete))
         self._dispatch()
         return transfer
+
+    def fetch_many(self, requests: Sequence[Tuple[float,
+                   Callable[[Transfer], None], str, bool]]
+                   ) -> List[Transfer]:
+        """Request a batch of back-to-back downloads in one call.
+
+        ``requests`` holds ``(size_bytes, on_complete, label,
+        high_priority)`` tuples.  Event-for-event identical to calling
+        :meth:`fetch` once per tuple: the dispatch happens after the
+        *first* enqueue (as the first sequential ``fetch`` would do it),
+        so a synchronously granted channel sees exactly the queue state
+        the sequential calls would have produced; every later ``fetch``'s
+        dispatch would have been a no-op anyway because the link is
+        already active by then.
+        """
+        now = self._sim.now
+        transfers: List[Transfer] = []
+        for size_bytes, on_complete, label, high_priority in requests:
+            require_non_negative("size_bytes", size_bytes)
+            transfer = Transfer(label=label, size_bytes=size_bytes,
+                                requested_at=now,
+                                high_priority=high_priority)
+            self.transfers.append(transfer)
+            queue = self._high if high_priority else self._low
+            queue.append((transfer, on_complete))
+            transfers.append(transfer)
+            if len(transfers) == 1:
+                self._dispatch()
+        return transfers
 
     # ------------------------------------------------------------------
     def _dispatch(self) -> None:

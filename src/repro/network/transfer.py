@@ -15,36 +15,59 @@ sensitivity sweep can read it off the record.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.units import require_non_negative
 
 
-@dataclass
 class Transfer:
-    """One request/response over the 3G link."""
+    """One request/response over the 3G link.
 
-    label: str
-    size_bytes: float
-    requested_at: float
-    started_at: Optional[float] = None
-    completed_at: Optional[float] = None
-    #: Scheduling class the link used (documents/styles/scripts vs media).
-    high_priority: bool = True
-    #: Wire attempts made so far (1 for an unimpaired transfer).
-    attempts: int = 0
-    #: Attempts whose response was lost in the channel.
-    lost_attempts: int = 0
-    #: Attempts abandoned at the recovery timeout.
-    timeout_attempts: int = 0
-    #: True once the recovery policy gave the transfer up for good.
-    failed: bool = False
-    #: When the most recent retry was re-queued (None before any retry).
-    retry_issued_at: Optional[float] = None
+    ``__slots__`` (hand-written; ``dataclass(slots=True)`` needs 3.10):
+    a busy experiment creates hundreds of thousands of these, and the
+    link's scheduling loop reads their fields constantly.
+    """
 
-    def __post_init__(self) -> None:
-        require_non_negative("size_bytes", self.size_bytes)
+    __slots__ = ("label", "size_bytes", "requested_at", "started_at",
+                 "completed_at", "high_priority", "attempts",
+                 "lost_attempts", "timeout_attempts", "failed",
+                 "retry_issued_at")
+
+    def __init__(self, label: str, size_bytes: float, requested_at: float,
+                 started_at: Optional[float] = None,
+                 completed_at: Optional[float] = None,
+                 high_priority: bool = True,
+                 attempts: int = 0,
+                 lost_attempts: int = 0,
+                 timeout_attempts: int = 0,
+                 failed: bool = False,
+                 retry_issued_at: Optional[float] = None) -> None:
+        require_non_negative("size_bytes", size_bytes)
+        self.label = label
+        self.size_bytes = size_bytes
+        self.requested_at = requested_at
+        self.started_at = started_at
+        self.completed_at = completed_at
+        #: Scheduling class the link used (documents/styles/scripts
+        #: vs media).
+        self.high_priority = high_priority
+        #: Wire attempts made so far (1 for an unimpaired transfer).
+        self.attempts = attempts
+        #: Attempts whose response was lost in the channel.
+        self.lost_attempts = lost_attempts
+        #: Attempts abandoned at the recovery timeout.
+        self.timeout_attempts = timeout_attempts
+        #: True once the recovery policy gave the transfer up for good.
+        self.failed = failed
+        #: When the most recent retry was re-queued (None before any
+        #: retry).
+        self.retry_issued_at = retry_issued_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Transfer(label={self.label!r}, "
+                f"size_bytes={self.size_bytes!r}, "
+                f"requested_at={self.requested_at!r}, "
+                f"complete={self.complete}, failed={self.failed})")
 
     @property
     def issued_at(self) -> float:

@@ -90,13 +90,39 @@ class KernelStatsCollector:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._total = SimRunStats()
+        self._events_processed = 0
+        self._cancellations = 0
+        self._peak_queue_depth = 0
+        self._sim_time = 0.0
+        self._wall_time = 0.0
+        self._faults_injected = 0
+        self._transfer_retries = 0
         self._runs = 0
 
-    def record(self, stats: SimRunStats) -> None:
-        """Fold one run's counters into the aggregate."""
+    def record_run(self, events_processed: int, cancellations: int,
+                   peak_queue_depth: int, sim_time: float,
+                   wall_time: float) -> None:
+        """Fold one run's counters into the aggregate.
+
+        This is the kernel's hot exit path — many experiments drive
+        thousands of short ``Simulator.run`` calls — so it takes plain
+        numbers and touches plain counters; a :class:`SimRunStats`
+        record is only materialised when someone asks for a
+        :meth:`snapshot`.
+        """
         with self._lock:
-            self._total = self._total.merged(stats)
+            self._events_processed += events_processed
+            self._cancellations += cancellations
+            if peak_queue_depth > self._peak_queue_depth:
+                self._peak_queue_depth = peak_queue_depth
+            self._sim_time += sim_time
+            self._wall_time += wall_time
+            self._runs += 1
+
+    def record(self, stats: SimRunStats) -> None:
+        """Fold one run's counters into the aggregate (record form)."""
+        with self._lock:
+            self._fold(stats)
             self._runs += 1
 
     def accumulate(self, stats: SimRunStats) -> None:
@@ -107,18 +133,42 @@ class KernelStatsCollector:
         :attr:`runs_recorded`.
         """
         with self._lock:
-            self._total = self._total.merged(stats)
+            self._fold(stats)
+
+    def _fold(self, stats: SimRunStats) -> None:
+        # Caller holds the lock.
+        self._events_processed += stats.events_processed
+        self._cancellations += stats.cancellations
+        if stats.peak_queue_depth > self._peak_queue_depth:
+            self._peak_queue_depth = stats.peak_queue_depth
+        self._sim_time += stats.sim_time
+        self._wall_time += stats.wall_time
+        self._faults_injected += stats.faults_injected
+        self._transfer_retries += stats.transfer_retries
 
     def reset(self) -> None:
         """Zero the aggregate (start of a new attribution window)."""
         with self._lock:
-            self._total = SimRunStats()
+            self._events_processed = 0
+            self._cancellations = 0
+            self._peak_queue_depth = 0
+            self._sim_time = 0.0
+            self._wall_time = 0.0
+            self._faults_injected = 0
+            self._transfer_retries = 0
             self._runs = 0
 
     def snapshot(self) -> SimRunStats:
         """The aggregate since the last :meth:`reset`."""
         with self._lock:
-            return self._total
+            return SimRunStats(
+                events_processed=self._events_processed,
+                cancellations=self._cancellations,
+                peak_queue_depth=self._peak_queue_depth,
+                sim_time=self._sim_time,
+                wall_time=self._wall_time,
+                faults_injected=self._faults_injected,
+                transfer_retries=self._transfer_retries)
 
     @property
     def runs_recorded(self) -> int:

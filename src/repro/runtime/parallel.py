@@ -65,6 +65,11 @@ _REGISTRIES = {
 }
 
 
+def registry_for(kind: str) -> "Dict[str, Tuple[str, Callable]]":
+    """Public registry lookup (used by the profiling harness)."""
+    return _REGISTRIES[kind]()
+
+
 @dataclass(frozen=True)
 class TaskResult:
     """One completed (or cache-served) task."""
@@ -165,6 +170,19 @@ class SuiteReport:
         }
 
 
+def _warm_worker() -> None:
+    """Pool-worker initializer: pre-generate the page corpus.
+
+    Every experiment/ablation/faults task starts from the Table 3 pages;
+    warming the process-local corpus memo at worker startup (overlapping
+    with pool spin-up) means no task pays page generation mid-run, and a
+    worker's second task never regenerates what its first one built.
+    """
+    from repro.webpages.corpus import warm_corpus
+
+    warm_corpus()
+
+
 def _execute_task(kind: str, task_id: str, seed: int) -> Dict[str, Any]:
     """Worker entry point: run one task and return its payload dict.
 
@@ -257,7 +275,8 @@ def run_tasks(kind: str,
                         for task_id in pending]
         else:
             workers = min(processes, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with ProcessPoolExecutor(max_workers=workers,
+                                     initializer=_warm_worker) as pool:
                 futures = [pool.submit(_execute_task, kind, task_id,
                                        seeds[task_id])
                            for task_id in pending]

@@ -82,6 +82,25 @@ class EventQueue:
         self._live += 1
         return event
 
+    def push_many(self, items: "list[tuple[float, Callable[..., Any], tuple]]"
+                  ) -> "list[Event]":
+        """Insert a batch of ``(time, callback, args)`` entries.
+
+        Sequence numbers are assigned in iteration order, so the batch is
+        indistinguishable from the equivalent sequence of :meth:`push`
+        calls — same events, same FIFO ties, same pop order.
+        """
+        heappush = heapq.heappush
+        heap = self._heap
+        counter = self._counter
+        events = []
+        for time, callback, args in items:
+            event = Event(time, next(counter), callback, args)
+            heappush(heap, event)
+            events.append(event)
+        self._live += len(events)
+        return events
+
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or ``None`` if empty.
 
@@ -119,8 +138,15 @@ class EventQueue:
         Heapify over the surviving ``(time, sequence)`` keys preserves
         pop order exactly — sequence numbers are assigned at push time
         and never reused — so compaction is invisible to callers.
+
+        The rebuild mutates the heap list *in place* (slice assignment,
+        not rebinding): the kernel's drain loop holds a local reference
+        to this list across callbacks, and a callback that cancels enough
+        events to trigger compaction must not strand that reference on a
+        dead copy.
         """
-        self._heap = [event for event in self._heap if not event.cancelled]
+        self._heap[:] = [event for event in self._heap
+                         if not event.cancelled]
         heapq.heapify(self._heap)
         self._stale = 0
 

@@ -16,13 +16,21 @@ work to the experiment that caused it without reaching into substrates.
 
 from __future__ import annotations
 
+import heapq
 import math
+import os
 import time as _time
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.runtime.observability import KERNEL_STATS, SimRunStats
 from repro.sim.events import Event, EventQueue
 from repro.units import require_non_negative
+
+#: Set to any non-empty value to route ``Simulator.run`` through the
+#: original peek/step loop instead of the inlined drain loop.  The two
+#: are byte-identical in observable behaviour (golden tests assert it);
+#: the gate exists so the equivalence stays testable.
+_SLOW_KERNEL_ENV = "REPRO_KERNEL_SLOW"
 
 
 class SimulationError(RuntimeError):
@@ -40,6 +48,7 @@ class Simulator:
         self._events_processed = 0
         self._cancellations = 0
         self._peak_queue_depth = 0
+        self._run_peak_depth = 0
         self._wall_time = 0.0
 
     # ------------------------------------------------------------------
@@ -76,12 +85,41 @@ class Simulator:
                 f"cannot schedule at {time:.6f}, clock is at {self.now:.6f}")
         return self._push(time, callback, args)
 
+    def schedule_many(self,
+                      requests: Iterable[Tuple[float, Callable[..., Any],
+                                               tuple]]) -> List[Event]:
+        """Schedule a batch of ``(delay, callback, args)`` requests.
+
+        Equivalent to calling :meth:`schedule` once per request, in
+        order — same events, same sequence numbers, same FIFO ties —
+        but validates up front and pushes through the queue's bulk
+        path, which matters for callers that enqueue back-to-back
+        transfers (see :meth:`repro.network.link.Link.fetch_many`).
+        """
+        now = self.now
+        items: List[Tuple[float, Callable[..., Any], tuple]] = []
+        for delay, callback, args in requests:
+            if not math.isfinite(delay):
+                raise SimulationError(
+                    f"delay must be finite, got {delay!r}")
+            require_non_negative("delay", delay)
+            items.append((now + delay, callback, args))
+        events = self._queue.push_many(items)
+        depth = len(self._queue)
+        if depth > self._peak_queue_depth:
+            self._peak_queue_depth = depth
+        if depth > self._run_peak_depth:
+            self._run_peak_depth = depth
+        return events
+
     def _push(self, time: float, callback: Callable[..., Any],
               args: tuple) -> Event:
         event = self._queue.push(time, callback, args)
         depth = len(self._queue)
         if depth > self._peak_queue_depth:
             self._peak_queue_depth = depth
+        if depth > self._run_peak_depth:
+            self._run_peak_depth = depth
         return event
 
     def cancel(self, event: Optional[Event]) -> None:
@@ -114,40 +152,94 @@ class Simulator:
         it remain queued and the clock is advanced exactly to ``until``.
         ``max_events`` bounds the number of callbacks (a runaway guard for
         tests).
+
+        The event loop is inlined over the queue's heap (one pop per
+        live event, no per-event ``peek_time``/``step`` indirection).
+        Setting ``REPRO_KERNEL_SLOW`` in the environment routes through
+        the original peek/step loop instead; the golden-equivalence
+        tests run every experiment both ways and diff the reports.
         """
         if self._running:
             raise SimulationError("run() re-entered; the kernel is not "
                                   "reentrant")
         self._running = True
-        processed = 0
         run_started_at = self.now
         events_before = self._events_processed
         cancellations_before = self._cancellations
+        # Per-run peak starts at the depth already queued when the run
+        # begins; _push / schedule_many raise it as callbacks schedule.
+        self._run_peak_depth = len(self._queue)
         wall_start = _time.perf_counter()
         try:
-            while True:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                if max_events is not None and processed >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}")
-                self.step()
-                processed += 1
+            if os.environ.get(_SLOW_KERNEL_ENV):
+                self._run_slow(until, max_events)
+            else:
+                self._run_fast(until, max_events)
             if until is not None and until > self.now:
                 self.now = until
         finally:
             self._running = False
             wall_time = _time.perf_counter() - wall_start
             self._wall_time += wall_time
-            KERNEL_STATS.record(SimRunStats(
+            KERNEL_STATS.record_run(
                 events_processed=self._events_processed - events_before,
                 cancellations=self._cancellations - cancellations_before,
-                peak_queue_depth=self._peak_queue_depth,
+                peak_queue_depth=self._run_peak_depth,
                 sim_time=self.now - run_started_at,
-                wall_time=wall_time))
+                wall_time=wall_time)
+
+    def _run_fast(self, until: Optional[float],
+                  max_events: Optional[int]) -> None:
+        """Drain loop with the queue internals bound locally.
+
+        Safe against everything callbacks may do: pushes go through
+        ``heapq.heappush`` on the same list object, and compaction
+        (triggered by cancellations) rebuilds that list in place, so the
+        local ``heap`` binding never goes stale.
+        """
+        queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        processed = 0
+        try:
+            while heap:
+                event = heap[0]
+                if event.cancelled:
+                    heappop(heap)
+                    queue._stale -= 1
+                    continue
+                event_time = event.time
+                if until is not None and event_time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}")
+                heappop(heap)
+                queue._live -= 1
+                if event_time < self.now:
+                    raise SimulationError(
+                        "event queue went backwards in time")
+                self.now = event_time
+                processed += 1
+                event.callback(*event.args)
+        finally:
+            self._events_processed += processed
+
+    def _run_slow(self, until: Optional[float],
+                  max_events: Optional[int]) -> None:
+        """Original peek/step loop, kept as the equivalence reference."""
+        processed = 0
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}")
+            self.step()
+            processed += 1
 
     @property
     def pending_events(self) -> int:

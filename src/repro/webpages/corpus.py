@@ -115,6 +115,19 @@ def benchmark_pages(mobile: bool) -> List[Webpage]:
     return [load_benchmark_page(entry) for entry in entries]
 
 
+def warm_corpus() -> None:
+    """Generate the whole Table 3 corpus into the process-local memo.
+
+    Sweeps and pool workers call this once up front so that no grid
+    point (or first-task-per-worker) pays page generation mid-measurement;
+    afterwards every ``benchmark_pages``/``find_page`` call is a pure
+    cache hit.  Generation is deterministic per spec, so warming never
+    changes results — only when the cost is paid.
+    """
+    for entry in MOBILE_BENCHMARK + FULL_BENCHMARK:
+        load_benchmark_page(entry)
+
+
 def find_page(paper_name: str) -> Webpage:
     """Look up a page by the site name the paper uses (e.g. ``m.cnn.com``
     is ``cnn`` in the mobile column)."""

@@ -216,3 +216,76 @@ def test_network_config_validation():
         NetworkConfig(downlink_bandwidth=0)
     with pytest.raises(ValueError):
         NetworkConfig(rtt=-0.1)
+
+
+def _timeline(transfers):
+    return [(t.label, t.high_priority, t.started_at, t.completed_at)
+            for t in transfers]
+
+
+def test_fetch_many_matches_sequential_fetches():
+    """A mixed-priority batch produces the very same transfer timeline
+    as back-to-back ``fetch`` calls (the dispatch the first sequential
+    fetch would trigger happens at the same queue state)."""
+    requests = [(kb(30), "doc", True), (kb(80), "img", False),
+                (kb(10), "css", True), (kb(40), "media", False)]
+
+    sim_a, _, link_a = make_link()
+    done_a = []
+    for size, label, high in requests:
+        link_a.fetch(size, done_a.append, label=label, high_priority=high)
+    sim_a.run()
+
+    sim_b, _, link_b = make_link()
+    done_b = []
+    batch = link_b.fetch_many([(size, done_b.append, label, high)
+                               for size, label, high in requests])
+    assert [t.label for t in batch] == [label for _, label, _ in requests]
+    sim_b.run()
+
+    assert _timeline(link_b.transfers) == _timeline(link_a.transfers)
+    assert [t.label for t in done_b] == [t.label for t in done_a]
+
+
+def test_fetch_many_while_channel_held_matches_sequential():
+    """Batches issued from a completion callback (channel already DCH,
+    so dispatch is synchronous) must match the sequential path too."""
+    follow_up = [(kb(20), "late-img", False), (kb(5), "late-css", True)]
+
+    def drive(link, sink, use_batch):
+        def first_done(transfer):
+            sink.append(transfer)
+            if use_batch:
+                link.fetch_many([(size, sink.append, label, high)
+                                 for size, label, high in follow_up])
+            else:
+                for size, label, high in follow_up:
+                    link.fetch(size, sink.append, label=label,
+                               high_priority=high)
+        link.fetch(kb(50), first_done, label="root")
+
+    sim_a, _, link_a = make_link()
+    done_a = []
+    drive(link_a, done_a, use_batch=False)
+    sim_a.run()
+
+    sim_b, _, link_b = make_link()
+    done_b = []
+    drive(link_b, done_b, use_batch=True)
+    sim_b.run()
+
+    assert _timeline(link_b.transfers) == _timeline(link_a.transfers)
+
+
+def test_fetch_many_empty_batch_is_noop():
+    sim, _, link = make_link()
+    assert link.fetch_many([]) == []
+    sim.run()
+    assert link.transfers == []
+
+
+def test_fetch_many_rejects_negative_size():
+    _, _, link = make_link()
+    with pytest.raises(ValueError):
+        link.fetch_many([(kb(10), lambda t: None, "ok", True),
+                         (-1.0, lambda t: None, "bad", True)])

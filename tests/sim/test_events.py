@@ -163,3 +163,33 @@ def test_pop_order_is_sorted_and_stable(times):
         if earlier.time == later.time:
             assert earlier.sequence < later.sequence
     assert len(popped) == len(events)
+
+
+def test_push_many_matches_push_sequence():
+    """A bulk insert is indistinguishable from the same pushes one by
+    one: identical pop order, FIFO ties included."""
+    times = [5.0, 1.0, 5.0, 0.0, 1.0, 5.0]
+
+    one_by_one = EventQueue()
+    singles = [one_by_one.push(t, lambda: None) for t in times]
+
+    bulk = EventQueue()
+    batch = bulk.push_many([(t, (lambda: None), ()) for t in times])
+    assert len(batch) == len(times)
+    assert len(bulk) == len(one_by_one)
+
+    single_order = [singles.index(one_by_one.pop())
+                    for _ in range(len(times))]
+    bulk_order = [batch.index(bulk.pop()) for _ in range(len(times))]
+    assert bulk_order == single_order == [3, 1, 4, 0, 2, 5]
+
+
+def test_push_many_interleaves_with_push():
+    """Sequence numbers keep advancing across bulk and single inserts,
+    so ties between the two paths stay FIFO."""
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    middle = queue.push_many([(1.0, (lambda: None), ()),
+                              (1.0, (lambda: None), ())])
+    last = queue.push(1.0, lambda: None)
+    assert [queue.pop() for _ in range(4)] == [first, *middle, last]

@@ -194,3 +194,94 @@ def test_callbacks_fire_in_time_order(delays):
     sim.run()
     assert observed == sorted(observed)
     assert len(observed) == len(delays)
+
+
+def test_midrun_mass_cancellation_bounds_heap_and_keeps_order():
+    """Cancelling >50% of the queued events from a callback triggers
+    compaction *while the drain loop is running*; the loop must keep
+    draining the (rebuilt, in-place) heap in time order and the physical
+    heap must shrink to a small multiple of the live count."""
+    sim = Simulator()
+    fired = []
+    doomed = [sim.schedule(50.0 + step, lambda: fired.append("doomed"))
+              for step in range(150)]
+    for delay in range(1, 50):
+        sim.schedule(float(delay), lambda: fired.append(sim.now))
+
+    heap_sizes = []
+
+    def cancel_most():
+        fired.append(sim.now)
+        for event in doomed:
+            sim.cancel(event)
+        heap_sizes.append(sim._queue.heap_size)
+
+    sim.schedule(0.5, cancel_most)
+    sim.run()
+
+    assert fired == [0.5] + [float(d) for d in range(1, 50)]
+    # Compaction ran inside the callback: 150 stale entries vanished from
+    # the physical heap even though the run loop held a heap reference.
+    assert heap_sizes[0] < 100
+    assert sim.pending_events == 0
+
+
+def test_run_stats_report_per_run_peak_depth():
+    """Each run's record carries *that run's* peak queue depth, not the
+    simulator-lifetime peak (which stays available as a property)."""
+    from repro.runtime.observability import collecting
+
+    sim = Simulator()
+    for delay in range(1, 9):
+        sim.schedule(float(delay), lambda: None)
+    sim.run()
+
+    with collecting() as stats:
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+    assert stats.snapshot().peak_queue_depth == 2
+    assert sim.peak_queue_depth == 8  # lifetime high-water mark
+
+
+def test_schedule_many_matches_sequential_schedules():
+    requests = [(3.0, "a"), (1.0, "b"), (3.0, "c"), (0.0, "d"), (1.0, "e")]
+
+    sequential = Simulator()
+    seq_order = []
+    for delay, tag in requests:
+        sequential.schedule(delay, seq_order.append, tag)
+    sequential.run()
+
+    bulk = Simulator()
+    bulk_order = []
+    events = bulk.schedule_many(
+        [(delay, bulk_order.append, (tag,)) for delay, tag in requests])
+    assert len(events) == len(requests)
+    bulk.run()
+
+    assert bulk_order == seq_order == ["d", "b", "e", "a", "c"]
+    assert bulk.now == sequential.now
+
+
+def test_schedule_many_validates_before_enqueuing():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="finite"):
+        sim.schedule_many([(1.0, lambda: None, ()),
+                           (float("nan"), lambda: None, ())])
+    assert sim.pending_events == 0
+
+    with pytest.raises(ValueError):
+        sim.schedule_many([(1.0, lambda: None, ()),
+                           (-2.0, lambda: None, ())])
+    assert sim.pending_events == 0
+
+
+def test_schedule_many_events_are_cancellable():
+    sim = Simulator()
+    fired = []
+    events = sim.schedule_many(
+        [(float(d), fired.append, (d,)) for d in (1, 2, 3)])
+    sim.cancel(events[1])
+    sim.run()
+    assert fired == [1, 3]
