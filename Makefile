@@ -1,7 +1,8 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench bench-baseline bench-compare experiments \
-	experiments-parallel ablations faults-sweep ci examples clean
+.PHONY: install test bench bench-baseline bench-compare fleet-bench \
+	experiments experiments-parallel ablations faults-sweep ci \
+	examples clean
 
 # Worker count for the parallel experiment runner (override: make N=8 ...).
 N ?= 4
@@ -23,6 +24,10 @@ bench-baseline:
 
 bench-compare:
 	python -m repro.runtime.profiling bench --out auto --compare BENCH_0.json
+
+# Batched-vs-scalar fleet engine timings with equivalence checks.
+fleet-bench:
+	python -m repro fleet-bench
 
 experiments:
 	python -m repro.experiments.runner

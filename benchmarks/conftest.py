@@ -47,6 +47,8 @@ def record_report(request):
                 f"sim/real {stats.sim_time_ratio:.0f}x "
                 f"({stats.sim_time:.1f}s simulated in "
                 f"{stats.wall_time:.3f}s)")
+        if stats.work_units:
+            lines.append(f"[work] {stats.work_units} units")
         print("\n".join(lines) + "\n")
 
     return _record

@@ -19,6 +19,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.fleet import fleet_enabled
+from repro.fleet.capacity import resolve_drops
 from repro.runtime.seeding import spawn_seeds
 from repro.units import hours, require_positive
 
@@ -61,7 +63,9 @@ class CapacitySimulator:
 
     def __init__(self, service_times: Sequence[float],
                  config: Optional[CapacityConfig] = None):
-        times = np.asarray(list(service_times), dtype=float)
+        # asarray, not array: an ndarray input (e.g. a shared-memory
+        # view from repro.runtime.shm) is used in place, not copied.
+        times = np.asarray(service_times, dtype=float)
         if times.size == 0:
             raise ValueError("need at least one service-time sample")
         if (times <= 0).any():
@@ -89,6 +93,16 @@ class CapacitySimulator:
         arrivals = np.cumsum(gaps)
         arrivals = arrivals[arrivals < config.horizon]
         services = rng.choice(self.service_times, size=arrivals.size)
+
+        if fleet_enabled():
+            # Same draws, same loss process: the sorted-count sweep of
+            # repro.fleet.capacity resolves the identical drop set
+            # without walking the heap session by session.
+            dropped = int(resolve_drops(
+                arrivals, services, config.n_channels).sum())
+            return CapacityResult(n_users=n_users,
+                                  sessions=int(arrivals.size),
+                                  dropped=dropped)
 
         busy: list = []  # min-heap of channel release times
         dropped = 0

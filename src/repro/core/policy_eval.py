@@ -24,10 +24,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.browser.energy_aware import EnergyAwareEngine
 from repro.browser.original import OriginalEngine
 from repro.core.config import ExperimentConfig, PolicyConfig
 from repro.core.session import browse_and_read
+from repro.fleet import fleet_enabled
+from repro.fleet.policy import switch_decisions
 from repro.prediction.policy import (
     AlwaysOffPolicy,
     OraclePolicy,
@@ -105,6 +109,15 @@ class PolicyEvaluator:
             interest_threshold=self.config.policy.interest_threshold)
         self._predictor.fit(self.train_set)
 
+        # Batched-policy caches: the evaluation records' feature matrix
+        # and reading times (flattened in session order), plus one
+        # prediction vector per predictor — predict-9 and predict-20
+        # share a predictor and therefore share the predictions.
+        self._eval_features: Optional[np.ndarray] = None
+        self._eval_readings: Optional[np.ndarray] = None
+        self._prediction_cache: Optional[
+            Tuple[ReadingTimePredictor, np.ndarray]] = None
+
     # ------------------------------------------------------------------
     # Page profiles
     # ------------------------------------------------------------------
@@ -167,6 +180,51 @@ class PolicyEvaluator:
         energy += rrc.power.idle * (reading - switch_at)
         return energy, RrcState.IDLE
 
+    def _eval_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluation records as arrays, flattened in session order —
+        the exact order :meth:`_run_case` walks them."""
+        if self._eval_features is None:
+            features: List = []
+            readings: List[float] = []
+            for session in self.eval_set.sessions():
+                for record in session.records:
+                    features.append(record.feature_vector())
+                    readings.append(record.reading_time)
+            self._eval_features = np.asarray(features, dtype=float)
+            self._eval_readings = np.asarray(readings, dtype=float)
+        return self._eval_features, self._eval_readings
+
+    def _batched_switches(self, policy: SwitchPolicy
+                          ) -> Optional[np.ndarray]:
+        """Every record's raw switch decision as one boolean vector.
+
+        The three concrete policy families are pure functions of the
+        feature matrix / reading-time vector, so the whole evaluation
+        set resolves in one predictor pass plus array comparisons.
+        ``predict(X)[i]`` is bitwise ``predict_one(X[i])`` — both
+        accumulate ``init + Σ lr·leaf`` in tree order — so the vector
+        decisions equal the scalar ones element for element.  Unknown
+        policy subclasses return ``None``: the caller falls back to
+        per-record ``decide``.
+        """
+        features, readings = self._eval_arrays()
+        if isinstance(policy, PredictivePolicy):
+            predictor = policy.predictor
+            if (self._prediction_cache is None
+                    or self._prediction_cache[0] is not predictor):
+                self._prediction_cache = (predictor,
+                                          predictor.predict(features))
+            config = policy.config
+            return switch_decisions(self._prediction_cache[1],
+                                    config.mode,
+                                    config.power_threshold,
+                                    config.delay_threshold)
+        if isinstance(policy, OraclePolicy):
+            return readings > policy.threshold
+        if isinstance(policy, AlwaysOffPolicy):
+            return np.ones(readings.size, dtype=bool)
+        return None
+
     def _run_case(self, name: str, engine: str,
                   policy: Optional[SwitchPolicy],
                   switch_delay: float) -> Tuple[float, float, float]:
@@ -177,6 +235,9 @@ class PolicyEvaluator:
         total_delay = 0.0
         switches = 0
         count = 0
+        switch_flags: Optional[np.ndarray] = None
+        if policy is not None and fleet_enabled():
+            switch_flags = self._batched_switches(policy)
         for session in self.eval_set.sessions():
             state = RrcState.IDLE  # sessions start after a long gap
             for record in session.records:
@@ -186,11 +247,15 @@ class PolicyEvaluator:
 
                 switch_at: Optional[float] = None
                 if policy is not None:
-                    decision = policy.decide(record.feature_vector(),
-                                             reading)
+                    if switch_flags is not None:
+                        wants_switch = bool(switch_flags[count - 1])
+                    else:
+                        wants_switch = policy.decide(
+                            record.feature_vector(), reading
+                        ).switch_to_idle
                     # Algorithm 2 waits for the interest threshold before
                     # deciding; a user who already left cannot be helped.
-                    if decision.switch_to_idle and reading > switch_delay:
+                    if wants_switch and reading > switch_delay:
                         switch_at = switch_delay
                         switches += 1
 

@@ -1,0 +1,35 @@
+"""Batched struct-of-arrays simulation for independent-handset workloads.
+
+The scalar engines simulate one handset per Python object; capacity
+sweeps, reading-time CDFs, and policy evaluation all iterate thousands
+of *statistically independent* handsets through them one event at a
+time.  ``repro.fleet`` advances N handsets per vectorised NumPy step
+instead:
+
+- :mod:`repro.fleet.rrc` — vectorised RRC power/state accounting with
+  closed-form energy integration over inter-event intervals, validated
+  against :class:`repro.rrc.machine.RrcMachine`;
+- :mod:`repro.fleet.capacity` — sorted-event-sweep channel-occupancy
+  resolution replacing the per-session heap loop of
+  :class:`repro.capacity.simulator.CapacitySimulator`;
+- :mod:`repro.fleet.policy` — Algorithm 2 thresholds applied to whole
+  prediction vectors plus batched reading-tail energies.
+
+Every fleet path keeps the scalar implementation as the golden
+reference behind ``REPRO_FLEET_SLOW=1`` (read at call time, like
+``REPRO_KERNEL_SLOW``), and the golden-equivalence tests prove the two
+produce byte-identical experiment reports.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Set to any non-empty value to route through the scalar reference
+#: implementations (per-session heap loop, per-record policy decisions).
+FLEET_SLOW_ENV = "REPRO_FLEET_SLOW"
+
+
+def fleet_enabled() -> bool:
+    """Whether the batched fleet paths are active (checked per call)."""
+    return not os.environ.get(FLEET_SLOW_ENV)

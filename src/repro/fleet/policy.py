@@ -1,0 +1,61 @@
+"""Batched Algorithm-2 switching decisions and CDF anchors.
+
+The scalar policies in :mod:`repro.prediction.policy` answer one
+pageview at a time; evaluating Table 6 asks the same question for every
+record of the evaluation trace.  Algorithm 2's rule is a pure threshold
+comparison on the predicted reading time,
+
+    switch  ⇔  Tr > Td  OR  (mode == power AND Tr > Tp),
+
+so a whole prediction vector resolves in two array comparisons.  The
+results are bit-for-bit those of the scalar rule: each element sees the
+same float compared against the same thresholds.
+
+This module deliberately knows nothing about policies, predictors, or
+configs — it takes plain arrays and floats, so :mod:`repro.core.
+policy_eval` can depend on it without an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.runtime.observability import KERNEL_STATS
+
+
+def switch_decisions(predicted: np.ndarray, mode: str,
+                     power_threshold: float,
+                     delay_threshold: float) -> np.ndarray:
+    """Vectorised Algorithm 2 over a vector of predicted reading times.
+
+    Returns a boolean array: ``True`` where the radio should be forced
+    to IDLE.  Matches ``PredictivePolicy.decide`` element for element.
+    """
+    predicted = np.asarray(predicted, dtype=float)
+    switch = predicted > delay_threshold
+    if mode == "power":
+        switch = switch | (predicted > power_threshold)
+    KERNEL_STATS.record_work(predicted.size)
+    return switch
+
+
+def threshold_fractions(times: np.ndarray,
+                        thresholds: Sequence[float]) -> "list[float]":
+    """CDF percentages ``100 * P(time < threshold)`` for many thresholds.
+
+    One sort of ``times`` answers every anchor via binary search; the
+    returned floats are bitwise those of the per-anchor
+    ``100.0 * float(np.mean(times < threshold))`` — ``np.mean`` over a
+    boolean mask is the exact integer count (far below 2**53) divided
+    by the exact size, and ``searchsorted(side='left')`` on the sorted
+    array produces the same count.
+    """
+    times = np.asarray(times, dtype=float)
+    ordered = np.sort(times)
+    counts = np.searchsorted(ordered, np.asarray(thresholds, dtype=float),
+                             side="left")
+    size = times.size
+    KERNEL_STATS.record_work(size + len(thresholds))
+    return [100.0 * (int(count) / size) for count in counts]

@@ -1,0 +1,410 @@
+"""Vectorised RRC power/state accounting for fleets of handsets.
+
+The scalar :class:`repro.rrc.machine.RrcMachine` steps one handset
+through mode changes event by event; the power meter then integrates
+``power × duration`` over the recorded segments.  For *independent*
+handsets none of that event machinery is needed: given the inter-burst
+gaps, transfer durations, and (optional) application-initiated releases,
+every dwell time has a closed form.  This module evaluates those closed
+forms over ``(n_handsets, max_bursts)`` arrays — one NumPy pass per
+burst column instead of one Python callback per event.
+
+Trace layout (struct of arrays)
+-------------------------------
+A :class:`FleetTrace` describes ``n`` handsets with up to ``k`` bursts
+each.  All per-burst quantities are *relative* times — absolute clocks
+differ between handsets because promotion latency depends on the decayed
+state, so gaps anchor at the previous burst's transmission end:
+
+- ``gaps[i, j]``      seconds from the previous anchor to request ``j``
+  (for ``j == 0`` the anchor is ``t = 0`` with the radio IDLE);
+- ``durations[i, j]`` seconds of active transmission for burst ``j``;
+- ``actions[i, j]``   what the application does after burst ``j`` ends:
+  :data:`ACTION_NONE`, :data:`ACTION_RELEASE` (``release_channels``,
+  Section 4.1) or :data:`ACTION_DORMANCY` (``fast_dormancy``,
+  Section 4.4);
+- ``offsets[i, j]``   seconds after burst ``j``'s transmission end at
+  which the action fires.  An action only applies when it lands strictly
+  inside the following window (``offset < gap`` of the next burst, or
+  ``offset < tail`` after the last one) — otherwise the next request
+  arrives first and the action is never issued;
+- ``n_bursts[i]``     how many of the ``k`` columns are live (≥ 1);
+- ``tail[i]``         observation window after the last transmission
+  end; the ledger closes at its end.
+
+Closed-form dwell decomposition
+-------------------------------
+After a transmission ends the machine sits in DCH for ``min(w, t1)``,
+FACH for ``clip(w - t1, 0, t2)`` and IDLE for the remainder of a window
+``w`` (the Section 2.1 tail).  ``release_channels`` at offset ``r < t1``
+truncates the DCH dwell to ``r`` and restarts the FACH clock; fast
+dormancy at ``r`` truncates the whole tail at ``r``.  The state *seen by
+the next request* follows the same piecewise form, with boundary ties
+resolved exactly as the event kernel resolves them (FIFO sequence
+numbers): a timer armed before the request was scheduled wins a tie, a
+timer armed after loses it.  Concretely ``w == t1`` decays (T1 was armed
+inside ``tx_end``, before the next request was scheduled) while
+``w == t1 + t2`` does *not* reach IDLE (T2 is armed at T1 expiry, after
+the request was scheduled).
+
+:func:`account` evaluates the ledger for the whole fleet;
+:func:`replay_scalar` drives a real :class:`RrcMachine` through the
+event kernel for one handset and reports the same ledger, serving as the
+golden reference for the equivalence tests and ``repro fleet-bench``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.rrc.config import PowerProfile, RrcConfig
+from repro.rrc.machine import RrcMachine
+from repro.rrc.states import RadioMode
+from repro.runtime.observability import KERNEL_STATS
+from repro.sim.kernel import Simulator
+
+#: Post-burst application actions.
+ACTION_NONE = 0
+ACTION_RELEASE = 1
+ACTION_DORMANCY = 2
+
+#: Decayed-state codes used internally (match RrcState semantics).
+_STATE_IDLE = 0
+_STATE_FACH = 1
+_STATE_DCH = 2
+
+
+@dataclass(frozen=True)
+class FleetTrace:
+    """Struct-of-arrays description of ``n`` independent handsets."""
+
+    gaps: np.ndarray        #: (n, k) float — window before each request.
+    durations: np.ndarray   #: (n, k) float — transmission seconds.
+    actions: np.ndarray     #: (n, k) int8 — post-burst action code.
+    offsets: np.ndarray     #: (n, k) float — action delay after tx end.
+    n_bursts: np.ndarray    #: (n,) int — live bursts per handset (>= 1).
+    tail: np.ndarray        #: (n,) float — window after the last burst.
+
+    def __post_init__(self) -> None:
+        n, k = self.gaps.shape
+        for name in ("durations", "actions", "offsets"):
+            if getattr(self, name).shape != (n, k):
+                raise ValueError(f"{name} must have shape {(n, k)}")
+        if self.n_bursts.shape != (n,) or self.tail.shape != (n,):
+            raise ValueError(f"n_bursts/tail must have shape {(n,)}")
+        if n == 0:
+            return
+        if self.n_bursts.min() < 1 or self.n_bursts.max() > k:
+            raise ValueError("n_bursts must lie in [1, k]")
+        live = np.arange(k)[None, :] < self.n_bursts[:, None]
+        for name in ("gaps", "durations", "offsets"):
+            values = getattr(self, name)
+            if not np.all(np.isfinite(values[live])):
+                raise ValueError(f"{name} must be finite")
+            if (values[live] < 0).any():
+                raise ValueError(f"{name} must be non-negative")
+        if not np.all(np.isfinite(self.tail)) or (self.tail < 0).any():
+            raise ValueError("tail must be finite and non-negative")
+
+    @property
+    def n_handsets(self) -> int:
+        return self.gaps.shape[0]
+
+    @property
+    def max_bursts(self) -> int:
+        return self.gaps.shape[1]
+
+
+def random_fleet(rng: np.random.Generator, n_handsets: int,
+                 max_bursts: int = 8, mean_gap: float = 12.0,
+                 mean_duration: float = 2.0,
+                 action_fraction: float = 0.3,
+                 mean_tail: float = 25.0) -> FleetTrace:
+    """Draw a seeded random fleet workload (benchmarks, property tests).
+
+    Gaps and tails are exponential (spanning the DCH/FACH/IDLE decay
+    regimes of the default ``t1=4``/``t2=15`` timers), durations
+    lognormal, and a fraction of bursts carries a release or dormancy
+    action at an exponential offset.
+    """
+    shape = (n_handsets, max_bursts)
+    gaps = rng.exponential(mean_gap, size=shape)
+    durations = rng.lognormal(mean=np.log(mean_duration), sigma=0.6,
+                              size=shape)
+    actions = np.where(
+        rng.random(shape) < action_fraction,
+        rng.integers(ACTION_RELEASE, ACTION_DORMANCY + 1, size=shape),
+        ACTION_NONE).astype(np.int8)
+    offsets = rng.exponential(6.0, size=shape)
+    n_bursts = rng.integers(1, max_bursts + 1, size=n_handsets)
+    tail = rng.exponential(mean_tail, size=n_handsets)
+    return FleetTrace(gaps=gaps, durations=durations, actions=actions,
+                      offsets=offsets, n_bursts=n_bursts, tail=tail)
+
+
+@dataclass(frozen=True)
+class FleetLedger:
+    """Per-handset accounting produced by :func:`account`.
+
+    All fields are ``(n,)`` arrays; the layout mirrors what the scalar
+    machine exposes via ``time_in_mode`` / ``promotions`` /
+    ``radio_energy`` so the two can be diffed element-wise.
+    """
+
+    time_idle: np.ndarray
+    time_fach: np.ndarray
+    time_dch: np.ndarray
+    time_dch_tx: np.ndarray
+    time_promo_idle: np.ndarray
+    time_promo_fach: np.ndarray
+    promotions_idle: np.ndarray
+    promotions_fach: np.ndarray
+    signalling_messages: np.ndarray
+    fast_dormancy: np.ndarray
+    end_time: np.ndarray
+
+    def radio_energy(self, config: Optional[RrcConfig] = None,
+                     power: Optional[PowerProfile] = None) -> np.ndarray:
+        """Integrated per-handset radio energy in joules."""
+        cfg = config or RrcConfig()
+        profile = power or cfg.power
+        return (profile.idle * self.time_idle
+                + profile.fach * self.time_fach
+                + profile.dch * self.time_dch
+                + profile.dch_tx * self.time_dch_tx
+                + profile.promotion * (self.time_promo_idle
+                                       + self.time_promo_fach)
+                + cfg.promo_idle_signalling_energy * self.promotions_idle)
+
+    def handset(self, i: int) -> Dict[str, float]:
+        """One handset's ledger as a flat dict (test/report helper)."""
+        return {
+            "time_idle": float(self.time_idle[i]),
+            "time_fach": float(self.time_fach[i]),
+            "time_dch": float(self.time_dch[i]),
+            "time_dch_tx": float(self.time_dch_tx[i]),
+            "time_promo_idle": float(self.time_promo_idle[i]),
+            "time_promo_fach": float(self.time_promo_fach[i]),
+            "promotions_idle": int(self.promotions_idle[i]),
+            "promotions_fach": int(self.promotions_fach[i]),
+            "signalling_messages": int(self.signalling_messages[i]),
+            "fast_dormancy": int(self.fast_dormancy[i]),
+            "end_time": float(self.end_time[i]),
+        }
+
+
+def _decay_window(window: np.ndarray, action: np.ndarray,
+                  offset: np.ndarray, applied: np.ndarray,
+                  t1: float, t2: float):
+    """Decompose a post-transmission window into mode dwells.
+
+    Returns ``(dch, fach, idle, state, dormancy_executed)`` where
+    ``state`` codes the radio state the *end* of the window is seen in
+    (what the next request promotes from) with kernel tie-breaking, and
+    ``dormancy_executed`` flags dormancy calls that found the radio
+    above IDLE (the machine's counter only increments for those).
+    """
+    # Plain Section 2.1 tail: DCH for t1, FACH for t2, IDLE after.
+    dch = np.minimum(window, t1)
+    fach = np.clip(window - t1, 0.0, t2)
+    idle = np.maximum(window - t1 - t2, 0.0)
+    # w == t1 decays (T1 wins the tie), w == t1 + t2 does not (T2 loses).
+    state = np.where(window < t1, _STATE_DCH,
+                     np.where(window <= t1 + t2, _STATE_FACH, _STATE_IDLE))
+
+    # release_channels at r < t1: DCH truncated at r, FACH clock restarts.
+    # At r >= t1 the radio already left DCH and the call is a no-op.
+    rel = applied & (action == ACTION_RELEASE) & (offset < t1)
+    dch = np.where(rel, offset, dch)
+    fach = np.where(rel, np.clip(window - offset, 0.0, t2), fach)
+    idle = np.where(rel, np.maximum(window - offset - t2, 0.0), idle)
+    state = np.where(rel,
+                     np.where(window <= offset + t2,
+                              _STATE_FACH, _STATE_IDLE),
+                     state)
+
+    # fast_dormancy at r: the plain tail clipped at r, IDLE afterwards.
+    # The machine only counts calls that found the radio above IDLE;
+    # r == t1 + t2 still counts (the dormancy event outruns T2).
+    dorm = applied & (action == ACTION_DORMANCY)
+    dorm_dch = np.minimum(offset, t1)
+    dorm_fach = np.clip(offset - t1, 0.0, t2)
+    dch = np.where(dorm, dorm_dch, dch)
+    fach = np.where(dorm, dorm_fach, fach)
+    idle = np.where(dorm, window - dorm_dch - dorm_fach, idle)
+    state = np.where(dorm, _STATE_IDLE, state)
+    executed = dorm & (offset <= t1 + t2)
+    return dch, fach, idle, state, executed
+
+
+def account(trace: FleetTrace,
+            config: Optional[RrcConfig] = None) -> FleetLedger:
+    """Evaluate the whole fleet's RRC ledger in ``k`` vectorised steps."""
+    cfg = config or RrcConfig()
+    t1, t2 = cfg.t1, cfg.t2
+    n, k = trace.gaps.shape
+
+    time_idle = np.zeros(n)
+    time_fach = np.zeros(n)
+    time_dch = np.zeros(n)
+    time_dch_tx = np.zeros(n)
+    promotions_idle = np.zeros(n, dtype=np.int64)
+    promotions_fach = np.zeros(n, dtype=np.int64)
+    fast_dormancy = np.zeros(n, dtype=np.int64)
+    end_time = np.zeros(n)
+
+    live_matrix = np.arange(k)[None, :] < trace.n_bursts[:, None]
+    for j in range(k):
+        live = live_matrix[:, j]
+        gap = np.where(live, trace.gaps[:, j], 0.0)
+        if j == 0:
+            # First request: every handset starts at t = 0 in IDLE.
+            time_idle += gap
+            state = np.full(n, _STATE_IDLE, dtype=np.int64)
+        else:
+            prev_action = trace.actions[:, j - 1]
+            prev_offset = trace.offsets[:, j - 1]
+            applied = (live & (prev_action != ACTION_NONE)
+                       & (prev_offset < gap))
+            dch, fach, idle, state, executed = _decay_window(
+                gap, prev_action, prev_offset, applied, t1, t2)
+            time_dch += np.where(live, dch, 0.0)
+            time_fach += np.where(live, fach, 0.0)
+            time_idle += np.where(live, idle, 0.0)
+            fast_dormancy += executed
+        from_idle = live & (state == _STATE_IDLE)
+        from_fach = live & (state == _STATE_FACH)
+        promotions_idle += from_idle
+        promotions_fach += from_fach
+        duration = np.where(live, trace.durations[:, j], 0.0)
+        time_dch_tx += duration
+        end_time += gap + duration
+        end_time += np.where(from_idle, cfg.promo_idle_latency, 0.0)
+        end_time += np.where(from_fach, cfg.promo_fach_latency, 0.0)
+
+    # Observation tail after the last transmission end.
+    rows = np.arange(n)
+    last = trace.n_bursts - 1
+    last_action = trace.actions[rows, last]
+    last_offset = trace.offsets[rows, last]
+    applied = (last_action != ACTION_NONE) & (last_offset < trace.tail)
+    dch, fach, idle, _, executed = _decay_window(
+        trace.tail, last_action, last_offset, applied, t1, t2)
+    time_dch += dch
+    time_fach += fach
+    time_idle += idle
+    fast_dormancy += executed
+    end_time += trace.tail
+
+    KERNEL_STATS.record_work(n * k)
+    return FleetLedger(
+        time_idle=time_idle, time_fach=time_fach, time_dch=time_dch,
+        time_dch_tx=time_dch_tx,
+        time_promo_idle=promotions_idle * cfg.promo_idle_latency,
+        time_promo_fach=promotions_fach * cfg.promo_fach_latency,
+        promotions_idle=promotions_idle,
+        promotions_fach=promotions_fach,
+        signalling_messages=(
+            promotions_idle * cfg.promo_idle_messages
+            + promotions_fach * cfg.promo_fach_messages),
+        fast_dormancy=fast_dormancy,
+        end_time=end_time)
+
+
+def replay_scalar(trace: FleetTrace, handset: int,
+                  config: Optional[RrcConfig] = None) -> Dict[str, float]:
+    """Drive one handset's trace through a real :class:`RrcMachine`.
+
+    The golden reference: the same callback chain the browser engines
+    use (``acquire_channel`` → ``tx_begin`` → scheduled ``tx_end`` →
+    optional release/dormancy → next request), run on the event kernel,
+    with the ledger read back from the machine's segments.  Returns the
+    same flat dict as :meth:`FleetLedger.handset`, plus ``energy``.
+    """
+    cfg = config or RrcConfig()
+    sim = Simulator()
+    machine = RrcMachine(sim, cfg)
+    k = int(trace.n_bursts[handset])
+    gaps = trace.gaps[handset]
+    durations = trace.durations[handset]
+    actions = trace.actions[handset]
+    offsets = trace.offsets[handset]
+    tail = float(trace.tail[handset])
+
+    def request(j: int) -> None:
+        machine.acquire_channel(lambda: granted(j))
+
+    def granted(j: int) -> None:
+        machine.tx_begin()
+        sim.schedule(float(durations[j]), end_tx, j)
+
+    def fire_action(j: int) -> None:
+        if actions[j] == ACTION_RELEASE:
+            machine.release_channels()
+        elif actions[j] == ACTION_DORMANCY:
+            machine.fast_dormancy()
+
+    horizon: Optional[float] = None
+
+    def end_tx(j: int) -> None:
+        nonlocal horizon
+        machine.tx_end()
+        window = float(gaps[j + 1]) if j + 1 < k else tail
+        if actions[j] != ACTION_NONE and float(offsets[j]) < window:
+            sim.schedule(float(offsets[j]), fire_action, j)
+        if j + 1 < k:
+            sim.schedule(float(gaps[j + 1]), request, j + 1)
+        else:
+            horizon = sim.now + tail
+
+    sim.schedule(float(gaps[0]), request, 0)
+    # The observation horizon (last tx end + tail) only becomes known at
+    # the last ``tx_end`` — promotion latencies shift it.  Step until it
+    # is, then run bounded so T1/T2 cannot fire past the horizon and the
+    # ledger closes at exactly the window the fleet accountant uses.
+    while horizon is None:
+        if not sim.step():
+            raise RuntimeError("trace drained before its last tx_end")
+    sim.run(until=horizon)
+    machine.finalize()
+    return {
+        "time_idle": machine.time_in_mode(RadioMode.IDLE),
+        "time_fach": machine.time_in_mode(RadioMode.FACH),
+        "time_dch": machine.time_in_mode(RadioMode.DCH),
+        "time_dch_tx": machine.time_in_mode(RadioMode.DCH_TX),
+        "time_promo_idle": machine.time_in_mode(RadioMode.PROMO_IDLE_DCH),
+        "time_promo_fach": machine.time_in_mode(RadioMode.PROMO_FACH_DCH),
+        "promotions_idle": machine.promotions["IDLE"],
+        "promotions_fach": machine.promotions["FACH"],
+        "signalling_messages": machine.signalling_messages,
+        "fast_dormancy": machine.fast_dormancy_count,
+        "end_time": sim.now,
+        "energy": machine.radio_energy(),
+    }
+
+
+def account_scalar(trace: FleetTrace,
+                   config: Optional[RrcConfig] = None) -> FleetLedger:
+    """The fleet ledger computed handset by handset on the event kernel.
+
+    Reference implementation for benchmarks and equivalence tests; the
+    ``energy`` reported by the per-handset machines is discarded here
+    (compare it via :func:`replay_scalar` directly when needed).
+    """
+    n = trace.n_handsets
+    rows = [replay_scalar(trace, i, config) for i in range(n)]
+    def col(name, dtype=float):
+        return np.array([row[name] for row in rows], dtype=dtype)
+    return FleetLedger(
+        time_idle=col("time_idle"), time_fach=col("time_fach"),
+        time_dch=col("time_dch"), time_dch_tx=col("time_dch_tx"),
+        time_promo_idle=col("time_promo_idle"),
+        time_promo_fach=col("time_promo_fach"),
+        promotions_idle=col("promotions_idle", np.int64),
+        promotions_fach=col("promotions_fach", np.int64),
+        signalling_messages=col("signalling_messages", np.int64),
+        fast_dormancy=col("fast_dormancy", np.int64),
+        end_time=col("end_time"))

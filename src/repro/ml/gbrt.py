@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.ml.losses import Loss, SquaredLoss
 from repro.ml.tree import _SLOW_GBRT_ENV, RegressionTree
+from repro.runtime.observability import KERNEL_STATS
 
 
 class GradientBoostedRegressor:
@@ -115,6 +116,10 @@ class GradientBoostedRegressor:
                 prediction += self.learning_rate * leaf_values[regions_full]
             self.trees_.append(tree)
             self.train_losses_.append(self.loss.loss(y, prediction))
+        # Model fitting never enters the event loop; report its work so
+        # benchmarks dominated by training still have a denominator.
+        KERNEL_STATS.record_work(
+            sum(tree.n_nodes for tree in self.trees_) * n)
         return self
 
     # ------------------------------------------------------------------
@@ -131,6 +136,9 @@ class GradientBoostedRegressor:
         out = np.full(x.shape[0], self.init_, dtype=float)
         for tree in self.trees_:
             out += self.learning_rate * tree.predict(x)
+        # One lock round-trip per batch; predict_one stays uncounted on
+        # purpose — it is the per-element on-phone path Table 7 times.
+        KERNEL_STATS.record_work(x.shape[0] * len(self.trees_))
         return out
 
     def predict_one(self, row) -> float:

@@ -62,6 +62,12 @@ class PredictivePolicy(SwitchPolicy):
             return self.config.power_threshold
         return self.config.delay_threshold
 
+    @property
+    def predictor(self) -> ReadingTimePredictor:
+        """The underlying model (the batched evaluator predicts whole
+        feature matrices through it instead of calling :meth:`decide`)."""
+        return self._predictor
+
     def decide(self, features: Sequence[float],
                true_reading_time: float) -> PolicyDecision:
         predicted = self._predictor.predict_one(features)

@@ -39,6 +39,12 @@ class SimRunStats:
     faults_injected: int = 0
     #: Transfer retries issued in response to impairments.
     transfer_retries: int = 0
+    #: Domain work units performed outside the event loop: samples
+    #: scanned by GBRT split search, rows predicted, trace records
+    #: generated, fleet array cells advanced.  Gives benchmarks whose
+    #: cost is dominated by non-kernel work (model fitting, batched
+    #: accounting) a non-zero denominator in the regression gate.
+    work_units: int = 0
 
     @property
     def sim_time_ratio(self) -> float:
@@ -63,7 +69,8 @@ class SimRunStats:
             wall_time=self.wall_time + other.wall_time,
             faults_injected=self.faults_injected + other.faults_injected,
             transfer_retries=self.transfer_retries
-            + other.transfer_retries)
+            + other.transfer_retries,
+            work_units=self.work_units + other.work_units)
 
     def to_dict(self) -> Dict[str, float]:
         """Flat dict for JSON/CSV report rows."""
@@ -76,6 +83,7 @@ class SimRunStats:
             "sim_time_ratio": self.sim_time_ratio,
             "faults_injected": self.faults_injected,
             "transfer_retries": self.transfer_retries,
+            "work_units": self.work_units,
         }
 
 
@@ -97,6 +105,7 @@ class KernelStatsCollector:
         self._wall_time = 0.0
         self._faults_injected = 0
         self._transfer_retries = 0
+        self._work_units = 0
         self._runs = 0
 
     def record_run(self, events_processed: int, cancellations: int,
@@ -118,6 +127,16 @@ class KernelStatsCollector:
             self._sim_time += sim_time
             self._wall_time += wall_time
             self._runs += 1
+
+    def record_work(self, units: int) -> None:
+        """Count domain work performed outside the event loop.
+
+        Cheap enough for hot paths: one lock round-trip per *batch* of
+        work (a whole ``fit``, a whole vectorised sweep), never per
+        element.
+        """
+        with self._lock:
+            self._work_units += int(units)
 
     def record(self, stats: SimRunStats) -> None:
         """Fold one run's counters into the aggregate (record form)."""
@@ -145,6 +164,7 @@ class KernelStatsCollector:
         self._wall_time += stats.wall_time
         self._faults_injected += stats.faults_injected
         self._transfer_retries += stats.transfer_retries
+        self._work_units += stats.work_units
 
     def reset(self) -> None:
         """Zero the aggregate (start of a new attribution window)."""
@@ -156,6 +176,7 @@ class KernelStatsCollector:
             self._wall_time = 0.0
             self._faults_injected = 0
             self._transfer_retries = 0
+            self._work_units = 0
             self._runs = 0
 
     def snapshot(self) -> SimRunStats:
@@ -168,7 +189,8 @@ class KernelStatsCollector:
                 sim_time=self._sim_time,
                 wall_time=self._wall_time,
                 faults_injected=self._faults_injected,
-                transfer_retries=self._transfer_retries)
+                transfer_retries=self._transfer_retries,
+                work_units=self._work_units)
 
     @property
     def runs_recorded(self) -> int:

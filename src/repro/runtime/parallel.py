@@ -113,7 +113,8 @@ class TaskResult:
                 sim_time=float(payload.get("sim_time", 0.0)),
                 wall_time=float(payload.get("wall_time", 0.0)),
                 faults_injected=int(payload.get("faults_injected", 0)),
-                transfer_retries=int(payload.get("transfer_retries", 0))),
+                transfer_retries=int(payload.get("transfer_retries", 0)),
+                work_units=int(payload.get("work_units", 0))),
             cached=cached)
 
 
@@ -325,6 +326,60 @@ def run_faults_sweep(names: Optional[Sequence[str]] = None,
 
 def _run_capacity_point(simulator, n_users: int, seed: int):
     return simulator.run(n_users, seed=seed)
+
+
+#: Worker-process simulator built by :func:`_attach_fleet_worker`.
+_FLEET_STATE: dict = {}
+
+
+def _attach_fleet_worker(simulator_cls, spec, config) -> None:
+    """Pool initializer: map the shared service pool, build the
+    simulator once.  Everything after this ships per task is two ints."""
+    from repro.runtime.shm import SharedArray
+
+    shared = SharedArray.attach(spec)
+    _FLEET_STATE["shared"] = shared
+    _FLEET_STATE["simulator"] = simulator_cls(shared.array, config)
+
+
+def _run_fleet_point(n_users: int, seed: int):
+    return _FLEET_STATE["simulator"].run(n_users, seed=seed)
+
+
+def parallel_fleet_sweep(simulator, user_counts: Sequence[int],
+                         processes: int = 1,
+                         seed: Optional[int] = None,
+                         common_random_numbers: bool = False) -> list:
+    """:func:`parallel_sweep` without the per-task pickling.
+
+    The simulator's service-time pool goes into one
+    :class:`repro.runtime.shm.SharedArray` segment; workers map it
+    read-only at pool start-up and rebuild the simulator locally (the
+    constructors take ``ndarray`` inputs in place), so each task's
+    payload is just ``(n_users, seed)``.  Results are byte-identical to
+    :meth:`CapacitySimulator.sweep` — same seed derivation, same runs.
+    """
+    from repro.runtime.shm import SharedArray
+
+    counts = list(user_counts)
+    seeds = simulator.sweep_seeds(len(counts), seed=seed,
+                                  common_random_numbers=common_random_numbers)
+    if processes <= 1 or len(counts) <= 1:
+        return [simulator.run(n, seed=s) for n, s in zip(counts, seeds)]
+    workers = min(processes, len(counts))
+    shared = SharedArray.create(simulator.service_times)
+    try:
+        with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_attach_fleet_worker,
+                initargs=(type(simulator), shared.spec,
+                          simulator.config)) as pool:
+            futures = [pool.submit(_run_fleet_point, n, s)
+                       for n, s in zip(counts, seeds)]
+            return [future.result() for future in futures]
+    finally:
+        shared.close()
+        shared.unlink()
 
 
 def parallel_sweep(simulator, user_counts: Sequence[int],

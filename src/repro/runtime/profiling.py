@@ -155,11 +155,17 @@ def _distil(raw: Dict[str, Any]) -> Dict[str, Any]:
         wall = float(bench["stats"]["mean"])
         extra = bench.get("extra_info", {}) or {}
         events = int(extra.get("events_processed", 0))
+        work = int(extra.get("work_units", 0))
         row = {
             "name": bench["name"],
             "wall_time": round(wall, 4),
             "events_processed": events,
             "events_per_sec": round(events / wall) if wall > 0 else 0,
+            # Non-kernel work (GBRT fitting/prediction, trace synthesis,
+            # fleet array sweeps): benchmarks that never enter the event
+            # loop still get a throughput denominator for the gate.
+            "work_units": work,
+            "work_per_sec": round(work / wall) if wall > 0 else 0,
             "sim_time": round(float(extra.get("sim_time", 0.0)), 2),
             "sim_time_ratio": round(float(extra.get("sim_time_ratio",
                                                     0.0)), 1),

@@ -1,0 +1,89 @@
+"""Zero-copy array handoff to pool workers via shared memory.
+
+``ProcessPoolExecutor`` pickles every task's arguments; for the fleet
+sweeps that used to mean re-serialising the same service-time pool (or
+trace arrays) once per task.  :class:`SharedArray` puts the array in a
+``multiprocessing.shared_memory`` segment once, ships only its
+``(name, shape, dtype)`` spec to the workers, and each worker maps the
+same physical pages read-only.
+
+Lifecycle: the creator owns the segment (``create`` → ``unlink`` when
+done); workers ``attach`` and merely ``close``.  Attached views are
+marked read-only — a worker scribbling on shared input would corrupt
+every sibling's task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable handle: everything a worker needs to map the segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class SharedArray:
+    """A NumPy array backed by a named shared-memory segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 array: np.ndarray, owner: bool):
+        self._shm = shm
+        self.array = array
+        self._owner = owner
+
+    @classmethod
+    def create(cls, source: np.ndarray) -> "SharedArray":
+        """Copy ``source`` into a fresh segment (pay the copy once)."""
+        source = np.ascontiguousarray(source)
+        shm = shared_memory.SharedMemory(create=True,
+                                         size=max(1, source.nbytes))
+        array = np.ndarray(source.shape, dtype=source.dtype,
+                           buffer=shm.buf)
+        array[...] = source
+        return cls(shm, array, owner=True)
+
+    @classmethod
+    def attach(cls, spec: SharedArraySpec) -> "SharedArray":
+        """Map an existing segment; the view comes back read-only."""
+        # Attaching also registers with the resource tracker (fixed
+        # only in 3.13's ``track=False``); forked pool workers share
+        # the parent's tracker, where the duplicate registration is a
+        # set no-op and the owner's ``unlink`` still cleans up exactly
+        # once.
+        shm = shared_memory.SharedMemory(name=spec.name)
+        array = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
+                           buffer=shm.buf)
+        array.flags.writeable = False
+        return cls(shm, array, owner=False)
+
+    @property
+    def spec(self) -> SharedArraySpec:
+        return SharedArraySpec(name=self._shm.name,
+                               shape=tuple(self.array.shape),
+                               dtype=self.array.dtype.str)
+
+    def close(self) -> None:
+        """Drop this process's mapping (the view dies with it)."""
+        self.array = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only, after every close)."""
+        if self._owner:
+            self._shm.unlink()
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()

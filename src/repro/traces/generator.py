@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.browser.costs import BrowserCosts
 from repro.network.link import NetworkConfig
+from repro.runtime.observability import KERNEL_STATS
 from repro.traces.records import BrowsingRecord, TraceDataset
 from repro.traces.user_model import TOPICS, UserProfile, sample_user
 from repro.units import require_positive
@@ -332,4 +333,7 @@ def generate_trace(config: Optional[TraceConfig] = None) -> TraceDataset:
                     page_width=page.page_width,
                 ))
             views_left -= length
+    # Trace synthesis runs entirely outside the event loop; count the
+    # records so trace-bound benchmarks report non-zero work.
+    KERNEL_STATS.record_work(len(records))
     return TraceDataset(records)

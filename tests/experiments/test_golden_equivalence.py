@@ -2,12 +2,14 @@
 slow reference paths.
 
 The kernel keeps its original peek/pop/step loop behind
-``REPRO_KERNEL_SLOW=1`` and the GBRT keeps its per-feature split search
-and per-row boosting update behind ``REPRO_GBRT_SLOW=1``.  Each test
-runs the same workload in two subprocesses — one per path — and asserts
-the *entire* serialised output matches, timestamps included.  The env
-vars are read at call time inside library code, so subprocesses (not
-monkeypatching) are the reliable way to flip whole runs.
+``REPRO_KERNEL_SLOW=1``, the GBRT keeps its per-feature split search
+and per-row boosting update behind ``REPRO_GBRT_SLOW=1``, and the
+fleet engine keeps the scalar heapq/per-record paths behind
+``REPRO_FLEET_SLOW=1``.  Each test runs the same workload in two
+subprocesses — one per path — and asserts the *entire* serialised
+output matches, timestamps included.  The env vars are read at call
+time inside library code, so subprocesses (not monkeypatching) are the
+reliable way to flip whole runs.
 """
 
 import os
@@ -23,6 +25,7 @@ def _run(script: str, slow_var: str = "", timeout: float = 600.0) -> str:
     env["PYTHONPATH"] = SRC
     env.pop("REPRO_KERNEL_SLOW", None)
     env.pop("REPRO_GBRT_SLOW", None)
+    env.pop("REPRO_FLEET_SLOW", None)
     if slow_var:
         env[slow_var] = "1"
     proc = subprocess.run([sys.executable, "-c", script],
@@ -48,6 +51,20 @@ FIG11 = """
 from repro.experiments.fig11_capacity import run
 from repro.units import hours
 print(run(horizon=hours(0.1)).report())
+"""
+
+FIG07 = """
+from repro.experiments.fig07_reading_cdf import run
+print(run().report())
+"""
+
+POLICY_EVAL = """
+from repro.core.policy_eval import PolicyEvaluator
+from repro.traces.generator import TraceConfig
+evaluator = PolicyEvaluator(
+    trace_config=TraceConfig(n_users=8, mean_views_per_user=40, seed=3))
+for case in evaluator.evaluate():
+    print(case)
 """
 
 FAULTS_SWEEP = """
@@ -113,6 +130,29 @@ def test_fig11_report_identical_on_slow_kernel():
 
 def test_faults_sweep_report_identical_on_slow_kernel():
     _assert_identical(FAULTS_SWEEP, "REPRO_KERNEL_SLOW")
+
+
+def test_fig11_report_identical_on_slow_fleet():
+    """The batched drop resolver vs the per-session heapq loop —
+    identical CapacityResults, so an identical fig11 report."""
+    _assert_identical(FIG11, "REPRO_FLEET_SLOW")
+
+
+def test_fig07_report_identical_on_slow_fleet():
+    """Sorted-search CDF anchors vs the per-anchor boolean means."""
+    _assert_identical(FIG07, "REPRO_FLEET_SLOW")
+
+
+def test_policy_eval_identical_on_slow_fleet():
+    """Whole-vector Algorithm 2 vs per-record ``decide`` — every
+    Table-6 case's energy/delay/switch-rate must match exactly."""
+    _assert_identical(POLICY_EVAL, "REPRO_FLEET_SLOW")
+
+
+def test_faults_sweep_report_identical_on_slow_fleet():
+    """The sensitivity sweep rides the same toggle; its report must not
+    move when the fleet paths are disabled."""
+    _assert_identical(FAULTS_SWEEP, "REPRO_FLEET_SLOW")
 
 
 def test_gbrt_fig15_config_identical_on_slow_path():

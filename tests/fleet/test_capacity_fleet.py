@@ -1,0 +1,117 @@
+"""Batched Erlang-loss drop resolution vs the scalar heap loop."""
+
+import heapq
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capacity.simulator import (
+    CapacityConfig,
+    CapacitySimulator,
+    capacity_at_drop_target,
+)
+from repro.fleet.capacity import resolve_drops
+from repro.units import hours
+
+
+def _reference_drops(arrivals, services, n_channels):
+    """The CapacitySimulator heap loop, recording per-session status."""
+    dropped = np.zeros(arrivals.size, dtype=bool)
+    busy: list = []
+    for i, (arrival, service) in enumerate(zip(arrivals.tolist(),
+                                               services.tolist())):
+        while busy and busy[0] <= arrival:
+            heapq.heappop(busy)
+        if len(busy) >= n_channels:
+            dropped[i] = True
+            continue
+        heapq.heappush(busy, arrival + service)
+    return dropped
+
+
+def _random_case(rng):
+    m = int(rng.integers(1, 400))
+    gaps = rng.exponential(rng.uniform(0.2, 3.0), size=m)
+    arrivals = np.cumsum(gaps)
+    if rng.random() < 0.3:
+        # Exact ties: duplicated arrival instants and rounded times so
+        # departures collide with arrivals.
+        arrivals = np.sort(np.round(arrivals, 1))
+    services = rng.uniform(0.5, 30.0, size=m)
+    if rng.random() < 0.3:
+        services = np.maximum(np.round(services, 1), 0.1)
+    n_channels = int(rng.integers(1, 40))
+    return arrivals, services, n_channels
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_resolver_matches_heap_reference(seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(20):
+        arrivals, services, n_channels = _random_case(rng)
+        expected = _reference_drops(arrivals, services, n_channels)
+        got = resolve_drops(arrivals, services, n_channels)
+        np.testing.assert_array_equal(got, expected)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_resolver_matches_with_tiny_blocks_and_budget(seed):
+    """Small blocks exercise the carry/boundary bookkeeping; a sweep
+    budget of 1-2 forces the scalar-tail fallback mid-stream."""
+    rng = np.random.default_rng(100 + seed)
+    for _ in range(10):
+        arrivals, services, n_channels = _random_case(rng)
+        expected = _reference_drops(arrivals, services, n_channels)
+        block = int(rng.integers(3, 64))
+        budget = int(rng.integers(1, 4))
+        got = resolve_drops(arrivals, services, n_channels,
+                            block_arrivals=block, max_sweeps=budget)
+        np.testing.assert_array_equal(got, expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=100.0),
+                          st.floats(min_value=0.01, max_value=50.0)),
+                min_size=1, max_size=80),
+       st.integers(min_value=1, max_value=5))
+def test_resolver_matches_on_arbitrary_floats(pairs, n_channels):
+    arrivals = np.sort(np.array([a for a, _ in pairs]))
+    services = np.array([s for _, s in pairs])
+    expected = _reference_drops(arrivals, services, n_channels)
+    got = resolve_drops(arrivals, services, n_channels,
+                        block_arrivals=7)
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_empty_stream():
+    empty = np.empty(0)
+    assert resolve_drops(empty, empty, 5).size == 0
+
+
+def test_simulator_fleet_path_identical_to_slow(monkeypatch):
+    """CapacitySimulator.run keeps the RNG stream; only the drop
+    resolution changes — the CapacityResult must be identical."""
+    rng = np.random.default_rng(3)
+    pool = rng.lognormal(np.log(14.0), 0.5, size=300)
+    simulator = CapacitySimulator(
+        pool, CapacityConfig(horizon=hours(0.25), seed=9))
+    for n_users in (150, 300, 420, 700):
+        monkeypatch.delenv("REPRO_FLEET_SLOW", raising=False)
+        fast = simulator.run(n_users)
+        monkeypatch.setenv("REPRO_FLEET_SLOW", "1")
+        slow = simulator.run(n_users)
+        assert fast == slow
+
+
+def test_capacity_search_identical_to_slow(monkeypatch):
+    rng = np.random.default_rng(4)
+    pool = rng.lognormal(np.log(14.0), 0.5, size=200)
+    simulator = CapacitySimulator(
+        pool, CapacityConfig(n_channels=50, horizon=hours(0.1), seed=2))
+    monkeypatch.delenv("REPRO_FLEET_SLOW", raising=False)
+    fast = capacity_at_drop_target(simulator, 0.02, seed=2)
+    monkeypatch.setenv("REPRO_FLEET_SLOW", "1")
+    slow = capacity_at_drop_target(simulator, 0.02, seed=2)
+    assert fast == slow

@@ -1,0 +1,145 @@
+"""Batched RRC accounting vs the scalar machine (satellite S3).
+
+:func:`repro.fleet.rrc.account` claims closed-form equivalence with a
+real :class:`RrcMachine` driven through the event kernel.  The property
+test draws traces biased toward the tie-break boundaries (``w == t1``,
+``w == t1 + t2``, action offsets at the timer edges) where the closed
+forms are easiest to get wrong, and asserts the full state-dwell
+ledger matches and the integrated energy agrees within 1e-9 J.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.rrc import (
+    ACTION_DORMANCY,
+    ACTION_NONE,
+    ACTION_RELEASE,
+    FleetTrace,
+    account,
+    account_scalar,
+    random_fleet,
+    replay_scalar,
+)
+from repro.rrc.config import RrcConfig
+
+CFG = RrcConfig()
+T1, T2 = CFG.t1, CFG.t2
+
+COUNTS = ("promotions_idle", "promotions_fach", "signalling_messages",
+          "fast_dormancy")
+DWELLS = ("time_idle", "time_fach", "time_dch", "time_dch_tx",
+          "time_promo_idle", "time_promo_fach", "end_time")
+
+
+def _assert_handset_matches(ledger, trace, i):
+    reference = replay_scalar(trace, i)
+    ours = ledger.handset(i)
+    for field in COUNTS:
+        assert ours[field] == reference[field], (field, i)
+    for field in DWELLS:
+        assert ours[field] == pytest.approx(reference[field], abs=1e-9), \
+            (field, i)
+    energy = float(ledger.radio_energy()[i])
+    assert energy == pytest.approx(reference["energy"], abs=1e-9)
+
+
+def _windows():
+    # Boundary-heavy window lengths: the exact timer edges, a hair past
+    # the IDLE edge, and the bulk of the decay range.
+    return st.one_of(
+        st.sampled_from([0.0, T1, T1 + T2, T1 + T2 + 1e-9, 30.0]),
+        st.floats(min_value=0.0, max_value=60.0,
+                  allow_nan=False, allow_infinity=False))
+
+
+@st.composite
+def _traces(draw):
+    k = draw(st.integers(min_value=1, max_value=5))
+    gaps = [draw(_windows()) for _ in range(k)]
+    durations = [draw(st.floats(min_value=1e-3, max_value=8.0))
+                 for _ in range(k)]
+    actions = [draw(st.sampled_from(
+        [ACTION_NONE, ACTION_RELEASE, ACTION_DORMANCY]))
+        for _ in range(k)]
+    # Offsets pinned to the release/dormancy decision edges (t1 and
+    # t1 + t2) and to the window edge where "applied" flips.
+    offsets = [draw(st.one_of(
+        st.sampled_from([0.0, T1, T1 + T2]),
+        st.floats(min_value=0.0, max_value=50.0,
+                  allow_nan=False, allow_infinity=False)))
+        for _ in range(k)]
+    tail = draw(_windows())
+    return FleetTrace(
+        gaps=np.array([gaps]),
+        durations=np.array([durations]),
+        actions=np.array([actions], dtype=np.int8),
+        offsets=np.array([offsets]),
+        n_bursts=np.array([k]),
+        tail=np.array([tail]))
+
+
+@settings(max_examples=80, deadline=None)
+@given(_traces())
+def test_account_matches_machine_on_boundary_heavy_traces(trace):
+    _assert_handset_matches(account(trace), trace, 0)
+
+
+def test_account_matches_machine_on_random_fleet():
+    trace = random_fleet(np.random.default_rng(11), n_handsets=120)
+    ledger = account(trace)
+    for i in range(trace.n_handsets):
+        _assert_handset_matches(ledger, trace, i)
+
+
+def test_account_scalar_is_the_same_ledger():
+    trace = random_fleet(np.random.default_rng(23), n_handsets=40)
+    fleet = account(trace)
+    scalar = account_scalar(trace)
+    for field in COUNTS:
+        assert (getattr(fleet, field) == getattr(scalar, field)).all()
+    for field in DWELLS:
+        np.testing.assert_allclose(getattr(fleet, field),
+                                   getattr(scalar, field), atol=1e-9)
+
+
+def test_adversarial_boundary_matrix():
+    """Every (gap, action, offset) combination at the timer edges."""
+    gaps = [0.0, T1, T1 + T2, T1 + T2 + 1e-9, 30.0]
+    actions = [ACTION_NONE, ACTION_RELEASE, ACTION_DORMANCY]
+    rows = []
+    for gap in gaps:
+        for action in actions:
+            for offset in (0.0, T1, T1 + T2, gap,
+                           max(gap - 1e-9, 0.0), 50.0):
+                rows.append((gap, action, offset))
+    n = len(rows)
+    trace = FleetTrace(
+        gaps=np.array([[5.0, row[0]] for row in rows]),
+        durations=np.full((n, 2), 1.5),
+        actions=np.array([[row[1], ACTION_NONE] for row in rows],
+                         dtype=np.int8),
+        offsets=np.array([[row[2], 0.0] for row in rows]),
+        n_bursts=np.full(n, 2),
+        tail=np.full(n, 40.0))
+    ledger = account(trace)
+    for i in range(n):
+        _assert_handset_matches(ledger, trace, i)
+
+
+def test_fast_dormancy_counted_only_when_executed():
+    """Dormancy past the window is never issued; at the IDLE edge it
+    still executes (the dormancy event outruns T2)."""
+    trace = FleetTrace(
+        gaps=np.array([[1.0], [1.0], [1.0]]),
+        durations=np.full((3, 1), 2.0),
+        actions=np.full((3, 1), ACTION_DORMANCY, dtype=np.int8),
+        offsets=np.array([[5.0], [T1 + T2], [T1 + T2 + 1.0]]),
+        n_bursts=np.full(3, 1),
+        tail=np.array([30.0, 30.0, T1 + T2 + 0.5]))
+    ledger = account(trace)
+    assert ledger.fast_dormancy.tolist() == [1, 1, 0]
+    for i in range(3):
+        _assert_handset_matches(ledger, trace, i)

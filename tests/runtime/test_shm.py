@@ -1,0 +1,62 @@
+"""Shared-memory array handoff and the zero-copy fleet sweep."""
+
+import numpy as np
+import pytest
+
+from repro.capacity.simulator import CapacityConfig, CapacitySimulator
+from repro.runtime.parallel import parallel_fleet_sweep
+from repro.runtime.shm import SharedArray
+from repro.units import hours
+
+
+def test_roundtrip_and_readonly_attach():
+    source = np.arange(24, dtype=float).reshape(4, 6) * 1.5
+    shared = SharedArray.create(source)
+    try:
+        spec = shared.spec
+        view = SharedArray.attach(spec)
+        try:
+            np.testing.assert_array_equal(view.array, source)
+            assert not view.array.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                view.array[0, 0] = -1.0
+            # The segment is shared, not copied: a write on the owning
+            # side is visible through the attached mapping.
+            shared.array[1, 2] = 99.0
+            assert view.array[1, 2] == 99.0
+        finally:
+            view.close()
+    finally:
+        shared.close()
+        shared.unlink()
+
+
+def test_spec_is_plain_data():
+    shared = SharedArray.create(np.ones(3))
+    try:
+        spec = shared.spec
+        assert isinstance(spec.name, str)
+        assert spec.shape == (3,)
+        assert np.dtype(spec.dtype) == np.float64
+    finally:
+        shared.close()
+        shared.unlink()
+
+
+def test_context_manager_cleans_up():
+    with SharedArray.create(np.zeros(5)) as shared:
+        name = shared.spec.name
+    from multiprocessing import shared_memory
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+
+
+def test_parallel_fleet_sweep_matches_sequential():
+    rng = np.random.default_rng(6)
+    pool = rng.lognormal(np.log(14.0), 0.5, size=250)
+    simulator = CapacitySimulator(
+        pool, CapacityConfig(horizon=hours(0.1), seed=12))
+    counts = [120, 180, 240, 320]
+    sequential = simulator.sweep(counts)
+    zero_copy = parallel_fleet_sweep(simulator, counts, processes=2)
+    assert zero_copy == sequential
