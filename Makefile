@@ -1,8 +1,8 @@
 # Convenience targets for the reproduction workflow.
 
 .PHONY: install test bench bench-baseline bench-compare fleet-bench \
-	experiments experiments-parallel ablations faults-sweep ci \
-	examples clean
+	stream-sweep stream-bench experiments experiments-parallel \
+	ablations faults-sweep ci examples clean
 
 # Worker count for the parallel experiment runner (override: make N=8 ...).
 N ?= 4
@@ -28,6 +28,15 @@ bench-compare:
 # Batched-vs-scalar fleet engine timings with equivalence checks.
 fleet-bench:
 	python -m repro fleet-bench
+
+# Bounded-memory capacity sweep through the block pipeline, with
+# resumable shard spills under stream-shards/.
+stream-sweep:
+	python -m repro stream-sweep --out stream-shards
+
+# In-memory vs streamed wall-clock and peak-RSS comparison (BENCH_3).
+stream-bench:
+	python -m repro.stream.bench --out BENCH_3.json
 
 experiments:
 	python -m repro.experiments.runner

@@ -58,6 +58,37 @@ class CapacityResult:
         return self.dropped / self.sessions
 
 
+def arrival_draw_count(rate: float, horizon: float) -> int:
+    """Exponential gaps drawn for one run (mean + 6 sigma headroom).
+
+    Shared between the materialising :meth:`CapacitySimulator.draw` and
+    the chunked :class:`repro.stream.source.ArrivalBlockSource` — both
+    must consume exactly this many draws for their RNG streams to stay
+    aligned draw-for-draw.
+    """
+    n_expected = rate * horizon
+    return int(n_expected + 6 * np.sqrt(n_expected) + 10)
+
+
+def heap_drop_count(arrivals: np.ndarray, services: np.ndarray,
+                    n_channels: int) -> int:
+    """Dropped-session count via the scalar min-heap reference loop."""
+    busy: list = []  # min-heap of channel release times
+    dropped = 0
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    # Iterate plain floats: numpy-scalar comparisons inside the heap
+    # would dominate this loop's cost.
+    for arrival, service in zip(arrivals.tolist(), services.tolist()):
+        while busy and busy[0] <= arrival:
+            heappop(busy)
+        if len(busy) >= n_channels:
+            dropped += 1
+            continue
+        heappush(busy, arrival + service)
+    return dropped
+
+
 class CapacitySimulator:
     """Erlang-loss simulation with empirical service times."""
 
@@ -77,22 +108,31 @@ class CapacitySimulator:
     def mean_service_time(self) -> float:
         return float(self.service_times.mean())
 
+    def draw(self, n_users: int, rng: np.random.Generator):
+        """Draw one run's ``(arrivals, services)`` arrays from ``rng``.
+
+        This is the canonical draw order every equivalent path must
+        reproduce: all gaps, cumulative-summed and truncated at the
+        horizon, then one ``choice`` for the services.
+        """
+        config = self.config
+        # Superposition of the users' Poisson processes is Poisson with
+        # aggregate rate n_users / mean_interval.
+        rate = n_users / config.mean_interval
+        n_draw = arrival_draw_count(rate, config.horizon)
+        gaps = rng.exponential(1.0 / rate, size=n_draw)
+        arrivals = np.cumsum(gaps)
+        arrivals = arrivals[arrivals < config.horizon]
+        services = rng.choice(self.service_times, size=arrivals.size)
+        return arrivals, services
+
     def run(self, n_users: int, seed: Optional[int] = None
             ) -> CapacityResult:
         """Simulate ``n_users`` browsing for the configured horizon."""
         require_positive("n_users", n_users)
         config = self.config
         rng = np.random.default_rng(config.seed if seed is None else seed)
-
-        # Superposition of the users' Poisson processes is Poisson with
-        # aggregate rate n_users / mean_interval.
-        rate = n_users / config.mean_interval
-        n_expected = rate * config.horizon
-        n_draw = int(n_expected + 6 * np.sqrt(n_expected) + 10)
-        gaps = rng.exponential(1.0 / rate, size=n_draw)
-        arrivals = np.cumsum(gaps)
-        arrivals = arrivals[arrivals < config.horizon]
-        services = rng.choice(self.service_times, size=arrivals.size)
+        arrivals, services = self.draw(n_users, rng)
 
         if fleet_enabled():
             # Same draws, same loss process: the sorted-count sweep of
@@ -100,24 +140,9 @@ class CapacitySimulator:
             # without walking the heap session by session.
             dropped = int(resolve_drops(
                 arrivals, services, config.n_channels).sum())
-            return CapacityResult(n_users=n_users,
-                                  sessions=int(arrivals.size),
-                                  dropped=dropped)
-
-        busy: list = []  # min-heap of channel release times
-        dropped = 0
-        n_channels = config.n_channels
-        heappush = heapq.heappush
-        heappop = heapq.heappop
-        # Iterate plain floats: numpy-scalar comparisons inside the heap
-        # would dominate this loop's cost.
-        for arrival, service in zip(arrivals.tolist(), services.tolist()):
-            while busy and busy[0] <= arrival:
-                heappop(busy)
-            if len(busy) >= n_channels:
-                dropped += 1
-                continue
-            heappush(busy, arrival + service)
+        else:
+            dropped = heap_drop_count(arrivals, services,
+                                      config.n_channels)
         return CapacityResult(n_users=n_users, sessions=int(arrivals.size),
                               dropped=dropped)
 

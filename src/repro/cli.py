@@ -9,6 +9,7 @@ Subcommands::
     repro faults-sweep [ideal suburban ...] [--parallel N] [--report out.json]
     repro profile fig11 [--kind experiment] [--top 25] [--report prof.json]
     repro fleet-bench [--scale 10] [--handsets 1500]
+    repro stream-sweep [--scale 10] [--horizon 28800] [--out shards/]
     repro trace --out trace.csv
     repro train --trace trace.csv --out model.json
     repro predict --model model.json --trace trace.csv --threshold 9
@@ -27,6 +28,7 @@ from typing import List, Optional
 
 from repro.core.comparison import compare_engines
 from repro.fleet import FLEET_SLOW_ENV
+from repro.stream import STREAM_ENV
 from repro.experiments.ablations import ALL_ABLATIONS
 from repro.experiments.runner import ALL_EXPERIMENTS
 from repro.faults.profiles import PROFILES
@@ -74,9 +76,26 @@ def _apply_fleet_flag(args: argparse.Namespace) -> None:
         os.environ[FLEET_SLOW_ENV] = "1"
 
 
+def _apply_stream_flag(args: argparse.Namespace) -> None:
+    """Translate ``--stream/--no-stream`` into the env toggle.
+
+    Opposite polarity to the fleet flag: streaming is opt-in, so
+    ``--stream`` *sets* ``REPRO_STREAM`` and ``--no-stream`` clears it.
+    Without either flag the inherited environment stands.
+    """
+    stream = getattr(args, "stream", None)
+    if stream is None:
+        return
+    if stream:
+        os.environ[STREAM_ENV] = "1"
+    else:
+        os.environ.pop(STREAM_ENV, None)
+
+
 def _run_suite(kind: str, ids: List[str],
                args: argparse.Namespace) -> int:
     _apply_fleet_flag(args)
+    _apply_stream_flag(args)
     cache = None
     if getattr(args, "cache", False) or getattr(args, "cache_dir", None):
         cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
@@ -215,6 +234,72 @@ def _cmd_fleet_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream_sweep(args: argparse.Namespace) -> int:
+    """Run a fig11-shaped capacity sweep through the block pipeline.
+
+    The report is mode-free (byte-identical between ``--stream`` and
+    ``--no-stream``); the runtime counters line below it is where the
+    execution mode shows.
+    """
+    from repro.capacity.simulator import CapacityConfig
+    from repro.runtime.observability import collecting
+    from repro.stream import DEFAULT_BLOCK_ARRIVALS
+    from repro.stream.sweep import (default_user_counts, lognormal_pool,
+                                    run_stream_sweep)
+
+    bad = [name for name, value, floor in (
+        ("--scale", args.scale, 1),
+        ("--horizon", args.horizon, 1e-9),
+        ("--block", args.block or 1, 1),
+        ("--checkpoint-every", args.checkpoint_every, 1),
+        ("--parallel", args.parallel, 1),
+        *((f"--users {n}", n, 1) for n in args.users or ()),
+    ) if value < floor]
+    if bad:
+        print(f"stream-sweep arguments must be positive: "
+              f"{', '.join(bad)}", file=sys.stderr)
+        return 2
+    pool = lognormal_pool(seed=args.pool_seed)
+    config = CapacityConfig(n_channels=200 * args.scale,
+                            horizon=args.horizon, seed=args.seed)
+    counts = args.users or default_user_counts(
+        config, float(pool.mean()))
+    stream = True if args.stream is None else args.stream
+    block = args.block or DEFAULT_BLOCK_ARRIVALS
+    with collecting() as stats:
+        result = run_stream_sweep(
+            pool, counts, config, seed=args.seed, stream=stream,
+            block_arrivals=block, shard_dir=args.out,
+            checkpoint_every=args.checkpoint_every,
+            processes=args.parallel)
+    snap = stats.snapshot()
+    print(result.report())
+    mode = "streamed" if stream else "in-memory"
+    print(f"-- {mode} runtime: {snap.stream_blocks} blocks, "
+          f"{snap.stream_spills} spills, "
+          f"{snap.stream_shard_bytes} shard bytes, "
+          f"peak carried state {snap.stream_peak_carried_bytes} B --")
+    if args.report:
+        payload = result.to_dict()
+        payload["kernel"] = snap.to_dict()
+        if args.report.lower().endswith(".csv"):
+            # The suite CSV schema is task-shaped; a sweep exports one
+            # row per point instead.
+            import csv
+
+            rows = payload["points"]
+            with open(args.report, "w", encoding="utf-8",
+                      newline="") as handle:
+                writer = csv.DictWriter(handle,
+                                        fieldnames=list(rows[0]))
+                writer.writeheader()
+                writer.writerows(rows)
+        else:
+            write_report(payload, args.report)
+        print(f"report -> {args.report}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     config = TraceConfig(n_users=args.users,
                          mean_views_per_user=args.views,
@@ -311,6 +396,11 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         help="force the batched fleet paths on (--fleet) or the scalar "
              f"golden reference (--no-fleet, i.e. {FLEET_SLOW_ENV}=1); "
              "default: inherit the environment")
+    parser.add_argument(
+        "--stream", action=argparse.BooleanOptionalAction, default=None,
+        help="route sweeps through the bounded-memory block pipelines "
+             f"(--stream, i.e. {STREAM_ENV}=1) or the in-memory paths "
+             "(--no-stream); default: inherit the environment")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -392,6 +482,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="handsets in the RRC accounting round (default: 1500)")
     fleet_bench.add_argument("--seed", type=int, default=7)
     fleet_bench.set_defaults(func=_cmd_fleet_bench)
+
+    stream_sweep = subparsers.add_parser(
+        "stream-sweep",
+        help="capacity sweep through the bounded-memory block pipeline")
+    stream_sweep.add_argument(
+        "--scale", type=int, default=10,
+        help="channel-count multiple of the paper's N=200 (default: 10)")
+    stream_sweep.add_argument(
+        "--horizon", type=float, default=28800.0,
+        help="simulated horizon in seconds (default: 28800 = 8h)")
+    stream_sweep.add_argument(
+        "--users", type=int, nargs="*", default=None,
+        help="explicit user counts (default: bracket the capacity knee)")
+    stream_sweep.add_argument(
+        "--block", type=int, default=None,
+        help="arrivals per streamed block (default: 65536)")
+    stream_sweep.add_argument("--seed", type=int, default=7,
+                              help="sweep root seed (default: 7)")
+    stream_sweep.add_argument(
+        "--pool-seed", type=int, default=7,
+        help="service-time pool seed (default: 7)")
+    stream_sweep.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="shard directory for checkpoint/resume spills")
+    stream_sweep.add_argument(
+        "--checkpoint-every", type=int, default=8, metavar="BLOCKS",
+        help="blocks between checkpoint spills (default: 8)")
+    stream_sweep.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="fan sweep points across N worker processes (default: 1)")
+    stream_sweep.add_argument(
+        "--stream", action=argparse.BooleanOptionalAction, default=None,
+        help="block pipeline (--stream, default) or the in-memory "
+             "reference (--no-stream) — the reports are identical")
+    stream_sweep.add_argument(
+        "--report", metavar="PATH",
+        help="write points + runtime counters (.json or .csv)")
+    stream_sweep.set_defaults(func=_cmd_stream_sweep)
 
     trace = subparsers.add_parser(
         "trace", help="generate a synthetic browsing trace as CSV")

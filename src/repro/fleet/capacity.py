@@ -52,6 +52,7 @@ about one scalar run rather than thousands of sweeps.
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -93,8 +94,6 @@ def resolve_drops(arrivals: np.ndarray, services: np.ndarray,
     bins = np.searchsorted(arrivals, np.sort(departures), side='left')
     # cum_all[i]: departures (live or not) at or before a_i.
     cum_all = np.cumsum(np.bincount(bins, minlength=m + 1))[:m]
-    indices = np.arange(m, dtype=np.int64)
-    minimum_accumulate = np.minimum.accumulate
 
     work = 0
     # Carried state: T_{b0-1} = occupancy + L at the previous arrival.
@@ -118,57 +117,21 @@ def resolve_drops(arrivals: np.ndarray, services: np.ndarray,
                 np.bincount(ahead_bins, minlength=size + 1))[:size]
         # Offset of the within-block running-minimum closed form:
         # T_i = i + min(min_{start<=j<=i}(N + L_j - j), t_prev - start + 1).
+        # The fixpoint helper works in block-local indices; subtracting
+        # ``start`` from the live counts keeps ceiling = N - local + live
+        # identical to the global N - global_index + base.
         carry = t_prev - start + 1
-        floor_blk = n_channels - indices[blk]
         blk_deps = departures[blk]
-        # First pass over the whole block with no in-block drops
-        # cancelled; drop_i <=> T_{i-1} - L_i >= N <=> min(slack_{i-1},
-        # carry) > ceiling_i (integers; slack_{-1} := +inf).
-        live = base
-        ceiling = floor_blk + live
-        slack = minimum_accumulate(ceiling)
-        shifted = np.empty_like(slack)
-        shifted[0] = carry
-        shifted[1:] = np.minimum(slack[:-1], carry)
-        blk_dropped = shifted > ceiling
-        pending = np.flatnonzero(blk_dropped)
-        sweeps = 1
-        work += size
-        converged = True
-        # Incremental rounds: the candidate set only grows (monotone
-        # from below), and a cancelled departure bins strictly after
-        # its own arrival, so each round only the suffix past the
-        # first new drop can change — recompute exactly that, seeding
-        # the running minimum from the untouched prefix.
-        while pending.size:
-            if sweeps >= max_sweeps:
-                converged = False
-                break
-            sweeps += 1
-            cancel_bins = np.searchsorted(arr_blk,
-                                          np.sort(blk_deps[pending]),
-                                          side='left')
-            live = live - np.cumsum(
-                np.bincount(cancel_bins, minlength=size + 1))[:size]
-            suffix = int(pending[0]) + 1
-            if suffix >= size:
-                break
-            work += size - suffix
-            ceiling[suffix:] = floor_blk[suffix:] + live[suffix:]
-            np.minimum(minimum_accumulate(ceiling[suffix:]),
-                       slack[suffix - 1], out=slack[suffix:])
-            shifted[suffix:] = np.minimum(slack[suffix - 1:-1], carry)
-            fresh = ((shifted[suffix:] > ceiling[suffix:])
-                     & ~blk_dropped[suffix:])
-            pending = suffix + np.flatnonzero(fresh)
-            blk_dropped[pending] = True
+        blk_dropped, converged, tmin, blk_work = _block_fixpoint(
+            arr_blk, blk_deps, base - start, carry, n_channels, max_sweeps)
+        work += blk_work
         dropped[blk] = blk_dropped
         if not converged:
             work += _scalar_tail(arrivals, services, n_channels,
                                  dropped, start)
             break
         # T_{stop-1} for the next block's carry.
-        t_prev = (stop - 1) + min(int(slack[-1]), carry)
+        t_prev = (stop - 1) + tmin
         boundary = arr_blk[-1]
         if cancelled_ahead.size:
             cancelled_behind += int(
@@ -184,6 +147,161 @@ def resolve_drops(arrivals: np.ndarray, services: np.ndarray,
         start = stop
     KERNEL_STATS.record_work(work)
     return dropped
+
+
+def _block_fixpoint(arr_blk: np.ndarray, blk_deps: np.ndarray,
+                    live: np.ndarray, carry: int, n_channels: int,
+                    max_sweeps: int):
+    """Iterate one block's candidate drop set to its least fixpoint.
+
+    ``live`` holds the live-departure counts at each arrival in
+    block-local indexing; any common integer offset may be folded into
+    both ``live`` and ``carry`` (the drop test compares ``min(slack,
+    carry)`` against ``ceiling``, and both sides shift together).  The
+    global resolver passes counts shifted by ``-start``; the streaming
+    block API passes raw local counts with ``carry = occupancy + 1``.
+
+    Returns ``(blk_dropped, converged, tmin, work)`` where ``tmin =
+    min(slack[-1], carry)`` reconstructs the outgoing ``T`` carry (only
+    meaningful when ``converged``).
+    """
+    size = int(arr_blk.size)
+    minimum_accumulate = np.minimum.accumulate
+    floor_blk = n_channels - np.arange(size, dtype=np.int64)
+    # First pass over the whole block with no in-block drops
+    # cancelled; drop_i <=> T_{i-1} - L_i >= N <=> min(slack_{i-1},
+    # carry) > ceiling_i (integers; slack_{-1} := +inf).
+    ceiling = floor_blk + live
+    slack = minimum_accumulate(ceiling)
+    shifted = np.empty_like(slack)
+    shifted[0] = carry
+    shifted[1:] = np.minimum(slack[:-1], carry)
+    blk_dropped = shifted > ceiling
+    pending = np.flatnonzero(blk_dropped)
+    sweeps = 1
+    work = size
+    # Incremental rounds: the candidate set only grows (monotone
+    # from below), and a cancelled departure bins strictly after
+    # its own arrival, so each round only the suffix past the
+    # first new drop can change — recompute exactly that, seeding
+    # the running minimum from the untouched prefix.
+    while pending.size:
+        if sweeps >= max_sweeps:
+            return blk_dropped, False, 0, work
+        sweeps += 1
+        cancel_bins = np.searchsorted(arr_blk,
+                                      np.sort(blk_deps[pending]),
+                                      side='left')
+        live = live - np.cumsum(
+            np.bincount(cancel_bins, minlength=size + 1))[:size]
+        suffix = int(pending[0]) + 1
+        if suffix >= size:
+            break
+        work += size - suffix
+        ceiling[suffix:] = floor_blk[suffix:] + live[suffix:]
+        np.minimum(minimum_accumulate(ceiling[suffix:]),
+                   slack[suffix - 1], out=slack[suffix:])
+        shifted[suffix:] = np.minimum(slack[suffix - 1:-1], carry)
+        fresh = ((shifted[suffix:] > ceiling[suffix:])
+                 & ~blk_dropped[suffix:])
+        pending = suffix + np.flatnonzero(fresh)
+        blk_dropped[pending] = True
+    return blk_dropped, True, min(int(slack[-1]), carry), work
+
+
+@dataclass(frozen=True)
+class DropCarry:
+    """Streaming state between arrival blocks: the busy frontier.
+
+    ``busy`` holds the departure times — all strictly after
+    ``boundary``, the last arrival processed — of accepted sessions
+    still holding a channel.  It is exactly the heap the scalar loop
+    would hold after processing the boundary arrival (entries at or
+    before it have been popped), so ``busy.size`` is both the channel
+    occupancy at the boundary and bounded by ``n_channels``: the carried
+    state between blocks is O(n_channels) regardless of stream length.
+    """
+
+    busy: np.ndarray
+    boundary: float
+
+    @classmethod
+    def empty(cls) -> "DropCarry":
+        return cls(busy=np.empty(0, dtype=float), boundary=-np.inf)
+
+    @property
+    def nbytes(self) -> int:
+        """Carried-state footprint (frontier array + boundary scalar)."""
+        return int(self.busy.nbytes) + 8
+
+
+def resolve_drops_block(arrivals: np.ndarray, services: np.ndarray,
+                        n_channels: int,
+                        carry: "DropCarry | None" = None,
+                        max_sweeps: int = _MAX_SWEEPS):
+    """Resolve one arrival block of a longer stream; returns
+    ``(dropped_mask, next_carry)``.
+
+    Feeding consecutive blocks of one non-decreasing arrival stream
+    through this function (threading the returned carry) yields exactly
+    the mask :func:`resolve_drops` computes on the concatenated arrays —
+    the block-local recursion starts from ``T_{-1} = occupancy =
+    busy.size`` (the carried frontier's departures bin into this block's
+    ``live`` counts like any other departure), and drops cascade forward
+    only, so earlier blocks are final when a block is resolved.  A block
+    that exhausts the sweep budget is replayed by the scalar heap loop
+    seeded from the carried frontier, so pathological saturation costs
+    one scalar block, not the stream.
+    """
+    if carry is None:
+        carry = DropCarry.empty()
+    m = int(arrivals.size)
+    if m == 0:
+        return np.zeros(0, dtype=bool), carry
+    busy = carry.busy
+    departures = arrivals + services
+    bins = np.searchsorted(arrivals, np.sort(departures), side='left')
+    live = np.cumsum(np.bincount(bins, minlength=m + 1))[:m]
+    if busy.size:
+        busy_bins = np.searchsorted(arrivals, np.sort(busy), side='left')
+        live = live + np.cumsum(
+            np.bincount(busy_bins, minlength=m + 1))[:m]
+    blk_dropped, converged, _, work = _block_fixpoint(
+        arrivals, departures, live, int(busy.size) + 1, n_channels,
+        max_sweeps)
+    if not converged:
+        work += _scalar_block(arrivals, services, n_channels, busy,
+                              blk_dropped)
+    boundary = float(arrivals[-1])
+    survivors = departures[~blk_dropped]
+    next_busy = np.concatenate(
+        [busy[busy > boundary], survivors[survivors > boundary]])
+    KERNEL_STATS.record_work(work)
+    return blk_dropped, DropCarry(busy=next_busy, boundary=boundary)
+
+
+def _scalar_block(arrivals: np.ndarray, services: np.ndarray,
+                  n_channels: int, busy_carry: np.ndarray,
+                  dropped: np.ndarray) -> int:
+    """Replay one whole block with the scalar heap loop (budget path).
+
+    Seeds the heap from the carried busy frontier and writes final
+    statuses into ``dropped``; returns the sessions replayed.
+    """
+    busy = busy_carry.tolist()
+    heapq.heapify(busy)
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    for i, (arrival, service) in enumerate(
+            zip(arrivals.tolist(), services.tolist())):
+        while busy and busy[0] <= arrival:
+            heappop(busy)
+        if len(busy) >= n_channels:
+            dropped[i] = True
+            continue
+        dropped[i] = False
+        heappush(busy, arrival + service)
+    return int(arrivals.size)
 
 
 def _scalar_tail(arrivals: np.ndarray, services: np.ndarray,

@@ -45,6 +45,17 @@ class SimRunStats:
     #: cost is dominated by non-kernel work (model fitting, batched
     #: accounting) a non-zero denominator in the regression gate.
     work_units: int = 0
+    #: Blocks processed by the streaming pipeline (repro.stream).
+    stream_blocks: int = 0
+    #: Aggregator ``merge()`` calls performed by streaming drivers.
+    stream_merges: int = 0
+    #: Shards spilled to disk (checkpoints and finals).
+    stream_spills: int = 0
+    #: Bytes written to shard files.
+    stream_shard_bytes: int = 0
+    #: Largest carried state (drop carry + aggregate) between any two
+    #: blocks, in bytes — the streaming memory claim, measured.
+    stream_peak_carried_bytes: int = 0
 
     @property
     def sim_time_ratio(self) -> float:
@@ -70,7 +81,15 @@ class SimRunStats:
             faults_injected=self.faults_injected + other.faults_injected,
             transfer_retries=self.transfer_retries
             + other.transfer_retries,
-            work_units=self.work_units + other.work_units)
+            work_units=self.work_units + other.work_units,
+            stream_blocks=self.stream_blocks + other.stream_blocks,
+            stream_merges=self.stream_merges + other.stream_merges,
+            stream_spills=self.stream_spills + other.stream_spills,
+            stream_shard_bytes=self.stream_shard_bytes
+            + other.stream_shard_bytes,
+            stream_peak_carried_bytes=max(
+                self.stream_peak_carried_bytes,
+                other.stream_peak_carried_bytes))
 
     def to_dict(self) -> Dict[str, float]:
         """Flat dict for JSON/CSV report rows."""
@@ -84,6 +103,11 @@ class SimRunStats:
             "faults_injected": self.faults_injected,
             "transfer_retries": self.transfer_retries,
             "work_units": self.work_units,
+            "stream_blocks": self.stream_blocks,
+            "stream_merges": self.stream_merges,
+            "stream_spills": self.stream_spills,
+            "stream_shard_bytes": self.stream_shard_bytes,
+            "stream_peak_carried_bytes": self.stream_peak_carried_bytes,
         }
 
 
@@ -106,6 +130,11 @@ class KernelStatsCollector:
         self._faults_injected = 0
         self._transfer_retries = 0
         self._work_units = 0
+        self._stream_blocks = 0
+        self._stream_merges = 0
+        self._stream_spills = 0
+        self._stream_shard_bytes = 0
+        self._stream_peak_carried_bytes = 0
         self._runs = 0
 
     def record_run(self, events_processed: int, cancellations: int,
@@ -138,6 +167,20 @@ class KernelStatsCollector:
         with self._lock:
             self._work_units += int(units)
 
+    def record_stream(self, blocks: int = 0, merges: int = 0,
+                      spills: int = 0, shard_bytes: int = 0,
+                      carried_bytes: int = 0) -> None:
+        """Fold streaming-pipeline counters in (one call per block or
+        spill, never per element).  ``carried_bytes`` updates the peak.
+        """
+        with self._lock:
+            self._stream_blocks += int(blocks)
+            self._stream_merges += int(merges)
+            self._stream_spills += int(spills)
+            self._stream_shard_bytes += int(shard_bytes)
+            if carried_bytes > self._stream_peak_carried_bytes:
+                self._stream_peak_carried_bytes = int(carried_bytes)
+
     def record(self, stats: SimRunStats) -> None:
         """Fold one run's counters into the aggregate (record form)."""
         with self._lock:
@@ -165,6 +208,14 @@ class KernelStatsCollector:
         self._faults_injected += stats.faults_injected
         self._transfer_retries += stats.transfer_retries
         self._work_units += stats.work_units
+        self._stream_blocks += stats.stream_blocks
+        self._stream_merges += stats.stream_merges
+        self._stream_spills += stats.stream_spills
+        self._stream_shard_bytes += stats.stream_shard_bytes
+        if stats.stream_peak_carried_bytes \
+                > self._stream_peak_carried_bytes:
+            self._stream_peak_carried_bytes = \
+                stats.stream_peak_carried_bytes
 
     def reset(self) -> None:
         """Zero the aggregate (start of a new attribution window)."""
@@ -177,6 +228,11 @@ class KernelStatsCollector:
             self._faults_injected = 0
             self._transfer_retries = 0
             self._work_units = 0
+            self._stream_blocks = 0
+            self._stream_merges = 0
+            self._stream_spills = 0
+            self._stream_shard_bytes = 0
+            self._stream_peak_carried_bytes = 0
             self._runs = 0
 
     def snapshot(self) -> SimRunStats:
@@ -190,7 +246,13 @@ class KernelStatsCollector:
                 wall_time=self._wall_time,
                 faults_injected=self._faults_injected,
                 transfer_retries=self._transfer_retries,
-                work_units=self._work_units)
+                work_units=self._work_units,
+                stream_blocks=self._stream_blocks,
+                stream_merges=self._stream_merges,
+                stream_spills=self._stream_spills,
+                stream_shard_bytes=self._stream_shard_bytes,
+                stream_peak_carried_bytes=self
+                ._stream_peak_carried_bytes)
 
     @property
     def runs_recorded(self) -> int:

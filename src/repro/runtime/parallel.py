@@ -114,7 +114,14 @@ class TaskResult:
                 wall_time=float(payload.get("wall_time", 0.0)),
                 faults_injected=int(payload.get("faults_injected", 0)),
                 transfer_retries=int(payload.get("transfer_retries", 0)),
-                work_units=int(payload.get("work_units", 0))),
+                work_units=int(payload.get("work_units", 0)),
+                stream_blocks=int(payload.get("stream_blocks", 0)),
+                stream_merges=int(payload.get("stream_merges", 0)),
+                stream_spills=int(payload.get("stream_spills", 0)),
+                stream_shard_bytes=int(
+                    payload.get("stream_shard_bytes", 0)),
+                stream_peak_carried_bytes=int(
+                    payload.get("stream_peak_carried_bytes", 0))),
             cached=cached)
 
 
@@ -380,6 +387,69 @@ def parallel_fleet_sweep(simulator, user_counts: Sequence[int],
     finally:
         shared.close()
         shared.unlink()
+
+
+#: Worker-process state built by :func:`_attach_stream_worker`.
+_STREAM_STATE: dict = {}
+
+
+def _attach_stream_worker(spec, config, options) -> None:
+    """Pool initializer for stream-sweep points: map the shared pool
+    once; each task then ships only ``(n_users, seed)``."""
+    from repro.runtime.shm import SharedArray
+
+    shared = SharedArray.attach(spec)
+    _STREAM_STATE["shared"] = shared
+    _STREAM_STATE["pool"] = shared.array
+    _STREAM_STATE["config"] = config
+    _STREAM_STATE["options"] = options
+
+
+def _run_stream_point(n_users: int, seed: int):
+    from repro.capacity.simulator import CapacitySimulator
+    from repro.stream.sweep import sweep_point
+
+    simulator = CapacitySimulator(_STREAM_STATE["pool"],
+                                  _STREAM_STATE["config"])
+    with collecting() as stats:
+        point = sweep_point(simulator, n_users, seed,
+                            **_STREAM_STATE["options"])
+    return point, stats.snapshot()
+
+
+def parallel_stream_points(simulator, user_counts: Sequence[int],
+                           seeds: Sequence[int], processes: int = 1,
+                           **options) -> list:
+    """Fan stream-sweep points across worker processes.
+
+    Same shared-memory shape as :func:`parallel_fleet_sweep`; the
+    workers' stream counters fold back into this process's
+    :data:`~repro.runtime.observability.KERNEL_STATS` so the sweep's
+    runtime report sees blocks/spills from every process.  Per-point
+    shard subdirectories (chosen by the caller) keep workers from
+    racing on a shared manifest.
+    """
+    from repro.runtime.observability import KERNEL_STATS
+    from repro.runtime.shm import SharedArray
+
+    counts = list(user_counts)
+    workers = min(processes, len(counts))
+    shared = SharedArray.create(simulator.service_times)
+    try:
+        with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_attach_stream_worker,
+                initargs=(shared.spec, simulator.config,
+                          dict(options))) as pool:
+            futures = [pool.submit(_run_stream_point, n, s)
+                       for n, s in zip(counts, seeds)]
+            outcomes = [future.result() for future in futures]
+    finally:
+        shared.close()
+        shared.unlink()
+    for _, stats in outcomes:
+        KERNEL_STATS.accumulate(stats)
+    return [point for point, _ in outcomes]
 
 
 def parallel_sweep(simulator, user_counts: Sequence[int],

@@ -1,0 +1,467 @@
+"""Mergeable online aggregators with exact, associative ``merge()``.
+
+Block pipelines fold each block into an aggregate and merge aggregates
+across blocks, workers and shards; for streamed reports to stay
+byte-identical to the in-memory ones, the fold must not depend on how
+the stream was chunked.  Floating-point Welford merging is *not*
+associative (each merge rounds), so the moment aggregators here go one
+step further than the classic recurrences: they accumulate exact sums.
+
+**ExactSum** exploits the fact that every finite double is an integer
+multiple of 2^-1074.  ``frexp`` splits x into mantissa·2^exp; the
+53-bit integer mantissa ``round(m·2^53)`` scaled by ``2^(exp-53+1126)``
+expresses x in units of 2^-1126 with a *non-negative* shift for every
+double (the smallest subnormal has exp = -1073, giving shift 0), so
+each block folds into one Python big integer.  Addition of integers is
+associative and commutative, hence ``merge`` is exact, order- and
+chunking-invariant, and ``value`` (via ``Fraction``) is the correctly
+rounded double of the true real sum.  **MeanVariance** keeps exact
+sums of x and x² (the per-element square is one deterministic double
+op), so mean and population variance are correctly rounded rationals —
+strictly stronger than Welford, at a cost that is negligible next to
+the simulation producing the blocks.
+
+**QuantileSketch** is a deterministic MRL-style compactor: level ``l``
+holds up to ``k`` values of weight ``2^l``; a full level sorts and
+promotes every second element.  Because level 0 compacts at *exact
+element counts* — independent of block boundaries — feeding a sequence
+in any chunking yields the identical sketch state, which is what keeps
+streamed CDF anchors byte-identical to in-memory ones.  ``merge``
+(needed across workers/shards) concatenates levels and re-compacts;
+each compaction of weight-w items perturbs any rank by at most w, and
+the sketch tracks the accumulated bound itself
+(:attr:`QuantileSketch.rank_error_bound`).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: Unit exponent: values are accumulated in units of 2^-_UNIT_EXP.
+#: 1126 = 1073 (smallest subnormal's frexp exponent, negated) + 53, the
+#: smallest offset making every double's unit shift non-negative.
+_UNIT_EXP = 1126
+#: int64 chunk length for mantissa partial sums: 512 * 2^53 < 2^63.
+_SUM_CHUNK = 512
+
+
+def _require_finite(x: np.ndarray) -> None:
+    if x.size and not np.isfinite(x).all():
+        raise ValueError("aggregators require finite values")
+
+
+class ExactSum:
+    """Exact big-integer accumulator for float64 sums."""
+
+    __slots__ = ("_units",)
+
+    def __init__(self, units: int = 0):
+        self._units = int(units)
+
+    @property
+    def units(self) -> int:
+        """The exact sum, in units of 2^-1126."""
+        return self._units
+
+    def add_block(self, values) -> "ExactSum":
+        x = np.asarray(values, dtype=np.float64).ravel()
+        if x.size == 0:
+            return self
+        _require_finite(x)
+        mantissa, exponent = np.frexp(x)
+        # m·2^53 is an integer < 2^53: exactly representable, exactly
+        # truncated by the cast.
+        m53 = np.ldexp(mantissa, 53).astype(np.int64)
+        shifts = exponent.astype(np.int64) + (_UNIT_EXP - 53)
+        total = 0
+        for shift in np.unique(shifts):
+            part = m53[shifts == shift]
+            subtotal = 0
+            for i in range(0, part.size, _SUM_CHUNK):
+                subtotal += int(part[i:i + _SUM_CHUNK]
+                                .sum(dtype=np.int64))
+            total += subtotal << int(shift)
+        self._units += total
+        return self
+
+    def add(self, value: float) -> "ExactSum":
+        return self.add_block(np.asarray([value], dtype=np.float64))
+
+    def merge(self, other: "ExactSum") -> "ExactSum":
+        self._units += other._units
+        return self
+
+    @property
+    def value(self) -> float:
+        """Correctly rounded double of the exact sum."""
+        if self._units == 0:
+            return 0.0
+        return float(Fraction(self._units, 1 << _UNIT_EXP))
+
+    def to_state(self) -> dict:
+        return {"units": self._units}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ExactSum":
+        return cls(units=int(state["units"]))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ExactSum) and self._units == other._units
+
+    def __hash__(self):  # pragma: no cover - aggregates are not keys
+        return hash(self._units)
+
+
+class MeanVariance:
+    """Exact count/sum/sum-of-squares; mean and variance on demand."""
+
+    __slots__ = ("_count", "_sum", "_sumsq")
+
+    def __init__(self, count: int = 0, total: Optional[ExactSum] = None,
+                 total_sq: Optional[ExactSum] = None):
+        self._count = int(count)
+        self._sum = total if total is not None else ExactSum()
+        self._sumsq = total_sq if total_sq is not None else ExactSum()
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum.value
+
+    def add_block(self, values) -> "MeanVariance":
+        x = np.asarray(values, dtype=np.float64).ravel()
+        if x.size == 0:
+            return self
+        self._count += int(x.size)
+        self._sum.add_block(x)
+        # The square is one double op per element — deterministic and
+        # chunking-invariant; the *sum* of squares is then exact.
+        self._sumsq.add_block(x * x)
+        return self
+
+    def merge(self, other: "MeanVariance") -> "MeanVariance":
+        self._count += other._count
+        self._sum.merge(other._sum)
+        self._sumsq.merge(other._sumsq)
+        return self
+
+    @property
+    def mean(self) -> float:
+        """Correctly rounded mean (0.0 when empty)."""
+        if self._count == 0:
+            return 0.0
+        return float(Fraction(self._sum.units,
+                              self._count << _UNIT_EXP))
+
+    @property
+    def variance(self) -> float:
+        """Population variance, correctly rounded (0.0 when empty).
+
+        var = (n·Q·2^1126 - S²) / (n²·2^2252) over exact integers,
+        where S and Q are the unit sums of x and x².  Cauchy-Schwarz
+        makes the true numerator non-negative, but Q sums the *rounded*
+        per-element squares ``fl(x²)``, each of which can sit below the
+        true x² by up to half an ulp — so the numerator can dip
+        fractionally negative (e.g. a single x whose square is not
+        representable).  Clamping to zero is exact in every case the
+        true variance is zero and loses nothing elsewhere.
+        """
+        n = self._count
+        if n == 0:
+            return 0.0
+        numerator = (n * self._sumsq.units << _UNIT_EXP) \
+            - self._sum.units ** 2
+        if numerator <= 0:
+            return 0.0
+        denominator = (n * n) << (2 * _UNIT_EXP)
+        return float(Fraction(numerator, denominator))
+
+    @property
+    def std(self) -> float:
+        """sqrt of the correctly rounded variance (deterministic)."""
+        return math.sqrt(self.variance)
+
+    def to_state(self) -> dict:
+        return {"count": self._count, "sum": self._sum.to_state(),
+                "sumsq": self._sumsq.to_state()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MeanVariance":
+        return cls(count=int(state["count"]),
+                   total=ExactSum.from_state(state["sum"]),
+                   total_sq=ExactSum.from_state(state["sumsq"]))
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, MeanVariance)
+                and self._count == other._count
+                and self._sum == other._sum
+                and self._sumsq == other._sumsq)
+
+    __hash__ = None
+
+
+class MinMax:
+    """Running extrema (exact and trivially associative)."""
+
+    __slots__ = ("_min", "_max")
+
+    def __init__(self, minimum: Optional[float] = None,
+                 maximum: Optional[float] = None):
+        self._min = minimum
+        self._max = maximum
+
+    @property
+    def minimum(self) -> Optional[float]:
+        return self._min
+
+    @property
+    def maximum(self) -> Optional[float]:
+        return self._max
+
+    def add_block(self, values) -> "MinMax":
+        x = np.asarray(values, dtype=np.float64).ravel()
+        if x.size == 0:
+            return self
+        _require_finite(x)
+        low = float(x.min())
+        high = float(x.max())
+        self._min = low if self._min is None else min(self._min, low)
+        self._max = high if self._max is None else max(self._max, high)
+        return self
+
+    def merge(self, other: "MinMax") -> "MinMax":
+        if other._min is not None:
+            self._min = other._min if self._min is None \
+                else min(self._min, other._min)
+        if other._max is not None:
+            self._max = other._max if self._max is None \
+                else max(self._max, other._max)
+        return self
+
+    def to_state(self) -> dict:
+        return {"min": self._min, "max": self._max}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MinMax":
+        return cls(minimum=state["min"], maximum=state["max"])
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, MinMax) and self._min == other._min
+                and self._max == other._max)
+
+    __hash__ = None
+
+
+class QuantileSketch:
+    """Deterministic compacting quantile sketch (MRL/KLL family).
+
+    ``add_block`` is *chunking-invariant*: the sketch state after
+    feeding a sequence depends only on the sequence, because level 0
+    fills and compacts at exact element counts.  ``merge`` is
+    deterministic but only rank-approximate; the worst-case weighted
+    rank error accumulated by compactions is tracked in
+    :attr:`rank_error_bound` (each compaction at level ``l`` moves any
+    rank by at most ``2^l``).
+    """
+
+    __slots__ = ("_k", "_levels", "_count", "_error")
+
+    def __init__(self, k: int = 256):
+        if k < 2 or k % 2:
+            raise ValueError(f"k must be even and >= 2, got {k}")
+        self._k = int(k)
+        self._levels: List[List[float]] = [[]]
+        self._count = 0
+        self._error = 0
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def count(self) -> int:
+        """Total weighted items fed in (weights always sum to this)."""
+        return self._count
+
+    @property
+    def rank_error_bound(self) -> int:
+        """Worst-case |estimated rank - true rank| accumulated so far."""
+        return self._error
+
+    def add_block(self, values) -> "QuantileSketch":
+        x = np.asarray(values, dtype=np.float64).ravel()
+        if x.size == 0:
+            return self
+        _require_finite(x)
+        data = x.tolist()
+        n = len(data)
+        i = 0
+        while i < n:
+            level0 = self._levels[0]
+            take = min(self._k - len(level0), n - i)
+            level0.extend(data[i:i + take])
+            self._count += take
+            i += take
+            if len(level0) >= self._k:
+                self._compact(0)
+        return self
+
+    def _compact(self, level: int) -> None:
+        """Sort a level, promote every second element one level up.
+
+        An odd leftover (only possible after a merge) stays behind at
+        its own weight, so total weight — and hence ``count`` — is
+        invariant; the promoted half perturbs any rank by at most the
+        level weight ``2^level``.
+        """
+        buf = self._levels[level]
+        if len(buf) < 2:
+            return
+        if level + 1 == len(self._levels):
+            self._levels.append([])
+        buf.sort()
+        keep = (len(buf) // 2) * 2
+        promoted = buf[1:keep:2]
+        self._levels[level] = buf[keep:]
+        self._levels[level + 1].extend(promoted)
+        self._error += 1 << level
+        if len(self._levels[level + 1]) >= self._k:
+            self._compact(level + 1)
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        if other._k != self._k:
+            raise ValueError(
+                f"cannot merge sketches with k={self._k} and k={other._k}")
+        while len(self._levels) < len(other._levels):
+            self._levels.append([])
+        for level, buf in enumerate(other._levels):
+            self._levels[level].extend(buf)
+        self._count += other._count
+        self._error += other._error
+        for level in range(len(self._levels)):
+            if len(self._levels[level]) >= self._k:
+                self._compact(level)
+        return self
+
+    def rank(self, value: float) -> int:
+        """Estimated weighted #{x <= value}; exact within the bound."""
+        total = 0
+        for level, buf in enumerate(self._levels):
+            weight = 1 << level
+            total += weight * sum(1 for v in buf if v <= value)
+        return total
+
+    def quantile(self, q: float) -> float:
+        """Deterministic q-quantile estimate (nan when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self._count == 0:
+            return float("nan")
+        items: List[Tuple[float, int]] = sorted(
+            (v, 1 << level)
+            for level, buf in enumerate(self._levels) for v in buf)
+        target = max(1, math.ceil(q * self._count))
+        cumulative = 0
+        for value, weight in items:
+            cumulative += weight
+            if cumulative >= target:
+                return value
+        return items[-1][0]
+
+    def cdf(self, anchors) -> List[float]:
+        """Estimated CDF at each anchor (fig07/fig11-style curves)."""
+        if self._count == 0:
+            return [float("nan") for _ in anchors]
+        return [self.rank(a) / self._count for a in anchors]
+
+    def to_state(self) -> dict:
+        return {"k": self._k, "count": self._count, "error": self._error,
+                "levels": [list(buf) for buf in self._levels]}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QuantileSketch":
+        sketch = cls(k=int(state["k"]))
+        sketch._count = int(state["count"])
+        sketch._error = int(state["error"])
+        sketch._levels = [[float(v) for v in buf]
+                          for buf in state["levels"]]
+        if not sketch._levels:
+            sketch._levels = [[]]
+        return sketch
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, QuantileSketch)
+                and self._k == other._k and self._count == other._count
+                and self._error == other._error
+                and self._levels == other._levels)
+
+    __hash__ = None
+
+
+#: Quantile anchors reported per sweep point (fig11 CDF anchors).
+SERVICE_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class ServiceAggregate:
+    """Composite per-point aggregate over service times.
+
+    Bundles the exact moments, extrema and the quantile sketch that the
+    stream-sweep report consumes; ``merge`` composes the members'
+    merges (exact for everything but the sketch, which stays within its
+    self-reported rank bound).
+    """
+
+    __slots__ = ("moments", "extrema", "sketch")
+
+    def __init__(self, quantile_k: int = 256):
+        self.moments = MeanVariance()
+        self.extrema = MinMax()
+        self.sketch = QuantileSketch(k=quantile_k)
+
+    def add_block(self, values) -> "ServiceAggregate":
+        x = np.asarray(values, dtype=np.float64).ravel()
+        self.moments.add_block(x)
+        self.extrema.add_block(x)
+        self.sketch.add_block(x)
+        return self
+
+    def merge(self, other: "ServiceAggregate") -> "ServiceAggregate":
+        self.moments.merge(other.moments)
+        self.extrema.merge(other.extrema)
+        self.sketch.merge(other.sketch)
+        return self
+
+    def to_state(self) -> dict:
+        return {"moments": self.moments.to_state(),
+                "extrema": self.extrema.to_state(),
+                "sketch": self.sketch.to_state()}
+
+    def restore(self, state: dict) -> "ServiceAggregate":
+        self.moments = MeanVariance.from_state(state["moments"])
+        self.extrema = MinMax.from_state(state["extrema"])
+        self.sketch = QuantileSketch.from_state(state["sketch"])
+        return self
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ServiceAggregate":
+        return cls().restore(state)
+
+    def state_nbytes(self) -> int:
+        """Rough resident footprint (for peak carried-state tracking)."""
+        level_bytes = sum(8 * len(buf) for buf in self.sketch._levels)
+        return level_bytes + 64
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, ServiceAggregate)
+                and self.moments == other.moments
+                and self.extrema == other.extrema
+                and self.sketch == other.sketch)
+
+    __hash__ = None

@@ -1,0 +1,144 @@
+"""In-memory vs streamed sweep: wall-clock and peak-RSS head-to-head.
+
+``python -m repro.stream.bench --out BENCH_3.json`` runs the same
+fig11-shaped sweep twice — materialised arrays vs the block pipeline —
+each in its own subprocess so ``resource.getrusage`` reports a clean
+per-mode peak RSS (a parent process would carry the larger mode's high-
+water mark into the smaller one's reading).  The two modes' points are
+checked for equality before the artifact is written: a benchmark that
+silently compared different results would be worthless.
+
+The headline claim this records: the streamed path holds peak memory
+roughly flat while the in-memory path scales with ``horizon × users``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from typing import List, Optional
+
+SCHEMA = "repro-stream-bench-v1"
+
+#: Channel-count multiple of the paper's N=200.
+DEFAULT_SCALE = 10
+#: Simulated horizon, seconds (8 hours — long enough that the
+#: materialised arrival arrays dominate the in-memory footprint).
+DEFAULT_HORIZON = 28800.0
+
+_CHILD_CODE = r"""
+import json, resource, sys, time
+from repro.capacity.simulator import CapacityConfig
+from repro.runtime.observability import collecting
+from repro.stream.sweep import (default_user_counts, lognormal_pool,
+                                run_stream_sweep)
+
+params = json.loads(sys.argv[1])
+pool = lognormal_pool(seed=params["seed"])
+config = CapacityConfig(n_channels=params["n_channels"],
+                        horizon=params["horizon"],
+                        seed=params["seed"])
+counts = params["counts"] or default_user_counts(
+    config, float(pool.mean()))
+started = time.perf_counter()
+with collecting() as stats:
+    result = run_stream_sweep(pool, counts, config,
+                              seed=params["seed"],
+                              stream=params["stream"])
+wall = time.perf_counter() - started
+rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+snap = stats.snapshot()
+json.dump({
+    "wall_s": wall,
+    "peak_rss_kb": int(rss_kb),
+    "points": [p.to_dict() for p in result.points],
+    "stream_blocks": snap.stream_blocks,
+    "stream_peak_carried_bytes": snap.stream_peak_carried_bytes,
+}, sys.stdout)
+"""
+
+
+def _run_mode(stream: bool, n_channels: int, horizon: float, seed: int,
+              counts: Optional[List[int]]) -> dict:
+    params = json.dumps({"stream": stream, "n_channels": n_channels,
+                         "horizon": horizon, "seed": seed,
+                         "counts": counts})
+    completed = subprocess.run(
+        [sys.executable, "-c", _CHILD_CODE, params],
+        capture_output=True, text=True)
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"bench child ({'streamed' if stream else 'in-memory'}) "
+            f"failed:\n{completed.stderr}")
+    return json.loads(completed.stdout)
+
+
+def run_bench(scale: int = DEFAULT_SCALE,
+              horizon: float = DEFAULT_HORIZON, seed: int = 7,
+              counts: Optional[List[int]] = None) -> dict:
+    """Both modes, compared and folded into the artifact payload."""
+    n_channels = 200 * scale
+    in_memory = _run_mode(False, n_channels, horizon, seed, counts)
+    streamed = _run_mode(True, n_channels, horizon, seed, counts)
+    if in_memory["points"] != streamed["points"]:
+        raise RuntimeError(
+            "streamed and in-memory sweeps disagree; refusing to "
+            "record a benchmark over mismatched results")
+    return {
+        "schema": SCHEMA,
+        "params": {
+            "n_channels": n_channels,
+            "horizon": horizon,
+            "seed": seed,
+            "user_counts": [p["n_users"]
+                            for p in streamed["points"]],
+        },
+        "in_memory": {
+            "wall_s": in_memory["wall_s"],
+            "peak_rss_kb": in_memory["peak_rss_kb"],
+        },
+        "streamed": {
+            "wall_s": streamed["wall_s"],
+            "peak_rss_kb": streamed["peak_rss_kb"],
+            "blocks": streamed["stream_blocks"],
+            "peak_carried_bytes":
+                streamed["stream_peak_carried_bytes"],
+        },
+        "points": streamed["points"],
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.stream.bench",
+        description="in-memory vs streamed sweep benchmark")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON artifact here")
+    parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    parser.add_argument("--horizon", type=float,
+                        default=DEFAULT_HORIZON)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--users", type=int, nargs="*", default=None)
+    args = parser.parse_args(argv)
+    payload = run_bench(scale=args.scale, horizon=args.horizon,
+                        seed=args.seed, counts=args.users)
+    mem = payload["in_memory"]
+    st = payload["streamed"]
+    print(f"in-memory: {mem['wall_s']:.2f}s wall, "
+          f"{mem['peak_rss_kb'] / 1024:.0f} MB peak RSS")
+    print(f"streamed:  {st['wall_s']:.2f}s wall, "
+          f"{st['peak_rss_kb'] / 1024:.0f} MB peak RSS "
+          f"({st['blocks']} blocks, peak carried "
+          f"{st['peak_carried_bytes']} B)")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"artifact -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

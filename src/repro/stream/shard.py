@@ -1,0 +1,154 @@
+"""Spill-to-disk npz shards with a JSON manifest.
+
+A :class:`ShardStore` is the durability layer of the streaming
+pipeline: checkpoints (source RNG state + drop carry + aggregate state)
+and final results spill to compressed ``.npz`` files under one root
+directory, indexed by a ``manifest.json`` that records a sha256 per
+shard.  The design goals, in order:
+
+- **crash safety** — every write goes to a temp file and lands with
+  ``os.replace``, so a kill mid-write leaves either the old shard or
+  none, never a torn one; the manifest is rewritten the same way after
+  the shard it references exists;
+- **self-verifying reads** — ``get`` re-hashes the shard bytes against
+  the manifest; a truncated or corrupted file (or a manifest entry
+  whose file vanished) invalidates that key and returns ``None``, which
+  the pipeline treats as "recompute from an earlier checkpoint";
+- **parameter hygiene** — the store carries a caller-supplied
+  ``fingerprint`` of the run parameters; opening a root whose manifest
+  was written under a different fingerprint discards it wholesale
+  rather than resuming someone else's run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+_MANIFEST_NAME = "manifest.json"
+_MANIFEST_VERSION = 1
+
+
+def params_fingerprint(params: dict) -> str:
+    """Stable sha256 hex digest of a JSON-serialisable parameter dict."""
+    payload = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class ShardStore:
+    """Content-verified key/value store of npz shards in one directory."""
+
+    def __init__(self, root, fingerprint: str):
+        self.root = Path(root)
+        self.fingerprint = str(fingerprint)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self.root / _MANIFEST_NAME
+        self._shards: Dict[str, dict] = {}
+        self._load_manifest()
+
+    def _load_manifest(self) -> None:
+        try:
+            with open(self._manifest_path, "r", encoding="utf-8") as f:
+                manifest = json.load(f)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return
+        if not isinstance(manifest, dict):
+            return
+        if manifest.get("version") != _MANIFEST_VERSION:
+            return
+        if manifest.get("fingerprint") != self.fingerprint:
+            # Different run parameters: never resume across them.
+            return
+        shards = manifest.get("shards")
+        if isinstance(shards, dict):
+            self._shards = shards
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "fingerprint": self.fingerprint,
+            "shards": self._shards,
+        }
+        data = json.dumps(manifest, indent=2, sort_keys=True)
+        _atomic_write(self._manifest_path, data.encode("utf-8"))
+
+    def keys(self):
+        return sorted(self._shards)
+
+    def shard_bytes(self) -> int:
+        """Total bytes of all shards currently in the manifest."""
+        return sum(int(entry["bytes"]) for entry in self._shards.values())
+
+    def put(self, key: str, arrays: Dict[str, np.ndarray],
+            meta: Optional[dict] = None) -> int:
+        """Write a shard; returns its size in bytes.
+
+        ``arrays`` spill into the npz payload; ``meta`` (JSON-safe)
+        rides in the manifest entry so readers get it without touching
+        the npz.  Overwrites any previous shard under ``key``.
+        """
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        data = buffer.getvalue()
+        filename = f"{key}.npz"
+        _atomic_write(self.root / filename, data)
+        self._shards[key] = {
+            "file": filename,
+            "sha256": hashlib.sha256(data).hexdigest(),
+            "bytes": len(data),
+            "meta": meta if meta is not None else {},
+        }
+        self._write_manifest()
+        return len(data)
+
+    def get(self, key: str
+            ) -> Optional[Tuple[Dict[str, np.ndarray], dict]]:
+        """Read a shard back, or ``None`` if absent or damaged.
+
+        A checksum mismatch or missing file drops the manifest entry
+        (so a later ``put`` starts clean) and returns ``None``.
+        """
+        entry = self._shards.get(key)
+        if entry is None:
+            return None
+        path = self.root / entry["file"]
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self._invalidate(key)
+            return None
+        if hashlib.sha256(data).hexdigest() != entry["sha256"]:
+            self._invalidate(key)
+            return None
+        with np.load(io.BytesIO(data)) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        return arrays, entry.get("meta", {})
+
+    def _invalidate(self, key: str) -> None:
+        self._shards.pop(key, None)
+        self._write_manifest()
+
+    def discard(self, key: str) -> None:
+        """Remove a shard (file and manifest entry) if present."""
+        entry = self._shards.pop(key, None)
+        if entry is not None:
+            try:
+                os.remove(self.root / entry["file"])
+            except OSError:
+                pass
+            self._write_manifest()

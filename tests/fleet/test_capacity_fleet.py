@@ -71,6 +71,64 @@ def test_resolver_matches_with_tiny_blocks_and_budget(seed):
         np.testing.assert_array_equal(got, expected)
 
 
+def test_scalar_tail_fallback_fires_and_matches_vectorised():
+    """Regression for the budget path: when a block exhausts its sweep
+    budget, ``_scalar_tail`` takes over mid-stream and the combined
+    result must be identical to the unbudgeted vectorised resolver.
+
+    The stream is built so the fallback fires with ``start > 0``: an
+    idle prefix (drop-free blocks converge in one sweep even with
+    ``max_sweeps=1``) followed by a saturated tail whose first drop
+    candidate blows the budget."""
+    import repro.fleet.capacity as fleet_capacity
+
+    rng = np.random.default_rng(17)
+    idle_arrivals = np.cumsum(rng.exponential(50.0, size=130))
+    idle_services = rng.uniform(0.5, 2.0, size=130)
+    burst_arrivals = idle_arrivals[-1] + np.cumsum(
+        rng.exponential(0.05, size=300))
+    burst_services = rng.uniform(10.0, 40.0, size=300)
+    arrivals = np.concatenate([idle_arrivals, burst_arrivals])
+    services = np.concatenate([idle_services, burst_services])
+    n_channels = 4
+
+    expected = _reference_drops(arrivals, services, n_channels)
+    unbudgeted = resolve_drops(arrivals, services, n_channels)
+    np.testing.assert_array_equal(unbudgeted, expected)
+
+    starts = []
+    original = fleet_capacity._scalar_tail
+
+    def spy(arrivals, services, n_channels, dropped, start):
+        starts.append(start)
+        return original(arrivals, services, n_channels, dropped, start)
+
+    fleet_capacity._scalar_tail = spy
+    try:
+        budgeted = resolve_drops(arrivals, services, n_channels,
+                                 block_arrivals=64, max_sweeps=1)
+    finally:
+        fleet_capacity._scalar_tail = original
+
+    assert starts, "sweep budget of 1 must trigger the scalar tail"
+    assert starts[0] > 0, "fallback should start past converged blocks"
+    np.testing.assert_array_equal(budgeted, expected)
+
+
+def test_scalar_tail_from_first_block():
+    """Saturation from the very first arrival exercises the fallback's
+    empty-heap seeding path (``start == 0``)."""
+    rng = np.random.default_rng(23)
+    arrivals = np.cumsum(rng.exponential(0.05, size=400))
+    services = rng.uniform(10.0, 40.0, size=400)
+    expected = _reference_drops(arrivals, services, 3)
+    budgeted = resolve_drops(arrivals, services, 3,
+                             block_arrivals=64, max_sweeps=1)
+    np.testing.assert_array_equal(budgeted, expected)
+    np.testing.assert_array_equal(resolve_drops(arrivals, services, 3),
+                                  expected)
+
+
 @settings(max_examples=60, deadline=None)
 @given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=100.0),
                           st.floats(min_value=0.01, max_value=50.0)),

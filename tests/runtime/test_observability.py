@@ -35,7 +35,9 @@ def test_to_dict_round_numbers():
     assert keys == {"events_processed", "cancellations",
                     "peak_queue_depth", "sim_time", "wall_time",
                     "sim_time_ratio", "faults_injected",
-                    "transfer_retries", "work_units"}
+                    "transfer_retries", "work_units",
+                    "stream_blocks", "stream_merges", "stream_spills",
+                    "stream_shard_bytes", "stream_peak_carried_bytes"}
 
 
 def test_accumulate_merges_without_counting_a_run():

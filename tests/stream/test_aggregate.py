@@ -1,0 +1,205 @@
+"""Aggregator laws: exactness, associativity, chunking invariance.
+
+The streaming engine's byte-identity claim rests on these properties,
+so they are property-tested rather than example-tested: any chunking of
+a sequence must produce the identical aggregate state, and any merge
+tree over the chunks must produce the identical result.
+"""
+
+import json
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stream.aggregate import (ExactSum, MeanVariance, MinMax,
+                                    QuantileSketch, ServiceAggregate,
+                                    _UNIT_EXP)
+
+finite_floats = st.floats(min_value=-1e12, max_value=1e12,
+                          allow_nan=False, allow_infinity=False)
+float_lists = st.lists(finite_floats, max_size=200)
+
+
+def _split(values, cuts):
+    points = sorted(c % (len(values) + 1) for c in cuts)
+    pieces = []
+    last = 0
+    for p in points:
+        pieces.append(values[last:p])
+        last = p
+    pieces.append(values[last:])
+    return pieces
+
+
+@settings(max_examples=100, deadline=None)
+@given(float_lists)
+def test_exact_sum_matches_fraction_oracle(values):
+    total = ExactSum().add_block(np.array(values, dtype=np.float64))
+    oracle = sum(Fraction(v) for v in map(float, values))
+    assert Fraction(total.units, 1 << _UNIT_EXP) == oracle
+    assert total.value == float(oracle)
+
+
+@settings(max_examples=100, deadline=None)
+@given(float_lists, st.lists(st.integers(min_value=0), min_size=2,
+                             max_size=4))
+def test_exact_sum_merge_is_exact_and_associative(values, cuts):
+    x = np.array(values, dtype=np.float64)
+    whole = ExactSum().add_block(x)
+    parts = [ExactSum().add_block(np.array(p, dtype=np.float64))
+             for p in _split(values, cuts)]
+    left = ExactSum()
+    for part in parts:
+        left.merge(part)
+    right = ExactSum()
+    for part in reversed(
+            [ExactSum.from_state(p.to_state()) for p in parts]):
+        # re-hydrated copies merged in the opposite order
+        right.merge(part)
+    assert left == right == whole
+
+
+def test_exact_sum_handles_subnormals_and_extremes():
+    x = np.array([5e-324, 2.5e-310, 1e300, -1e300, 1e-300, math.pi])
+    total = ExactSum().add_block(x)
+    oracle = sum(Fraction(float(v)) for v in x)
+    assert Fraction(total.units, 1 << _UNIT_EXP) == oracle
+
+
+@settings(max_examples=60, deadline=None)
+@given(float_lists, st.lists(st.integers(min_value=0), min_size=2,
+                             max_size=4))
+def test_mean_variance_split_invariant(values, cuts):
+    x = np.array(values, dtype=np.float64)
+    whole = MeanVariance().add_block(x)
+    chunked = MeanVariance()
+    for piece in _split(values, cuts):
+        chunked.add_block(np.array(piece, dtype=np.float64))
+    merged = MeanVariance()
+    for piece in _split(values, cuts):
+        merged.merge(MeanVariance().add_block(
+            np.array(piece, dtype=np.float64)))
+    assert whole == chunked == merged
+    assert whole.count == len(values)
+    if values:
+        assert whole.variance >= 0.0
+        assert whole.std == math.sqrt(whole.variance)
+
+
+def test_mean_variance_matches_numpy():
+    rng = np.random.default_rng(3)
+    x = rng.lognormal(2.0, 0.7, size=5000)
+    stats = MeanVariance().add_block(x)
+    assert math.isclose(stats.mean, float(x.mean()), rel_tol=1e-12)
+    assert math.isclose(stats.variance, float(x.var()), rel_tol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(float_lists, st.lists(st.integers(min_value=0), min_size=2,
+                             max_size=4))
+def test_minmax_split_invariant(values, cuts):
+    x = np.array(values, dtype=np.float64)
+    whole = MinMax().add_block(x)
+    merged = MinMax()
+    for piece in _split(values, cuts):
+        merged.merge(MinMax().add_block(np.array(piece,
+                                                 dtype=np.float64)))
+    assert whole == merged
+    if values:
+        assert whole.minimum == float(x.min())
+        assert whole.maximum == float(x.max())
+
+
+def test_sketch_is_chunking_invariant():
+    """Feeding a sequence in any chunking yields the identical sketch
+    state — the property that keeps streamed reports byte-identical."""
+    rng = np.random.default_rng(5)
+    x = rng.exponential(10.0, size=40000)
+    whole = QuantileSketch(k=256).add_block(x)
+    for trial in range(5):
+        chunked = QuantileSketch(k=256)
+        i = 0
+        while i < x.size:
+            step = int(rng.integers(1, 4000))
+            chunked.add_block(x[i:i + step])
+            i += step
+        assert chunked == whole
+
+
+@pytest.mark.parametrize("n", [1, 255, 256, 257, 10000])
+def test_sketch_rank_within_bound(n):
+    rng = np.random.default_rng(n)
+    x = rng.exponential(10.0, size=n)
+    sketch = QuantileSketch(k=256).add_block(x)
+    assert sketch.count == n
+    xs = np.sort(x)
+    for q in (0.01, 0.5, 0.9, 0.99, 1.0):
+        value = sketch.quantile(q)
+        true_rank = int(np.searchsorted(xs, value, side="right"))
+        assert abs(sketch.rank(value) - true_rank) \
+            <= sketch.rank_error_bound
+
+
+def test_sketch_merge_conserves_weight_and_bound():
+    rng = np.random.default_rng(9)
+    a = QuantileSketch().add_block(rng.exponential(5.0, size=30000))
+    b = QuantileSketch().add_block(rng.exponential(20.0, size=17001))
+    bound_before = a.rank_error_bound + b.rank_error_bound
+    a.merge(b)
+    assert a.count == 47001
+    total_weight = sum((1 << level) * len(buf)
+                       for level, buf in enumerate(a._levels))
+    assert total_weight == a.count
+    assert a.rank_error_bound >= bound_before
+
+
+def test_sketch_merge_rejects_mismatched_k():
+    with pytest.raises(ValueError):
+        QuantileSketch(k=256).merge(QuantileSketch(k=128))
+
+
+def test_sketch_empty_and_validation():
+    sketch = QuantileSketch()
+    assert math.isnan(sketch.quantile(0.5))
+    with pytest.raises(ValueError):
+        sketch.quantile(1.5)
+    with pytest.raises(ValueError):
+        QuantileSketch(k=3)
+    with pytest.raises(ValueError):
+        QuantileSketch().add_block(np.array([np.nan]))
+
+
+def test_service_aggregate_state_roundtrips_through_json():
+    rng = np.random.default_rng(1)
+    aggregate = ServiceAggregate().add_block(
+        rng.exponential(10.0, size=12345))
+    state = json.loads(json.dumps(aggregate.to_state()))
+    restored = ServiceAggregate.from_state(state)
+    assert restored == aggregate
+    # and the restored copy keeps evolving identically
+    more = rng.exponential(10.0, size=777)
+    assert aggregate.add_block(more) == restored.add_block(more)
+
+
+def test_service_aggregate_merge_matches_whole():
+    """Moments and extrema merge exactly; the sketch merges within its
+    self-reported rank bound (merge is a different compaction history
+    than sequential feeding, so state equality is not promised)."""
+    rng = np.random.default_rng(2)
+    x = rng.exponential(10.0, size=20000)
+    whole = ServiceAggregate().add_block(x)
+    merged = ServiceAggregate().add_block(x[:333])
+    merged.merge(ServiceAggregate().add_block(x[333:]))
+    assert merged.moments == whole.moments
+    assert merged.extrema == whole.extrema
+    assert merged.sketch.count == whole.sketch.count
+    xs = np.sort(x)
+    for q in (0.5, 0.9, 0.99):
+        value = merged.sketch.quantile(q)
+        true_rank = int(np.searchsorted(xs, value, side="right"))
+        assert abs(merged.sketch.rank(value) - true_rank) \
+            <= merged.sketch.rank_error_bound

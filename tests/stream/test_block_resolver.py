@@ -1,0 +1,113 @@
+"""Chained block-wise drop resolution vs the heap reference.
+
+:func:`repro.fleet.capacity.resolve_drops_block` threads a
+:class:`DropCarry` between arbitrary consecutive chunks of one arrival
+stream; the concatenated masks must equal both the scalar heap replay
+and the whole-array :func:`resolve_drops`, and the carried frontier
+must respect its invariants (bounded by ``n_channels``, strictly after
+the boundary)."""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.fleet.capacity import DropCarry, resolve_drops, \
+    resolve_drops_block
+
+
+def _reference_drops(arrivals, services, n_channels):
+    dropped = np.zeros(arrivals.size, dtype=bool)
+    busy: list = []
+    for i, (arrival, service) in enumerate(zip(arrivals.tolist(),
+                                               services.tolist())):
+        while busy and busy[0] <= arrival:
+            heapq.heappop(busy)
+        if len(busy) >= n_channels:
+            dropped[i] = True
+            continue
+        heapq.heappush(busy, arrival + service)
+    return dropped
+
+
+def _random_case(rng):
+    m = int(rng.integers(1, 500))
+    gaps = rng.exponential(rng.uniform(0.2, 3.0), size=m)
+    arrivals = np.cumsum(gaps)
+    if rng.random() < 0.3:
+        arrivals = np.sort(np.round(arrivals, 1))
+    services = rng.uniform(0.5, 30.0, size=m)
+    if rng.random() < 0.3:
+        services = np.maximum(np.round(services, 1), 0.1)
+    n_channels = int(rng.integers(1, 12))
+    return arrivals, services, n_channels
+
+
+def _chain(arrivals, services, n_channels, rng, force_budget):
+    """Feed random-size chunks (including empty ones) through the block
+    resolver, occasionally strangling the sweep budget to exercise the
+    scalar fallback mid-chain."""
+    carry = DropCarry.empty()
+    masks = []
+    i = 0
+    m = arrivals.size
+    while i < m:
+        size = int(rng.integers(0, max(2, m // 3)))
+        blk = slice(i, min(m, i + size))
+        budget = 1 if (force_budget and rng.random() < 0.3) else 40
+        mask, carry = resolve_drops_block(
+            arrivals[blk], services[blk], n_channels, carry,
+            max_sweeps=budget)
+        masks.append(mask)
+        assert carry.busy.size <= n_channels
+        assert (carry.busy > carry.boundary).all()
+        i = blk.stop
+    return np.concatenate(masks) if masks else np.empty(0, dtype=bool)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_chained_blocks_match_heap_and_whole_array(seed):
+    rng = np.random.default_rng(seed)
+    for trial in range(20):
+        arrivals, services, n_channels = _random_case(rng)
+        expected = _reference_drops(arrivals, services, n_channels)
+        whole = resolve_drops(arrivals, services, n_channels)
+        chained = _chain(arrivals, services, n_channels, rng,
+                         force_budget=(trial % 2 == 0))
+        np.testing.assert_array_equal(chained, expected)
+        np.testing.assert_array_equal(whole, expected)
+
+
+def test_empty_block_passes_carry_through():
+    carry = DropCarry(busy=np.array([5.0, 7.0]), boundary=4.0)
+    mask, after = resolve_drops_block(np.empty(0), np.empty(0), 3, carry)
+    assert mask.size == 0
+    np.testing.assert_array_equal(after.busy, carry.busy)
+    assert after.boundary == carry.boundary
+
+
+def test_single_session_blocks():
+    """block size 1 is the fully-degenerate chaining: every session is
+    its own block, so every drop decision flows through the carry."""
+    rng = np.random.default_rng(42)
+    arrivals = np.cumsum(rng.exponential(1.0, size=200))
+    services = rng.uniform(0.5, 20.0, size=200)
+    expected = _reference_drops(arrivals, services, 4)
+    carry = DropCarry.empty()
+    got = np.empty(200, dtype=bool)
+    for i in range(200):
+        mask, carry = resolve_drops_block(arrivals[i:i + 1],
+                                          services[i:i + 1], 4, carry)
+        got[i] = mask[0]
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_carry_nbytes_bounded_by_channels():
+    rng = np.random.default_rng(1)
+    arrivals = np.cumsum(rng.exponential(0.05, size=5000))
+    services = rng.uniform(5.0, 50.0, size=5000)
+    carry = DropCarry.empty()
+    for i in range(0, 5000, 250):
+        _, carry = resolve_drops_block(arrivals[i:i + 250],
+                                       services[i:i + 250], 8, carry)
+        assert carry.nbytes <= 8 * 8 + 8

@@ -1,0 +1,109 @@
+"""ShardStore durability: atomic writes, self-verifying reads,
+fingerprint hygiene."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.stream.shard import ShardStore, params_fingerprint
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ShardStore(tmp_path / "shards", params_fingerprint({"a": 1}))
+
+
+def test_roundtrip(store):
+    arrays = {"busy": np.array([1.5, 2.5, 3.5]),
+              "empty": np.empty(0, dtype=np.float64)}
+    meta = {"dropped": 7, "nested": {"x": [1, 2]}}
+    nbytes = store.put("checkpoint", arrays, meta)
+    assert nbytes > 0
+    assert store.shard_bytes() == nbytes
+    loaded, loaded_meta = store.get("checkpoint")
+    np.testing.assert_array_equal(loaded["busy"], arrays["busy"])
+    assert loaded["empty"].size == 0
+    assert loaded_meta == meta
+
+
+def test_missing_key(store):
+    assert store.get("nope") is None
+
+
+def test_truncated_shard_detected_and_invalidated(store, tmp_path):
+    store.put("checkpoint", {"busy": np.arange(100.0)}, {"n": 1})
+    path = tmp_path / "shards" / "checkpoint.npz"
+    data = path.read_bytes()
+    path.write_bytes(data[:len(data) // 2])
+    assert store.get("checkpoint") is None
+    # the entry is gone: a fresh put starts clean and reads back fine
+    assert "checkpoint" not in store.keys()
+    store.put("checkpoint", {"busy": np.arange(3.0)}, {"n": 2})
+    arrays, meta = store.get("checkpoint")
+    assert meta == {"n": 2}
+
+
+def test_corrupted_bytes_detected(store, tmp_path):
+    store.put("final", {}, {"sessions": 5})
+    path = tmp_path / "shards" / "final.npz"
+    payload = bytearray(path.read_bytes())
+    payload[len(payload) // 2] ^= 0xFF
+    path.write_bytes(bytes(payload))
+    assert store.get("final") is None
+
+
+def test_deleted_file_invalidates_entry(store, tmp_path):
+    store.put("checkpoint", {"busy": np.arange(4.0)}, {})
+    (tmp_path / "shards" / "checkpoint.npz").unlink()
+    assert store.get("checkpoint") is None
+    assert store.keys() == []
+
+
+def test_fingerprint_mismatch_discards_manifest(tmp_path):
+    first = ShardStore(tmp_path / "s", params_fingerprint({"seed": 1}))
+    first.put("final", {}, {"sessions": 10})
+    other = ShardStore(tmp_path / "s", params_fingerprint({"seed": 2}))
+    assert other.get("final") is None
+    # same fingerprint still sees the shard
+    again = ShardStore(tmp_path / "s", params_fingerprint({"seed": 1}))
+    assert again.get("final") is not None
+
+
+def test_corrupt_manifest_treated_as_empty(tmp_path):
+    store = ShardStore(tmp_path / "s", "fp")
+    store.put("final", {}, {"n": 1})
+    (tmp_path / "s" / "manifest.json").write_text("{not json")
+    reopened = ShardStore(tmp_path / "s", "fp")
+    assert reopened.get("final") is None
+    reopened.put("final", {}, {"n": 2})
+    assert reopened.get("final")[1] == {"n": 2}
+
+
+def test_discard_removes_file_and_entry(store, tmp_path):
+    store.put("checkpoint", {"busy": np.arange(2.0)}, {})
+    store.discard("checkpoint")
+    assert store.get("checkpoint") is None
+    assert not (tmp_path / "shards" / "checkpoint.npz").exists()
+    store.discard("checkpoint")  # idempotent
+
+
+def test_overwrite_updates_manifest(store):
+    store.put("checkpoint", {"busy": np.arange(10.0)}, {"n": 1})
+    store.put("checkpoint", {"busy": np.arange(2.0)}, {"n": 2})
+    arrays, meta = store.get("checkpoint")
+    assert arrays["busy"].size == 2
+    assert meta == {"n": 2}
+
+
+def test_params_fingerprint_is_order_insensitive():
+    assert params_fingerprint({"a": 1, "b": 2}) \
+        == params_fingerprint({"b": 2, "a": 1})
+    assert params_fingerprint({"a": 1}) != params_fingerprint({"a": 2})
+
+
+def test_manifest_is_valid_json(store, tmp_path):
+    store.put("checkpoint", {"busy": np.arange(3.0)}, {"n": 1})
+    manifest = json.loads(
+        (tmp_path / "shards" / "manifest.json").read_text())
+    assert manifest["shards"]["checkpoint"]["bytes"] > 0
