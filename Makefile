@@ -1,8 +1,8 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench bench-baseline bench-compare fleet-bench \
-	stream-sweep stream-bench experiments experiments-parallel \
-	ablations faults-sweep ci examples clean
+.PHONY: install test bench bench-baseline bench-compare bench-backend \
+	fleet-bench stream-sweep stream-bench experiments \
+	experiments-parallel ablations faults-sweep ci examples clean
 
 # Worker count for the parallel experiment runner (override: make N=8 ...).
 N ?= 4
@@ -24,6 +24,11 @@ bench-baseline:
 
 bench-compare:
 	python -m repro.runtime.profiling bench --out auto --compare BENCH_0.json
+
+# Per-backend rows for the array-API kernel ports (BENCH_4).
+bench-backend:
+	python -m repro.runtime.profiling bench --select fleet_backend \
+		--out BENCH_4.json
 
 # Batched-vs-scalar fleet engine timings with equivalence checks.
 fleet-bench:

@@ -1,0 +1,78 @@
+"""Per-backend bench rows for the array-API kernel ports.
+
+One block-resolver row and one RRC-accounting row per backend:
+``reference`` is the NumPy implementation as shipped (searchsorted /
+bincount / minimum.accumulate), the named backends run the
+namespace-agnostic ports (merge-rank counts, doubling scans).  Every
+ported row asserts element-identical agreement with the reference, so
+the BENCH trajectory doubles as a standing equivalence record.
+Backends that are not importable (array_api_strict outside its CI
+job, torch/cupy anywhere) are skipped, not failed.
+
+The committed ``BENCH_4.json`` records these rows; CI's bench-smoke
+gate compares fresh runs against it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import backend as fleet_backend
+from repro.fleet.capacity import resolve_drops, resolve_drops_block
+from repro.fleet.rrc import account, account_xp, random_fleet
+
+#: Matches the fleet-engine bench scale: one long saturated block.
+N_CHANNELS = 2000
+N_SESSIONS = 65 * N_CHANNELS
+N_HANDSETS = 1500
+
+BACKENDS = ("reference", "numpy", "restricted", "array_api_strict")
+
+
+def _namespace_or_skip(name):
+    if name == "reference":
+        return None
+    try:
+        return fleet_backend.get_namespace(name)
+    except fleet_backend.BackendUnavailableError as exc:
+        pytest.skip(str(exc))
+
+
+def _stream():
+    rng = np.random.default_rng(29)
+    arrivals = np.sort(rng.uniform(0.0, 900.0, size=N_SESSIONS))
+    services = rng.lognormal(np.log(14.0), 0.5, size=N_SESSIONS)
+    return arrivals, services
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_fleet_backend_drops(benchmark, name):
+    arrivals, services = _stream()
+    xp = _namespace_or_skip(name)
+    if xp is None:
+        run = lambda: resolve_drops(arrivals, services, N_CHANNELS)
+    else:
+        arrivals_xp = fleet_backend.as_namespace_array(arrivals, xp)
+        services_xp = fleet_backend.as_namespace_array(services, xp)
+        run = lambda: resolve_drops_block(arrivals_xp, services_xp,
+                                          N_CHANNELS, xp=xp)[0]
+    mask = benchmark.pedantic(run, rounds=3, iterations=1)
+    reference = resolve_drops(arrivals, services, N_CHANNELS)
+    np.testing.assert_array_equal(fleet_backend.to_numpy(mask),
+                                  reference)
+    assert reference.any()
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_fleet_backend_rrc(benchmark, name):
+    trace = random_fleet(np.random.default_rng(8),
+                         n_handsets=N_HANDSETS)
+    xp = _namespace_or_skip(name)
+    if xp is None:
+        run = lambda: account(trace)
+    else:
+        run = lambda: account_xp(trace, xp=xp)
+    ledger = benchmark.pedantic(run, rounds=3, iterations=1)
+    reference = account(trace)
+    for field in ("time_idle", "time_fach", "time_dch", "end_time"):
+        np.testing.assert_array_equal(getattr(ledger, field),
+                                      getattr(reference, field))

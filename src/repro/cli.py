@@ -165,13 +165,29 @@ def _cmd_fleet_bench(args: argparse.Namespace) -> int:
     the paper's channel count, and batched RRC accounting over
     ``--handsets`` random traces.  Every timed pair is also checked for
     agreement, so the printout doubles as a live equivalence probe.
+    ``--backend`` other than ``numpy`` appends a third section timing
+    the array-API kernel ports on that namespace against the NumPy
+    reference, with element-identical parity checks.
     """
     import time as _time
 
     import numpy as np
 
     from repro.capacity.simulator import CapacityConfig, CapacitySimulator
+    from repro.fleet import backend as fleet_backend
     from repro.fleet.rrc import account, account_scalar, random_fleet
+
+    xp = None
+    if args.backend != "numpy":
+        try:
+            xp = fleet_backend.get_namespace(args.backend)
+        except fleet_backend.BackendUnavailableError as exc:
+            print(f"backend {args.backend!r} unavailable: {exc}",
+                  file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
 
     def _timed(fn):
         started = _time.perf_counter()
@@ -231,6 +247,47 @@ def _cmd_fleet_bench(args: argparse.Namespace) -> int:
     if worst > 1e-9:
         print("MISMATCH: dwell ledgers diverged", file=sys.stderr)
         return 1
+    if xp is None:
+        return 0
+
+    # Backend section: the array-API kernel ports on --backend, parity
+    # plus timing against the NumPy reference implementations.
+    from repro.fleet.capacity import resolve_drops, resolve_drops_block
+    from repro.fleet.rrc import account_xp
+
+    name = fleet_backend.namespace_name(xp)
+    print(f"\nbackend: {name}")
+    bench_rng = np.random.default_rng(args.seed + 2)
+    arrivals = np.sort(bench_rng.uniform(
+        0.0, 900.0, size=50 * n_channels))
+    services = bench_rng.lognormal(np.log(14.0), 0.5,
+                                   size=arrivals.size)
+    ref_mask, ref_s = _timed(
+        lambda: resolve_drops(arrivals, services, n_channels))
+    arrivals_xp = fleet_backend.as_namespace_array(arrivals, xp)
+    services_xp = fleet_backend.as_namespace_array(services, xp)
+    (port_mask, _), port_s = _timed(
+        lambda: resolve_drops_block(arrivals_xp, services_xp,
+                                    n_channels, xp=xp))
+    if not np.array_equal(ref_mask, fleet_backend.to_numpy(port_mask)):
+        print(f"MISMATCH: {name} drop mask diverged from numpy",
+              file=sys.stderr)
+        return 1
+    print(f"{'drops':>8s} {ref_s:9.3f} {port_s:9.3f} "
+          f"{ref_s / port_s:7.2f}x  {arrivals.size} sessions")
+
+    port_ledger, port_s = _timed(lambda: account_xp(trace, xp=xp))
+    ref_ledger, ref_s = _timed(lambda: account(trace))
+    for field in ("time_idle", "time_fach", "time_dch", "time_dch_tx",
+                  "promotions_idle", "promotions_fach",
+                  "fast_dormancy", "end_time"):
+        if not np.array_equal(getattr(ref_ledger, field),
+                              getattr(port_ledger, field)):
+            print(f"MISMATCH: {name} rrc ledger field {field} diverged",
+                  file=sys.stderr)
+            return 1
+    print(f"{'rrc':>8s} {ref_s:9.3f} {port_s:9.3f} "
+          f"{ref_s / port_s:7.2f}x  ledgers element-identical")
     return 0
 
 
@@ -481,6 +538,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--handsets", type=int, default=1500,
         help="handsets in the RRC accounting round (default: 1500)")
     fleet_bench.add_argument("--seed", type=int, default=7)
+    fleet_bench.add_argument(
+        "--backend", default="numpy",
+        help="array namespace for the kernel ports: numpy (default, "
+             "reference path), restricted, array_api_strict, torch, "
+             "cupy; non-numpy adds a backend parity/timing section")
     fleet_bench.set_defaults(func=_cmd_fleet_bench)
 
     stream_sweep = subparsers.add_parser(

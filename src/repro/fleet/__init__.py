@@ -13,12 +13,26 @@ instead:
   resolution replacing the per-session heap loop of
   :class:`repro.capacity.simulator.CapacitySimulator`;
 - :mod:`repro.fleet.policy` — Algorithm 2 thresholds applied to whole
-  prediction vectors plus batched reading-tail energies.
+  prediction vectors plus batched reading-tail energies;
+- :mod:`repro.fleet.backend` — array-namespace shim (array-API
+  standard spirit) that lets the hot kernels above run on alternative
+  backends.  ``get_namespace("numpy")`` is the default;
+  ``"restricted"`` is a dependency-free allowlist proxy that enforces
+  array-API-only usage in CI; ``"array_api_strict"``, ``"torch"`` and
+  ``"cupy"`` resolve when installed and raise
+  :class:`~repro.fleet.backend.BackendUnavailableError` otherwise.
+  The kernels accept a keyword-only ``xp`` namespace
+  (:func:`repro.fleet.capacity.resolve_drops_block`,
+  :func:`repro.fleet.rrc.account_xp`, the policy helpers), and
+  ``repro fleet-bench --backend`` / ``stream_capacity_run(...,
+  backend=...)`` select one end to end.
 
 Every fleet path keeps the scalar implementation as the golden
 reference behind ``REPRO_FLEET_SLOW=1`` (read at call time, like
 ``REPRO_KERNEL_SLOW``), and the golden-equivalence tests prove the two
-produce byte-identical experiment reports.
+produce byte-identical experiment reports.  The backend ports are
+gated the same way: element-identical masks and ledgers against the
+NumPy reference on the fuzz corpus and the fig11 sweep.
 """
 
 from __future__ import annotations

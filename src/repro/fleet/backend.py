@@ -1,0 +1,349 @@
+"""Array-namespace shim for the fleet kernels (array-API backends).
+
+The fleet engine's two hot kernels — the drop fixpoint of
+:mod:`repro.fleet.capacity` and the RRC window accounting of
+:mod:`repro.fleet.rrc` — are pure array programs, so nothing about
+them is NumPy-specific except the spelling of the primitives.  This
+module supplies the thin portability layer that lets one kernel body
+run unchanged on any namespace implementing the `array API standard
+<https://data-apis.org/array-api/>`_:
+
+- :func:`get_namespace` resolves a backend *name* (``"numpy"``,
+  ``"array_api_strict"``, ``"restricted"``, ``"torch"``, ``"cupy"``)
+  or an *array* (via ``__array_namespace__``) to a namespace module.
+  Optional backends are probed at call time and raise
+  :class:`BackendUnavailableError` with an install hint instead of an
+  ImportError from deep inside a sweep;
+- :func:`to_numpy` / :func:`as_namespace_array` move data across the
+  host boundary (``np.asarray`` → ``.get()`` → DLPack, in that
+  order), which is what lets :class:`~repro.fleet.capacity.DropCarry`
+  round-trip devices through the streaming checkpoints;
+- scan primitives that re-express the NumPy-only idioms the kernels
+  used to lean on.  ``searchsorted`` + ``bincount`` + ``cumsum`` (the
+  live-departure counts) become one stable merge-rank
+  (:func:`count_leq` / :func:`count_lt`): stably argsort the
+  concatenation of values and queries, prefix-sum the value
+  indicator, and read the sums off at the query ranks.  Ties resolve
+  by concatenation order — values first counts equals (``d <= a``,
+  the heap-pop rule), queries first excludes them (strict CDF
+  counting).  ``np.minimum.accumulate`` becomes a Hillis–Steele
+  doubling scan (:func:`cumulative_minimum`): ``ceil(log2 n)``
+  whole-array ``minimum`` passes, each folding in the value
+  ``2**step`` positions back.  Both are exact integer/comparison
+  algorithms, so the ported kernels are *element-identical* to the
+  NumPy reference, not merely close.
+
+The ``"restricted"`` backend is an allowlist proxy over NumPy that
+exposes *only* the array-API surface the kernels are permitted to
+touch — any drift back toward a NumPy-ism (``searchsorted``,
+``bincount``, ``ufunc.accumulate``, ``flatnonzero``, ...) fails
+immediately with an AttributeError.  It makes the portability
+contract testable in environments where ``array-api-strict`` is not
+installed; CI additionally runs the golden-equivalence suite under
+the real ``array_api_strict`` namespace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "BackendUnavailableError",
+    "available_backends",
+    "get_namespace",
+    "namespace_name",
+    "to_numpy",
+    "as_namespace_array",
+    "to_device",
+    "cumulative_minimum",
+    "count_leq",
+    "count_lt",
+]
+
+
+class BackendUnavailableError(RuntimeError):
+    """A named backend exists in the registry but cannot be imported."""
+
+
+class _RestrictedNamespace:
+    """Array-API-surface-only view over NumPy.
+
+    NumPy ≥ 2 already *is* an array-API namespace, which makes it a
+    poor test of portability: kernel code can silently reach for
+    ``np.searchsorted`` and still pass.  This proxy forwards only an
+    allowlist of standard names (plus the dtype objects), so running
+    the golden tests under it proves the kernels never leave the
+    portable subset — the same guarantee ``array_api_strict`` gives,
+    minus the separate wrapper Array type, available with zero extra
+    dependencies.
+    """
+
+    __name__ = "repro.fleet.backend.restricted"
+
+    #: The array-API subset the fleet kernels are allowed to use.
+    _ALLOWED = frozenset({
+        # creation / conversion
+        "asarray", "zeros", "ones", "full", "arange", "reshape",
+        "astype", "result_type", "isdtype",
+        # dtypes
+        "bool", "int8", "int16", "int32", "int64", "float32", "float64",
+        # elementwise
+        "minimum", "maximum", "where", "isfinite", "isnan", "abs",
+        "logical_and", "logical_or", "logical_not", "equal",
+        # reductions / scans
+        "sum", "any", "all", "min", "max", "cumulative_sum",
+        # sorting / indexing
+        "sort", "argsort", "take", "nonzero", "concat",
+    })
+
+    def __getattr__(self, name: str) -> Any:
+        if name not in self._ALLOWED:
+            raise AttributeError(
+                f"{name!r} is outside the array-API subset the fleet "
+                f"kernels may use; port it through repro.fleet.backend "
+                f"scan primitives instead")
+        return getattr(np, name)
+
+
+_RESTRICTED = _RestrictedNamespace()
+
+#: Name aliases accepted by :func:`get_namespace`.
+_ALIASES = {
+    "numpy": "numpy",
+    "np": "numpy",
+    "restricted": "restricted",
+    "strict": "array_api_strict",
+    "array_api_strict": "array_api_strict",
+    "array-api-strict": "array_api_strict",
+    "torch": "torch",
+    "cupy": "cupy",
+}
+
+#: Canonical backend names, in the order ``available_backends`` probes.
+BACKEND_NAMES = ("numpy", "restricted", "array_api_strict", "torch",
+                 "cupy")
+
+
+def _resolve_name(canonical: str) -> Any:
+    if canonical == "numpy":
+        return np
+    if canonical == "restricted":
+        return _RESTRICTED
+    if canonical == "array_api_strict":
+        try:
+            import array_api_strict  # noqa: PLC0415
+        except ImportError as exc:
+            raise BackendUnavailableError(
+                "backend 'array_api_strict' needs the array-api-strict "
+                "package (pip install array-api-strict); the "
+                "'restricted' backend is the dependency-free stand-in"
+            ) from exc
+        return array_api_strict
+    if canonical in ("torch", "cupy"):
+        # Neither library's top-level namespace is array-API
+        # conformant; array-api-compat supplies the wrapped one.
+        try:
+            import array_api_compat  # noqa: PLC0415
+            return getattr(array_api_compat, canonical)
+        except (ImportError, AttributeError) as exc:
+            raise BackendUnavailableError(
+                f"backend {canonical!r} needs {canonical} plus "
+                f"array-api-compat installed") from exc
+    raise ValueError(
+        f"unknown backend {canonical!r}; known: {sorted(set(_ALIASES))}")
+
+
+def get_namespace(obj: Any) -> Any:
+    """Resolve a backend name or an array to its array namespace.
+
+    Strings go through the registry (``"numpy"``, ``"restricted"``,
+    ``"array_api_strict"``/``"strict"``, ``"torch"``, ``"cupy"``);
+    arrays resolve via ``__array_namespace__``.  Raises
+    :class:`BackendUnavailableError` for registered-but-missing
+    backends, :class:`ValueError` for unknown names and
+    :class:`TypeError` for objects that are not array-API arrays.
+    """
+    if isinstance(obj, str):
+        try:
+            canonical = _ALIASES[obj.lower()]
+        except KeyError:
+            raise ValueError(f"unknown backend {obj!r}; known: "
+                             f"{sorted(set(_ALIASES))}") from None
+        return _resolve_name(canonical)
+    if isinstance(obj, np.ndarray):
+        return np
+    hook = getattr(obj, "__array_namespace__", None)
+    if hook is not None:
+        return hook()
+    raise TypeError(f"{type(obj).__name__!r} is neither a backend name "
+                    f"nor an array-API array")
+
+
+def namespace_name(xp: Any) -> str:
+    """Short printable name of a namespace module (logs, bench rows)."""
+    name = getattr(xp, "__name__", type(xp).__name__)
+    return name.rsplit(".", 1)[-1] if name.startswith("repro.") else name
+
+
+def available_backends() -> List[str]:
+    """Canonical names of the backends importable right now."""
+    names = []
+    for name in BACKEND_NAMES:
+        try:
+            _resolve_name(name)
+        except BackendUnavailableError:
+            continue
+        names.append(name)
+    return names
+
+
+# ----------------------------------------------------------------------
+# Host <-> device movement
+# ----------------------------------------------------------------------
+
+
+def to_numpy(x: Any) -> np.ndarray:
+    """Materialise any backend's array on the host as ``np.ndarray``.
+
+    Tries the cheap paths first: identity, ``np.asarray`` (covers
+    namespaces whose arrays expose ``__array__``, e.g. CPU torch),
+    ``.get()`` (CuPy's device→host copy), then DLPack.  Used at the
+    block boundary to spill :class:`DropCarry` frontiers into shards
+    and to hand ledgers back to NumPy-facing callers.
+    """
+    if isinstance(x, np.ndarray):
+        return x
+    try:
+        arr = np.asarray(x)
+        # Namespaces without __array__ (array_api_strict among them)
+        # make np.asarray wrap the object itself in a 0-d object array
+        # rather than raise — treat that as "no cheap path".
+        if arr.dtype != object:
+            return arr
+    except (TypeError, ValueError, RuntimeError):
+        pass
+    getter = getattr(x, "get", None)
+    if callable(getter):
+        return np.asarray(getter())
+    return np.asarray(np.from_dlpack(x))
+
+
+def as_namespace_array(x: Any, xp: Any, dtype: Any = None) -> Any:
+    """Return ``x`` as an array of namespace ``xp`` (and ``dtype``).
+
+    No-op (modulo an ``astype``) when ``x`` already belongs to ``xp``;
+    otherwise the transfer routes through the host via
+    :func:`to_numpy`.  This is the carry round-trip primitive: a
+    frontier restored from a checkpoint (always NumPy) re-enters the
+    device namespace here on the next block.
+    """
+    owner: Any = None
+    if isinstance(x, np.ndarray):
+        owner = np
+    else:
+        hook = getattr(x, "__array_namespace__", None)
+        if hook is not None:
+            owner = hook()
+    if owner is xp or (owner is np and xp is _RESTRICTED):
+        if dtype is None or x.dtype == dtype:
+            return x
+        return xp.astype(x, dtype)
+    arr = xp.asarray(to_numpy(x))
+    if dtype is not None and arr.dtype != dtype:
+        arr = xp.astype(arr, dtype)
+    return arr
+
+
+def to_device(x: Any, xp: Any, device: Any = None) -> Any:
+    """:func:`as_namespace_array` plus an optional device placement."""
+    arr = as_namespace_array(x, xp)
+    if device is None:
+        return arr
+    mover = getattr(arr, "to_device", None)
+    if callable(mover):
+        return mover(device)
+    return xp.asarray(arr, device=device)
+
+
+# ----------------------------------------------------------------------
+# Scan primitives (the searchsorted/bincount/accumulate replacements)
+# ----------------------------------------------------------------------
+
+
+def cumulative_minimum(xp: Any, x: Any) -> Any:
+    """Inclusive running minimum of a 1-D array (``minimum.accumulate``).
+
+    Hillis–Steele doubling: after step ``s`` each element holds the
+    minimum of the ``2**(s+1)`` positions ending at it, padding the
+    head with the array's own prefix (``min(x, x) == x``), so
+    ``ceil(log2 n)`` whole-array ``minimum`` passes produce the exact
+    scan with no data-dependent control flow — the shape GPU backends
+    want.
+    """
+    n = int(x.shape[0])
+    shift = 1
+    while shift < n:
+        x = xp.minimum(x, xp.concat([x[:shift], x[:-shift]]))
+        shift *= 2
+    return x
+
+
+def _merge_rank_counts(xp: Any, values: Any, queries: Any,
+                       values_first: bool) -> Any:
+    """#{values ⋈ q} per query via one stable merge rank.
+
+    Stably argsort ``concat([values, queries])`` (or queries first),
+    prefix-sum the is-a-value indicator, and gather the sums at each
+    query's sorted rank.  With values first, a value equal to a query
+    sorts *before* it and is counted (``<=``); with queries first it
+    sorts after and is not (``<``).  The rank gather inverts the sort
+    permutation with a second stable argsort — portable everywhere
+    scatter assignment is not.
+    """
+    n_values = int(values.shape[0])
+    n_queries = int(queries.shape[0])
+    if n_queries == 0:
+        return xp.zeros((0,), dtype=xp.int64)
+    if n_values == 0:
+        return xp.zeros((n_queries,), dtype=xp.int64)
+    dtype = xp.result_type(values.dtype, queries.dtype)
+    values = xp.astype(values, dtype, copy=False)
+    queries = xp.astype(queries, dtype, copy=False)
+    if values_first:
+        combined = xp.concat([values, queries])
+        is_value = xp.arange(combined.shape[0]) < n_values
+    else:
+        combined = xp.concat([queries, values])
+        is_value = xp.arange(combined.shape[0]) >= n_queries
+    order = xp.argsort(combined, stable=True)
+    counts = xp.cumulative_sum(
+        xp.astype(xp.take(is_value, order, axis=0), xp.int64))
+    ranks = xp.argsort(order, stable=True)
+    if values_first:
+        query_ranks = ranks[n_values:]
+    else:
+        query_ranks = ranks[:n_queries]
+    return xp.take(counts, query_ranks, axis=0)
+
+
+def count_leq(xp: Any, values: Any, queries: Any) -> Any:
+    """``result[i] = #{v in values : v <= queries[i]}`` (ties count).
+
+    The live-departure counting rule of the drop kernel: a departure
+    at exactly the arrival instant frees its channel first
+    (``busy[0] <= arrival`` pops).  Equals ``cumsum(bincount(
+    searchsorted(queries, sort(values), side='left')))`` read at each
+    query when ``queries`` is sorted, but needs neither primitive.
+    """
+    return _merge_rank_counts(xp, values, queries, values_first=True)
+
+
+def count_lt(xp: Any, values: Any, queries: Any) -> Any:
+    """``result[i] = #{v in values : v < queries[i]}`` (ties excluded).
+
+    The strict-CDF counting rule (``searchsorted(..., side='left')``
+    on the sorted values): used by the threshold-fraction anchors.
+    """
+    return _merge_rank_counts(xp, values, queries, values_first=False)

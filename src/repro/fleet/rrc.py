@@ -60,6 +60,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.fleet import backend as _backend
 from repro.rrc.config import PowerProfile, RrcConfig
 from repro.rrc.machine import RrcMachine
 from repro.rrc.states import RadioMode
@@ -198,7 +199,7 @@ class FleetLedger:
 
 def _decay_window(window: np.ndarray, action: np.ndarray,
                   offset: np.ndarray, applied: np.ndarray,
-                  t1: float, t2: float):
+                  t1: float, t2: float, anchor: np.ndarray):
     """Decompose a post-transmission window into mode dwells.
 
     Returns ``(dch, fach, idle, state, dormancy_executed)`` where
@@ -206,23 +207,39 @@ def _decay_window(window: np.ndarray, action: np.ndarray,
     (what the next request promotes from) with kernel tie-breaking, and
     ``dormancy_executed`` flags dormancy calls that found the radio
     above IDLE (the machine's counter only increments for those).
+
+    ``anchor`` is the absolute end-of-transmission time the window
+    opens at.  The dwell decompositions are computed in relative time
+    (the ledger's tolerance absorbs the rounding), but the state
+    classification must reproduce the event kernel's *absolute* heap
+    keys: the machine compares ``(anchor + t1) + t2`` against
+    ``anchor + gap``, and those sums can round to the opposite side of
+    the relative ``t1 + t2`` vs ``gap`` comparison, flipping which
+    state the next request promotes from (found by the boundary-heavy
+    property test: ``gap == t1 + t2`` exactly, anchor 2.001).
     """
+    arrival = anchor + window
+    fach_at = anchor + t1          # T1 expiry heap key
+    idle_at = fach_at + t2         # T2 expiry heap key (armed at T1 expiry)
+    action_at = anchor + offset    # release/dormancy heap key
+
     # Plain Section 2.1 tail: DCH for t1, FACH for t2, IDLE after.
     dch = np.minimum(window, t1)
     fach = np.clip(window - t1, 0.0, t2)
     idle = np.maximum(window - t1 - t2, 0.0)
     # w == t1 decays (T1 wins the tie), w == t1 + t2 does not (T2 loses).
-    state = np.where(window < t1, _STATE_DCH,
-                     np.where(window <= t1 + t2, _STATE_FACH, _STATE_IDLE))
+    state = np.where(arrival < fach_at, _STATE_DCH,
+                     np.where(arrival <= idle_at, _STATE_FACH, _STATE_IDLE))
 
     # release_channels at r < t1: DCH truncated at r, FACH clock restarts.
-    # At r >= t1 the radio already left DCH and the call is a no-op.
-    rel = applied & (action == ACTION_RELEASE) & (offset < t1)
+    # At r >= t1 the radio already left DCH and the call is a no-op
+    # (T1 was inserted first, so it wins the equal-time tie).
+    rel = applied & (action == ACTION_RELEASE) & (action_at < fach_at)
     dch = np.where(rel, offset, dch)
     fach = np.where(rel, np.clip(window - offset, 0.0, t2), fach)
     idle = np.where(rel, np.maximum(window - offset - t2, 0.0), idle)
     state = np.where(rel,
-                     np.where(window <= offset + t2,
+                     np.where(arrival <= action_at + t2,
                               _STATE_FACH, _STATE_IDLE),
                      state)
 
@@ -236,7 +253,7 @@ def _decay_window(window: np.ndarray, action: np.ndarray,
     fach = np.where(dorm, dorm_fach, fach)
     idle = np.where(dorm, window - dorm_dch - dorm_fach, idle)
     state = np.where(dorm, _STATE_IDLE, state)
-    executed = dorm & (offset <= t1 + t2)
+    executed = dorm & (action_at <= idle_at)
     return dch, fach, idle, state, executed
 
 
@@ -256,6 +273,12 @@ def account(trace: FleetTrace,
     fast_dormancy = np.zeros(n, dtype=np.int64)
     end_time = np.zeros(n)
 
+    # Absolute end-of-transmission clock, accumulated in the event
+    # kernel's order (arrival, grant, end-of-tx are separate heap keys):
+    # the state classification in _decay_window compares these exact
+    # floats, so the additions must round exactly like the machine's.
+    anchor = np.zeros(n)
+
     live_matrix = np.arange(k)[None, :] < trace.n_bursts[:, None]
     for j in range(k):
         live = live_matrix[:, j]
@@ -270,7 +293,7 @@ def account(trace: FleetTrace,
             applied = (live & (prev_action != ACTION_NONE)
                        & (prev_offset < gap))
             dch, fach, idle, state, executed = _decay_window(
-                gap, prev_action, prev_offset, applied, t1, t2)
+                gap, prev_action, prev_offset, applied, t1, t2, anchor)
             time_dch += np.where(live, dch, 0.0)
             time_fach += np.where(live, fach, 0.0)
             time_idle += np.where(live, idle, 0.0)
@@ -281,6 +304,11 @@ def account(trace: FleetTrace,
         promotions_fach += from_fach
         duration = np.where(live, trace.durations[:, j], 0.0)
         time_dch_tx += duration
+        arrival = anchor + gap
+        granted = arrival + np.where(
+            from_idle, cfg.promo_idle_latency,
+            np.where(from_fach, cfg.promo_fach_latency, 0.0))
+        anchor = granted + duration
         end_time += gap + duration
         end_time += np.where(from_idle, cfg.promo_idle_latency, 0.0)
         end_time += np.where(from_fach, cfg.promo_fach_latency, 0.0)
@@ -292,7 +320,7 @@ def account(trace: FleetTrace,
     last_offset = trace.offsets[rows, last]
     applied = (last_action != ACTION_NONE) & (last_offset < trace.tail)
     dch, fach, idle, _, executed = _decay_window(
-        trace.tail, last_action, last_offset, applied, t1, t2)
+        trace.tail, last_action, last_offset, applied, t1, t2, anchor)
     time_dch += dch
     time_fach += fach
     time_idle += idle
@@ -312,6 +340,170 @@ def account(trace: FleetTrace,
             + promotions_fach * cfg.promo_fach_messages),
         fast_dormancy=fast_dormancy,
         end_time=end_time)
+
+
+def _decay_window_xp(xp, window, action, offset, applied,
+                     t1: float, t2: float, anchor):
+    """Namespace-agnostic twin of :func:`_decay_window`.
+
+    The same §11 window expressions in array-API primitives: ``clip``
+    becomes the bitwise-identical ``minimum(maximum(·))`` composition,
+    scalars ride along as 0-d arrays, and the tie-breaking ``where``
+    chains — including the absolute heap-key classification anchored
+    at ``anchor`` — are untouched: every elementwise operation is the
+    same IEEE op in the same order, so the decomposition is
+    element-identical to the NumPy reference, not approximately equal.
+    """
+    f64, i64 = xp.float64, xp.int64
+    t1a = xp.asarray(t1, dtype=f64)
+    t2a = xp.asarray(t2, dtype=f64)
+    zero = xp.asarray(0.0, dtype=f64)
+    s_idle = xp.asarray(_STATE_IDLE, dtype=i64)
+    s_fach = xp.asarray(_STATE_FACH, dtype=i64)
+    s_dch = xp.asarray(_STATE_DCH, dtype=i64)
+
+    arrival = anchor + window
+    fach_at = anchor + t1a
+    idle_at = fach_at + t2a
+    action_at = anchor + offset
+
+    dch = xp.minimum(window, t1a)
+    fach = xp.minimum(xp.maximum(window - t1a, zero), t2a)
+    idle = xp.maximum(window - t1a - t2a, zero)
+    state = xp.where(arrival < fach_at, s_dch,
+                     xp.where(arrival <= idle_at, s_fach, s_idle))
+
+    rel = applied & (action == ACTION_RELEASE) & (action_at < fach_at)
+    dch = xp.where(rel, offset, dch)
+    fach = xp.where(rel, xp.minimum(xp.maximum(window - offset, zero),
+                                    t2a), fach)
+    idle = xp.where(rel, xp.maximum(window - offset - t2a, zero), idle)
+    state = xp.where(rel,
+                     xp.where(arrival <= action_at + t2a, s_fach, s_idle),
+                     state)
+
+    dorm = applied & (action == ACTION_DORMANCY)
+    dorm_dch = xp.minimum(offset, t1a)
+    dorm_fach = xp.minimum(xp.maximum(offset - t1a, zero), t2a)
+    dch = xp.where(dorm, dorm_dch, dch)
+    fach = xp.where(dorm, dorm_fach, fach)
+    idle = xp.where(dorm, window - dorm_dch - dorm_fach, idle)
+    state = xp.where(dorm, s_idle, state)
+    executed = dorm & (action_at <= idle_at)
+    return dch, fach, idle, state, executed
+
+
+def account_xp(trace: FleetTrace, config: Optional[RrcConfig] = None,
+               *, xp) -> FleetLedger:
+    """Namespace-agnostic port of :func:`account`.
+
+    The trace enters the namespace once up front, the per-burst columns
+    are evaluated on ``xp`` with :func:`_decay_window_xp`, and the
+    finished ledger is materialised back on the host (the ledger is the
+    result surface; the per-column arithmetic is the hot part).  The
+    only NumPy-isms the reference used — ``ufunc.at``-style ``+=`` on
+    integer counters and the ``actions[rows, last]`` fancy gather —
+    become explicit ``astype`` adds and a flat ``take``.  Golden-gated
+    element-identical to :func:`account` in
+    ``tests/fleet/test_rrc_backend.py``.
+    """
+    cfg = config or RrcConfig()
+    t1, t2 = cfg.t1, cfg.t2
+    n, k = trace.gaps.shape
+    f64, i64 = xp.float64, xp.int64
+    gaps = xp.asarray(trace.gaps, dtype=f64)
+    durations = xp.asarray(trace.durations, dtype=f64)
+    offsets = xp.asarray(trace.offsets, dtype=f64)
+    actions = xp.asarray(trace.actions)
+    n_bursts = xp.asarray(trace.n_bursts, dtype=i64)
+    tail = xp.asarray(trace.tail, dtype=f64)
+
+    zeros_f = xp.zeros((n,), dtype=f64)
+    time_idle = xp.zeros((n,), dtype=f64)
+    time_fach = xp.zeros((n,), dtype=f64)
+    time_dch = xp.zeros((n,), dtype=f64)
+    time_dch_tx = xp.zeros((n,), dtype=f64)
+    promotions_idle = xp.zeros((n,), dtype=i64)
+    promotions_fach = xp.zeros((n,), dtype=i64)
+    fast_dormancy = xp.zeros((n,), dtype=i64)
+    end_time = xp.zeros((n,), dtype=f64)
+    promo_idle_lat = xp.asarray(cfg.promo_idle_latency, dtype=f64)
+    promo_fach_lat = xp.asarray(cfg.promo_fach_latency, dtype=f64)
+
+    # Machine-ordered absolute clock, mirrored from the reference.
+    anchor = xp.zeros((n,), dtype=f64)
+
+    live_matrix = (xp.reshape(xp.arange(k, dtype=i64), (1, k))
+                   < xp.reshape(n_bursts, (n, 1)))
+    for j in range(k):
+        live = live_matrix[:, j]
+        gap = xp.where(live, gaps[:, j], zeros_f)
+        if j == 0:
+            # First request: every handset starts at t = 0 in IDLE.
+            time_idle = time_idle + gap
+            state = xp.full((n,), _STATE_IDLE, dtype=i64)
+        else:
+            prev_action = actions[:, j - 1]
+            prev_offset = offsets[:, j - 1]
+            applied = (live & (prev_action != ACTION_NONE)
+                       & (prev_offset < gap))
+            dch, fach, idle, state, executed = _decay_window_xp(
+                xp, gap, prev_action, prev_offset, applied, t1, t2,
+                anchor)
+            time_dch = time_dch + xp.where(live, dch, zeros_f)
+            time_fach = time_fach + xp.where(live, fach, zeros_f)
+            time_idle = time_idle + xp.where(live, idle, zeros_f)
+            fast_dormancy = fast_dormancy + xp.astype(executed, i64)
+        from_idle = live & (state == _STATE_IDLE)
+        from_fach = live & (state == _STATE_FACH)
+        promotions_idle = promotions_idle + xp.astype(from_idle, i64)
+        promotions_fach = promotions_fach + xp.astype(from_fach, i64)
+        duration = xp.where(live, durations[:, j], zeros_f)
+        time_dch_tx = time_dch_tx + duration
+        arrival = anchor + gap
+        granted = arrival + xp.where(
+            from_idle, promo_idle_lat,
+            xp.where(from_fach, promo_fach_lat, zeros_f))
+        anchor = granted + duration
+        # Parenthesised exactly as the reference's ``+= gap + duration``
+        # — float addition is not associative and the gate is bitwise.
+        end_time = end_time + (gap + duration)
+        end_time = end_time + xp.where(from_idle, promo_idle_lat,
+                                       zeros_f)
+        end_time = end_time + xp.where(from_fach, promo_fach_lat,
+                                       zeros_f)
+
+    # Observation tail after the last transmission end.
+    rows = xp.arange(n, dtype=i64)
+    flat_last = rows * k + (n_bursts - xp.asarray(1, dtype=i64))
+    last_action = xp.take(xp.reshape(actions, (-1,)), flat_last, axis=0)
+    last_offset = xp.take(xp.reshape(offsets, (-1,)), flat_last, axis=0)
+    applied = (last_action != ACTION_NONE) & (last_offset < tail)
+    dch, fach, idle, _, executed = _decay_window_xp(
+        xp, tail, last_action, last_offset, applied, t1, t2, anchor)
+    time_dch = time_dch + dch
+    time_fach = time_fach + fach
+    time_idle = time_idle + idle
+    fast_dormancy = fast_dormancy + xp.astype(executed, i64)
+    end_time = end_time + tail
+
+    KERNEL_STATS.record_work(n * k)
+    promotions_idle_np = _backend.to_numpy(promotions_idle)
+    promotions_fach_np = _backend.to_numpy(promotions_fach)
+    return FleetLedger(
+        time_idle=_backend.to_numpy(time_idle),
+        time_fach=_backend.to_numpy(time_fach),
+        time_dch=_backend.to_numpy(time_dch),
+        time_dch_tx=_backend.to_numpy(time_dch_tx),
+        time_promo_idle=promotions_idle_np * cfg.promo_idle_latency,
+        time_promo_fach=promotions_fach_np * cfg.promo_fach_latency,
+        promotions_idle=promotions_idle_np,
+        promotions_fach=promotions_fach_np,
+        signalling_messages=(
+            promotions_idle_np * cfg.promo_idle_messages
+            + promotions_fach_np * cfg.promo_fach_messages),
+        fast_dormancy=_backend.to_numpy(fast_dormancy),
+        end_time=_backend.to_numpy(end_time))
 
 
 def replay_scalar(trace: FleetTrace, handset: int,

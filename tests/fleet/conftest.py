@@ -1,0 +1,25 @@
+"""Fleet fixtures: the golden-gated array-API backends.
+
+Every port test runs once per non-NumPy backend.  ``restricted`` is
+always available (it is the in-repo allowlist proxy over NumPy);
+``array_api_strict`` is exercised when the package is installed — the
+dedicated CI job installs it, local runs without it skip.
+"""
+
+import pytest
+
+from repro.fleet import backend as fleet_backend
+
+
+@pytest.fixture(params=["restricted", "array_api_strict"])
+def backend_name(request) -> str:
+    try:
+        fleet_backend.get_namespace(request.param)
+    except fleet_backend.BackendUnavailableError as exc:
+        pytest.skip(str(exc))
+    return request.param
+
+
+@pytest.fixture
+def xp(backend_name):
+    return fleet_backend.get_namespace(backend_name)

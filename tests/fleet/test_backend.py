@@ -1,0 +1,127 @@
+"""Unit tests for the array-namespace shim (`repro.fleet.backend`).
+
+The scan primitives are checked against the NumPy idioms they replace
+(``searchsorted``/``bincount``, ``minimum.accumulate``) with tie-heavy
+inputs — their whole reason to exist is exact tie semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import backend
+
+
+def test_name_aliases_resolve():
+    assert backend.get_namespace("numpy") is np
+    assert backend.get_namespace("np") is np
+    restricted = backend.get_namespace("restricted")
+    assert backend.get_namespace("restricted") is restricted
+    assert backend.namespace_name(np) == "numpy"
+    assert backend.namespace_name(restricted) == "restricted"
+
+
+def test_unknown_backend_is_value_error():
+    with pytest.raises(ValueError, match="unknown backend"):
+        backend.get_namespace("nonsense")
+
+
+def test_strict_backend_resolves_or_raises_with_hint():
+    try:
+        import array_api_strict
+    except ImportError:
+        array_api_strict = None
+    if array_api_strict is None:
+        with pytest.raises(backend.BackendUnavailableError,
+                           match="array-api-strict"):
+            backend.get_namespace("strict")
+        assert "array_api_strict" not in backend.available_backends()
+    else:
+        assert backend.get_namespace("strict") is array_api_strict
+        assert backend.get_namespace("array-api-strict") \
+            is array_api_strict
+        assert "array_api_strict" in backend.available_backends()
+
+
+def test_array_resolution_and_type_errors():
+    assert backend.get_namespace(np.zeros(3)) is np
+    with pytest.raises(TypeError):
+        backend.get_namespace([1.0, 2.0])
+    with pytest.raises(TypeError):
+        backend.get_namespace(object())
+
+
+def test_builtin_backends_always_available():
+    names = backend.available_backends()
+    assert "numpy" in names
+    assert "restricted" in names
+
+
+def test_restricted_proxy_blocks_numpy_isms():
+    xp = backend.get_namespace("restricted")
+    for name in ("searchsorted", "bincount", "clip", "flatnonzero",
+                 "cumsum", "empty_like"):
+        with pytest.raises(AttributeError, match="array-API subset"):
+            getattr(xp, name)
+    # ...while the allowlisted surface forwards straight to NumPy.
+    assert xp.concat is np.concat
+    assert xp.float64 is np.float64
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_count_primitives_match_searchsorted(backend_name, seed):
+    """count_leq/count_lt == searchsorted side right/left, incl. ties."""
+    xp = backend.get_namespace(backend_name)
+    rng = np.random.default_rng(seed)
+    for _ in range(15):
+        # Quantised values force exact collisions between the two sides.
+        values = np.round(
+            rng.uniform(0, 20, size=int(rng.integers(0, 150))), 1)
+        queries = np.round(
+            rng.uniform(0, 20, size=int(rng.integers(1, 40))), 1)
+        if rng.random() < 0.5 and values.size:
+            n_ties = min(5, values.size, queries.size)
+            queries[:n_ties] = values[:n_ties]  # guaranteed ties
+        leq = backend.to_numpy(backend.count_leq(
+            xp, xp.asarray(values), xp.asarray(queries)))
+        lt = backend.to_numpy(backend.count_lt(
+            xp, xp.asarray(values), xp.asarray(queries)))
+        ordered = np.sort(values)
+        np.testing.assert_array_equal(
+            leq, np.searchsorted(ordered, queries, side="right"))
+        np.testing.assert_array_equal(
+            lt, np.searchsorted(ordered, queries, side="left"))
+
+
+def test_count_primitives_empty_sides(xp):
+    none = xp.asarray(np.empty(0))
+    some = xp.asarray(np.array([1.0, 2.0]))
+    assert backend.to_numpy(backend.count_leq(xp, some, none)).size == 0
+    np.testing.assert_array_equal(
+        backend.to_numpy(backend.count_leq(xp, none, some)), [0, 0])
+
+
+def test_cumulative_minimum_matches_accumulate(xp):
+    rng = np.random.default_rng(11)
+    for size in (0, 1, 2, 3, 7, 64, 100, 257):
+        x = np.round(rng.normal(size=size), 1)
+        got = backend.to_numpy(
+            backend.cumulative_minimum(xp, xp.asarray(x)))
+        np.testing.assert_array_equal(got, np.minimum.accumulate(x)
+                                      if size else x)
+
+
+def test_host_round_trips(xp):
+    x = np.arange(5, dtype=np.float32)
+    arr = backend.as_namespace_array(x, xp)
+    back = backend.to_numpy(arr)
+    assert back.dtype == np.float32
+    np.testing.assert_array_equal(back, x)
+    # dtype canonicalisation on entry
+    as64 = backend.as_namespace_array(x, xp, dtype=xp.float64)
+    assert backend.to_numpy(as64).dtype == np.float64
+    # an array already in the namespace at the right dtype is a no-op
+    again = backend.as_namespace_array(arr, xp)
+    assert again is arr
+    assert backend.to_numpy(x) is x
+    np.testing.assert_array_equal(
+        backend.to_numpy(backend.to_device(x, xp)), x)

@@ -1,0 +1,202 @@
+"""Golden gate: the array-API drop-kernel port vs the NumPy reference.
+
+Every assertion here is *element-identical* equality — the port swaps
+``searchsorted``/``bincount``/``minimum.accumulate`` for merge-rank and
+doubling-scan primitives that compute the same integers, so nothing is
+allowed to drift, including on exact ties.  The file also pins the two
+silent-wrongness inputs (unsorted arrivals, non-finite sessions) to
+raising on every path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capacity.simulator import CapacityConfig, CapacitySimulator
+from repro.fleet import backend
+from repro.fleet.capacity import (DropCarry, resolve_drops,
+                                  resolve_drops_block)
+from repro.sim.kernel import SimulationError
+
+
+def _chain(xp, arrivals, services, n_channels, cuts, max_sweeps=96):
+    """Run a stream through consecutive port blocks; return the mask."""
+    carry = None
+    masks = []
+    edges = [0] + list(cuts) + [arrivals.size]
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask, carry = resolve_drops_block(
+            backend.as_namespace_array(arrivals[lo:hi], xp),
+            backend.as_namespace_array(services[lo:hi], xp),
+            n_channels, carry, max_sweeps, xp=xp)
+        masks.append(backend.to_numpy(mask))
+    return np.concatenate(masks) if masks else np.zeros(0, bool), carry
+
+
+def _random_case(rng):
+    m = int(rng.integers(1, 400))
+    arrivals = np.cumsum(rng.exponential(rng.uniform(0.2, 3.0), size=m))
+    if rng.random() < 0.3:
+        # Exact ties: rounded instants so departures collide with
+        # arrivals and with each other.
+        arrivals = np.sort(np.round(arrivals, 1))
+    services = rng.uniform(0.5, 30.0, size=m)
+    if rng.random() < 0.3:
+        services = np.maximum(np.round(services, 1), 0.1)
+    n_channels = int(rng.integers(1, 40))
+    return arrivals, services, n_channels
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_corpus_element_identical(backend_name, seed):
+    """Chained port blocks == the whole-stream NumPy reference."""
+    xp = backend.get_namespace(backend_name)
+    rng = np.random.default_rng(1000 + seed)
+    for _ in range(12):
+        arrivals, services, n_channels = _random_case(rng)
+        expected = resolve_drops(arrivals, services, n_channels)
+        n_cuts = int(rng.integers(0, 4))
+        cuts = sorted(rng.integers(0, arrivals.size + 1,
+                                   size=n_cuts).tolist())
+        got, carry = _chain(xp, arrivals, services, n_channels, cuts)
+        np.testing.assert_array_equal(got, expected)
+        # The carry matches the reference block path bit for bit.
+        _, ref_carry = resolve_drops_block(arrivals, services,
+                                           n_channels)
+        np.testing.assert_array_equal(
+            np.sort(backend.to_numpy(carry.busy)),
+            np.sort(ref_carry.busy))
+        assert carry.boundary == ref_carry.boundary
+
+
+def test_fig11_sweep_element_identical(backend_name):
+    """The fig11-shaped capacity sweep through the port, vs .run()."""
+    rng = np.random.default_rng(7)
+    pool = rng.lognormal(np.log(14.0), 0.5, size=400)
+    simulator = CapacitySimulator(
+        pool, CapacityConfig(n_channels=50, horizon=1800.0, seed=11))
+    xp = backend.get_namespace(backend_name)
+    for n_users in (60, 100, 140):
+        arrivals, services = simulator.draw(
+            n_users, np.random.default_rng(13))
+        reference = resolve_drops(arrivals, services, 50)
+        got, _ = _chain(xp, arrivals, services, 50,
+                        cuts=range(1000, arrivals.size, 1000))
+        np.testing.assert_array_equal(got, reference)
+
+
+def test_unsorted_arrivals_raise_on_every_path(backend_name):
+    """The ISSUE's verified input: [5, 0, 1] with one channel used to
+    drop two sessions where the sorted stream drops none."""
+    arrivals = np.array([5.0, 0.0, 1.0])
+    services = np.ones(3)
+    with pytest.raises(ValueError, match="non-decreasing"):
+        resolve_drops(arrivals, services, 1)
+    with pytest.raises(ValueError, match="non-decreasing"):
+        resolve_drops_block(arrivals, services, 1)
+    xp = backend.get_namespace(backend_name)
+    with pytest.raises(ValueError, match="non-decreasing"):
+        resolve_drops_block(xp.asarray(arrivals), xp.asarray(services),
+                            1, xp=xp)
+    # sanity: the sorted stream is accepted and drop-free
+    assert not resolve_drops(np.sort(arrivals), services, 1).any()
+
+
+def test_nonfinite_sessions_raise_on_every_path(backend_name):
+    """The ISSUE's second verified input: a NaN service used to be
+    marked accepted while never occupying a channel."""
+    arrivals = np.array([0.0, 1.0, 2.0])
+    nan_services = np.array([1.0, np.nan, 1.0])
+    inf_arrivals = np.array([0.0, np.inf, np.inf])
+    xp = backend.get_namespace(backend_name)
+    for bad_arr, bad_srv in ((arrivals, nan_services),
+                             (inf_arrivals, np.ones(3))):
+        with pytest.raises(SimulationError, match="finite"):
+            resolve_drops(bad_arr, bad_srv, 2)
+        with pytest.raises(SimulationError, match="finite"):
+            resolve_drops_block(bad_arr, bad_srv, 2)
+        with pytest.raises(SimulationError, match="finite"):
+            resolve_drops_block(xp.asarray(bad_arr),
+                                xp.asarray(bad_srv), 2, xp=xp)
+
+
+def test_shape_mismatch_raises():
+    with pytest.raises(ValueError, match="matching shapes"):
+        resolve_drops(np.array([0.0, 1.0]), np.array([1.0]), 2)
+
+
+def test_boundary_violation_raises(backend_name):
+    """A block starting before the carried boundary breaks the
+    one-stream contract and must refuse, on both paths."""
+    first = np.array([0.0, 4.0])
+    services = np.array([1.0, 1.0])
+    _, carry = resolve_drops_block(first, services, 2)
+    stale = np.array([2.0, 5.0])
+    with pytest.raises(ValueError, match="boundary"):
+        resolve_drops_block(stale, services, 2, carry)
+    xp = backend.get_namespace(backend_name)
+    with pytest.raises(ValueError, match="boundary"):
+        resolve_drops_block(xp.asarray(stale), xp.asarray(services), 2,
+                            carry, xp=xp)
+
+
+def test_float32_carry_dtype_stable(backend_name):
+    """Satellite bugfix: float32 blocks used to come back with a
+    float64 frontier after one block (the empty float64 carry promoted
+    the concatenate) — the carry dtype is now the block dtype on both
+    paths, every block."""
+    rng = np.random.default_rng(5)
+    arrivals = np.cumsum(rng.exponential(1.0, size=64)).astype(np.float32)
+    services = rng.uniform(0.5, 30.0, size=64).astype(np.float32)
+    xp = backend.get_namespace(backend_name)
+    for use_xp in (False, True):
+        carry = None
+        for lo in range(0, 64, 16):
+            blk = slice(lo, lo + 16)
+            if use_xp:
+                mask, carry = resolve_drops_block(
+                    backend.as_namespace_array(arrivals[blk], xp),
+                    backend.as_namespace_array(services[blk], xp),
+                    4, carry, xp=xp)
+            else:
+                mask, carry = resolve_drops_block(
+                    arrivals[blk], services[blk], 4, carry)
+            assert backend.to_numpy(carry.busy).dtype == np.float32
+
+
+def test_empty_block_passes_carry_through(xp):
+    first = np.array([0.0, 1.0])
+    _, carry = resolve_drops_block(
+        backend.as_namespace_array(first, xp),
+        backend.as_namespace_array(np.array([5.0, 5.0]), xp), 4,
+        xp=xp)
+    empty = xp.asarray(np.empty(0))
+    mask, same = resolve_drops_block(empty, empty, 4, carry, xp=xp)
+    assert backend.to_numpy(mask).size == 0
+    assert same is carry
+
+
+def test_budget_fallback_matches_reference(backend_name):
+    """Exhausting the port's sweep budget must hand over to the scalar
+    replay and still match the unbudgeted reference exactly."""
+    rng = np.random.default_rng(17)
+    arrivals = np.cumsum(rng.exponential(0.05, size=300))
+    services = rng.uniform(10.0, 40.0, size=300)
+    expected = resolve_drops(arrivals, services, 4)
+    xp = backend.get_namespace(backend_name)
+    got, _ = _chain(xp, arrivals, services, 4, cuts=[150],
+                    max_sweeps=1)
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_dispatcher_infers_namespace_from_arrays(backend_name):
+    """Non-NumPy arrays route to the port without an explicit xp."""
+    xp = backend.get_namespace(backend_name)
+    if backend_name == "restricted":
+        pytest.skip("restricted arrays are plain ndarrays; dispatch "
+                    "by array type only applies to wrapper namespaces")
+    arrivals = xp.asarray(np.array([0.0, 1.0, 2.0]))
+    services = xp.asarray(np.ones(3))
+    mask, carry = resolve_drops_block(arrivals, services, 2)
+    np.testing.assert_array_equal(
+        backend.to_numpy(mask),
+        resolve_drops(np.array([0.0, 1.0, 2.0]), np.ones(3), 2))

@@ -4,7 +4,7 @@ import heapq
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.capacity.simulator import (
@@ -12,7 +12,7 @@ from repro.capacity.simulator import (
     CapacitySimulator,
     capacity_at_drop_target,
 )
-from repro.fleet.capacity import resolve_drops
+from repro.fleet.capacity import resolve_drops, resolve_drops_block
 from repro.units import hours
 
 
@@ -141,6 +141,37 @@ def test_resolver_matches_on_arbitrary_floats(pairs, n_channels):
     got = resolve_drops(arrivals, services, n_channels,
                         block_arrivals=7)
     np.testing.assert_array_equal(got, expected)
+
+
+@settings(max_examples=80, deadline=None)
+@given(pairs=st.lists(st.tuples(st.integers(0, 40), st.integers(1, 60)),
+                      min_size=1, max_size=60),
+       n_channels=st.integers(min_value=1, max_value=4),
+       cut_frac=st.floats(min_value=0.0, max_value=1.0))
+# Departure exactly on the block-boundary arrival: session 0 departs at
+# 0 + 2.0 == arrival of the first session of block 2 (cut at index 2).
+@example(pairs=[(0, 4), (4, 2), (0, 2)], n_channels=1, cut_frac=0.67)
+# Cut *between* two equal arrival instants, tying with a departure.
+@example(pairs=[(0, 4), (4, 2), (0, 4), (0, 2)], n_channels=1,
+         cut_frac=0.5)
+def test_cut_point_parity_with_whole_stream(pairs, n_channels,
+                                            cut_frac):
+    """Property (satellite of the backend port): splitting a stream
+    into two blocks at *any* cut point and threading the DropCarry
+    yields the same mask as resolve_drops on the whole stream.  Times
+    are half-integers, so arrival/departure/boundary ties are exact."""
+    gaps = np.array([g for g, _ in pairs], dtype=float) * 0.5
+    services = np.array([s for _, s in pairs], dtype=float) * 0.5
+    arrivals = np.cumsum(gaps)
+    expected = resolve_drops(arrivals, services, n_channels)
+
+    cut = int(round(cut_frac * arrivals.size))
+    head_mask, carry = resolve_drops_block(arrivals[:cut],
+                                           services[:cut], n_channels)
+    tail_mask, _ = resolve_drops_block(arrivals[cut:], services[cut:],
+                                       n_channels, carry)
+    np.testing.assert_array_equal(
+        np.concatenate([head_mask, tail_mask]), expected)
 
 
 def test_empty_stream():

@@ -53,6 +53,26 @@ def test_threshold_fractions_bitwise_equal_scalar_means():
         assert ours == 100.0 * float(np.mean(times < threshold))
 
 
+def test_backend_port_bitwise_equal(xp):
+    """The xp= paths of both policy helpers vs the NumPy reference,
+    with planted threshold/sample collisions (count_lt tie semantics
+    are the whole point of the port)."""
+    from repro.fleet import backend
+
+    rng = np.random.default_rng(8)
+    times = rng.weibull(0.6, size=3000) * 18.0
+    times[:10] = 9.0
+    thresholds = [2.0, 9.0, 20.0, float(times[42])]
+    assert threshold_fractions(times, thresholds) \
+        == threshold_fractions(times, thresholds, xp=xp)
+    predictions = rng.exponential(15.0, size=500)
+    for mode in ("power", "delay"):
+        reference = switch_decisions(predictions, mode, 9.0, 20.0)
+        ported = backend.to_numpy(
+            switch_decisions(predictions, mode, 9.0, 20.0, xp=xp))
+        np.testing.assert_array_equal(ported, reference)
+
+
 def test_power_mode_is_a_superset_of_delay_mode():
     predictions = np.array([1.0, 9.5, 15.0, 20.0, 25.0])
     power = switch_decisions(predictions, "power", 9.0, 20.0)

@@ -1,0 +1,81 @@
+"""Golden gate: account_xp (array-API RRC accounting) vs account.
+
+The port keeps every elementwise operation the same IEEE op in the
+same order (``clip`` → ``minimum(maximum(·))``, identical association
+in the running sums), so the gate is bitwise equality on every ledger
+field, not a tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import backend
+from repro.fleet.rrc import (ACTION_DORMANCY, ACTION_NONE,
+                             ACTION_RELEASE, FleetTrace, account,
+                             account_xp, random_fleet)
+from repro.rrc.config import RrcConfig
+
+_FIELDS = ("time_idle", "time_fach", "time_dch", "time_dch_tx",
+           "time_promo_idle", "time_promo_fach", "promotions_idle",
+           "promotions_fach", "signalling_messages", "fast_dormancy",
+           "end_time")
+
+
+def _assert_ledgers_identical(reference, ported):
+    for field in _FIELDS:
+        want, got = getattr(reference, field), getattr(ported, field)
+        np.testing.assert_array_equal(got, want, err_msg=field)
+        assert got.dtype == want.dtype, field
+    np.testing.assert_array_equal(ported.radio_energy(),
+                                  reference.radio_energy())
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_fleets_bitwise_identical(xp, seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(8):
+        trace = random_fleet(rng, int(rng.integers(1, 80)),
+                             max_bursts=int(rng.integers(1, 12)))
+        _assert_ledgers_identical(account(trace),
+                                  account_xp(trace, xp=xp))
+
+
+def test_boundary_edge_traces_bitwise_identical(xp):
+    """Windows and offsets landing exactly on the t1/t1+t2 tie points,
+    where the kernel's FIFO tie-breaking decides the decayed state."""
+    cfg = RrcConfig()
+    t1, t2 = cfg.t1, cfg.t2
+    gaps = np.array([[1.0, t1], [1.0, t1 + t2], [1.0, t1 + t2 + 1.0],
+                     [2.0, 5.0], [2.0, 5.0], [2.0, t2]])
+    durations = np.full((6, 2), 1.5)
+    actions = np.array([[ACTION_NONE, ACTION_NONE],
+                        [ACTION_NONE, ACTION_DORMANCY],
+                        [ACTION_RELEASE, ACTION_NONE],
+                        [ACTION_RELEASE, ACTION_DORMANCY],
+                        [ACTION_DORMANCY, ACTION_RELEASE],
+                        [ACTION_RELEASE, ACTION_NONE]], dtype=np.int8)
+    offsets = np.array([[0.0, 0.0], [0.5, t1 + t2], [t1, 1.0],
+                        [2.0, 5.0], [0.0, t1], [t1 - 1e-9, 0.25]])
+    trace = FleetTrace(gaps=gaps, durations=durations, actions=actions,
+                       offsets=offsets,
+                       n_bursts=np.array([2, 2, 2, 2, 2, 1]),
+                       tail=np.array([t1, t1 + t2, 30.0, 0.0, 5.0,
+                                      t1 + t2]))
+    _assert_ledgers_identical(account(trace), account_xp(trace, xp=xp))
+
+
+def test_non_default_config_bitwise_identical(xp):
+    trace = random_fleet(np.random.default_rng(3), 40)
+    cfg = RrcConfig(t1=2.5, t2=7.0)
+    _assert_ledgers_identical(account(trace, cfg),
+                              account_xp(trace, cfg, xp=xp))
+
+
+def test_single_burst_single_handset(xp):
+    trace = FleetTrace(gaps=np.array([[3.0]]),
+                       durations=np.array([[1.0]]),
+                       actions=np.array([[ACTION_NONE]], dtype=np.int8),
+                       offsets=np.array([[0.0]]),
+                       n_bursts=np.array([1]),
+                       tail=np.array([10.0]))
+    _assert_ledgers_identical(account(trace), account_xp(trace, xp=xp))

@@ -10,7 +10,7 @@ ledger matches and the integrated energy agrees within 1e-9 J.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.fleet.rrc import (
@@ -83,6 +83,18 @@ def _traces(draw):
 
 @settings(max_examples=80, deadline=None)
 @given(_traces())
+# gap == t1 + t2 exactly, but the window opens at the non-representable
+# anchor 2.001: the kernel's absolute heap keys (anchor + t1) + t2 and
+# anchor + gap round to opposite sides of the relative comparison, so
+# the demotion to IDLE fires a ULP before the arrival and the next
+# promotion is from IDLE, not FACH.
+@example(trace=FleetTrace(
+    gaps=np.array([[0.0, T1 + T2]]),
+    durations=np.array([[0.001, 1.0]]),
+    actions=np.array([[ACTION_NONE, ACTION_NONE]], dtype=np.int8),
+    offsets=np.array([[0.0, 0.0]]),
+    n_bursts=np.array([2]),
+    tail=np.array([0.0])))
 def test_account_matches_machine_on_boundary_heavy_traces(trace):
     _assert_handset_matches(account(trace), trace, 0)
 
