@@ -1,8 +1,9 @@
 # Convenience targets for the reproduction workflow.
 
 .PHONY: install test bench bench-baseline bench-compare bench-backend \
-	fleet-bench stream-sweep stream-bench experiments \
-	experiments-parallel ablations faults-sweep ci examples clean
+	bench-ablate fleet-bench stream-sweep stream-bench experiments \
+	experiments-parallel ablations ablate tune-smoke faults-sweep ci \
+	examples clean
 
 # Worker count for the parallel experiment runner (override: make N=8 ...).
 N ?= 4
@@ -30,6 +31,12 @@ bench-backend:
 	python -m repro.runtime.profiling bench --select fleet_backend \
 		--out BENCH_4.json
 
+# Ablation-matrix engine rows: cold wall time + warm cache-hit rate
+# (BENCH_5).
+bench-ablate:
+	python -m repro.runtime.profiling bench --select ablation_matrix \
+		--out BENCH_5.json
+
 # Batched-vs-scalar fleet engine timings with equivalence checks.
 fleet-bench:
 	python -m repro fleet-bench
@@ -51,6 +58,19 @@ experiments-parallel:
 
 ablations:
 	python -m repro ablations
+
+# Declarative ablation matrix over the full default registry, with the
+# importance ranking exported next to the deterministic report.
+ablate:
+	python -m repro ablate --matrix loo --cache \
+		--report ablation-report.json --rank-out ablation-rank.json
+
+# Constrained timer/threshold search at cell edge: successive halving
+# under a next-click delay budget, with a resumable JSONL trace.
+tune-smoke:
+	python -m repro tune --algorithm halving --profile cell_edge \
+		--budget-delay 1.2 --trials 10 --cache \
+		--trace tune-trace.jsonl --report tune-report.json
 
 faults-sweep:
 	python -m repro faults-sweep --parallel $(N)

@@ -1,0 +1,44 @@
+"""Ablation matrix engine: cold wall time and warm cache-hit rate.
+
+Unlike the figure benches these time the *subsystem*, not a paper
+artifact: the cold row tracks what a leave-one-out matrix over the full
+default registry costs, the warm row pins the content-addressed cache —
+a second invocation must serve every cell from disk (hit rate 1.0, and
+the deterministic report byte-identical to the cold run).  Both rows
+publish ``cache_hit_rate`` through ``extra_info`` into the
+``BENCH_<n>.json`` trajectory artifacts.
+"""
+
+import pytest
+
+from repro.ablation.engine import run_matrix
+from repro.ablation.objective import Scenario
+from repro.runtime.cache import ResultCache
+
+#: One cheap page with a reading grid spanning the Tp break-even.
+SCENARIO = Scenario(profile="ideal", pages=("www.motors.ebay.com",),
+                    reading_times=(2.0, 9.0, 30.0))
+
+
+@pytest.fixture
+def matrix_cache(tmp_path):
+    return ResultCache(tmp_path / "ablation-cache")
+
+
+def test_ablation_matrix_cold(benchmark, matrix_cache):
+    result = benchmark.pedantic(
+        run_matrix, args=("loo", SCENARIO),
+        kwargs={"cache": matrix_cache}, rounds=1, iterations=1)
+    benchmark.extra_info["cache_hit_rate"] = result.cache_hit_rate
+    assert result.n_cached == 0
+    assert len(result.runs) == 7  # baseline + six default components
+
+
+def test_ablation_matrix_warm(benchmark, matrix_cache):
+    cold = run_matrix("loo", SCENARIO, cache=matrix_cache)
+    warm = benchmark.pedantic(
+        run_matrix, args=("loo", SCENARIO),
+        kwargs={"cache": matrix_cache}, rounds=1, iterations=1)
+    benchmark.extra_info["cache_hit_rate"] = warm.cache_hit_rate
+    assert warm.cache_hit_rate == 1.0
+    assert warm.report() == cold.report()

@@ -1,0 +1,353 @@
+"""Cached, parallel execution of ablation run matrices.
+
+The execution contract mirrors :mod:`repro.runtime.parallel` exactly —
+fan cells across a process pool, serve repeats from the content-addressed
+:class:`~repro.runtime.cache.ResultCache`, return results in canonical
+matrix order whatever order the workers finished in — with one
+ablation-specific twist required by the determinism story:
+
+**every run's seed is spawned off its run ID** (not its position, not a
+submission counter).  Killing a matrix half-way and re-running it, or
+resuming a search from its trace, re-derives byte-identical seeds for
+the remaining cells, so results never depend on *when* a cell ran.
+
+The module also exposes :data:`STANDARD_STUDIES` — a handful of named
+matrix studies (``loo-ideal``, ``pairs-cell-edge``, …) registered as the
+``KIND_ABLATE`` task kind in :mod:`repro.runtime.parallel`, so
+``repro profile --kind ablate`` and the cached suite runner treat matrix
+studies like any other experiment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, List, Mapping, Optional,
+                    Sequence, Tuple)
+
+import numpy as np
+
+from repro.ablation.components import ComponentRegistry, default_registry
+from repro.ablation.matrix import RunSpec, generate
+from repro.ablation.objective import Scenario, evaluate_setup
+from repro.runtime.cache import ResultCache, cache_key, code_version_hash
+
+#: Task kind under which matrix studies appear in ``runtime.parallel``.
+KIND_ABLATE = "ablate"
+
+#: Metric columns, in report/CSV order.  ``drop_probability`` joins when
+#: the scenario carries a population.
+METRIC_COLUMNS = ("energy", "energy_saving", "delay", "load_time",
+                  "tx_time", "switch_rate", "drop_probability")
+
+
+# ----------------------------------------------------------------------
+# Registries by name — workers rebuild them locally, so nothing but
+# strings and frozen dataclasses ever crosses a process boundary.
+# ----------------------------------------------------------------------
+
+REGISTRY_FACTORIES: Dict[str, Callable[[], ComponentRegistry]] = {
+    "default": default_registry,
+}
+
+
+def register_registry(name: str,
+                      factory: Callable[[], ComponentRegistry]) -> None:
+    """Expose a registry factory to worker processes under ``name``."""
+    existing = REGISTRY_FACTORIES.get(name)
+    if existing is not None and existing is not factory:
+        raise ValueError(f"registry {name!r} already bound to a "
+                         f"different factory")
+    REGISTRY_FACTORIES[name] = factory
+
+
+def registry_by_name(name: str) -> ComponentRegistry:
+    try:
+        factory = REGISTRY_FACTORIES[name]
+    except KeyError:
+        raise KeyError(f"unknown component registry {name!r}; known: "
+                       f"{sorted(REGISTRY_FACTORIES)}") from None
+    return factory()
+
+
+def spec_seed(run_id: str) -> int:
+    """The run's seed, spawned off its content-addressed identity.
+
+    A :class:`numpy.random.SeedSequence` keyed purely by the run ID —
+    no positional component, no root seed (the scenario's seed is
+    already *inside* the run ID via the context fingerprint) — so a
+    cell's stream survives kills, resumes, subset re-runs and matrix
+    reorderings unchanged.
+    """
+    digest = hashlib.sha256(f"ablate:{run_id}".encode("utf-8")).digest()
+    sequence = np.random.SeedSequence(
+        int.from_bytes(digest[:8], "big"))
+    return int(sequence.generate_state(1)[0])
+
+
+@dataclass(frozen=True)
+class MatrixRun:
+    """One evaluated matrix cell."""
+
+    spec: RunSpec
+    seed: int
+    metrics: Dict[str, float]
+    wall_time: float = 0.0
+    cached: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.spec.run_id,
+            "assignment": self.spec.assignment_dict,
+            "overrides": self.spec.overrides_dict,
+            "seed": self.seed,
+            "metrics": dict(self.metrics),
+            "wall_time": self.wall_time,
+            "cached": self.cached,
+        }
+
+
+def _execute_spec(registry_name: str, spec: RunSpec, scenario: Scenario,
+                  seed: int) -> Dict[str, Any]:
+    """Worker entry point: evaluate one cell, return its payload."""
+    registry = registry_by_name(registry_name)
+    setup = registry.setup_for(spec.assignment_dict)
+    if spec.overrides:
+        setup = setup.apply(spec.overrides_dict)
+    # Legacy global stream, for any stray np.random user on the path.
+    np.random.seed(seed % (2 ** 32))
+    started = _time.perf_counter()
+    metrics = evaluate_setup(setup, scenario, seed)
+    return {
+        "run_id": spec.run_id,
+        "seed": seed,
+        "metrics": metrics,
+        "wall_time": _time.perf_counter() - started,
+    }
+
+
+def _warm_worker() -> None:
+    from repro.webpages.corpus import warm_corpus
+
+    warm_corpus()
+
+
+@dataclass
+class MatrixResult:
+    """Every cell's metrics, in canonical matrix order.
+
+    :meth:`report` is fully deterministic — same matrix, same scenario,
+    same code → byte-identical text, with or without the cache, at any
+    worker count.  Runtime facts (wall time, cache hits) live only in
+    :meth:`render_summary`, exactly the split ``SuiteReport`` uses.
+    """
+
+    registry_name: str
+    scenario: Scenario
+    runs: List[MatrixRun]
+    processes: int = 1
+    total_wall_time: float = 0.0
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for run in self.runs if run.cached)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.n_cached / len(self.runs) if self.runs else 0.0
+
+    def registry(self) -> ComponentRegistry:
+        return registry_by_name(self.registry_name)
+
+    def run_for(self, run_id: str) -> MatrixRun:
+        for run in self.runs:
+            if run.spec.run_id == run_id:
+                return run
+        raise KeyError(f"no run {run_id!r} in this matrix")
+
+    def _columns(self) -> "Tuple[str, ...]":
+        present = set()
+        for run in self.runs:
+            present.update(run.metrics)
+        return tuple(column for column in METRIC_COLUMNS
+                     if column in present)
+
+    def report(self) -> str:
+        """Deterministic per-cell metric table."""
+        registry = self.registry()
+        columns = self._columns()
+        header = (f"== ablation matrix: {len(self.runs)} runs | "
+                  f"profile={self.scenario.profile} "
+                  f"pages={len(self.scenario.pages)} "
+                  f"readings={len(self.scenario.reading_times)} ==")
+        lines = [header,
+                 "  ".join([f"{'run':12s}"]
+                           + [f"{column:>14s}" for column in columns]
+                           + ["label"])]
+        for run in self.runs:
+            cells = [f"{run.spec.short_id:12s}"]
+            for column in columns:
+                value = run.metrics.get(column)
+                cells.append(f"{value:14.6f}" if value is not None
+                             else f"{'-':>14s}")
+            cells.append(run.spec.label(registry))
+            lines.append("  ".join(cells))
+        return "\n".join(lines)
+
+    def render_summary(self) -> str:
+        """Runtime facts only — never part of the deterministic report."""
+        lines = [f"-- matrix runtime: {len(self.runs)} runs, "
+                 f"{self.n_cached} cached "
+                 f"({self.cache_hit_rate:.0%} hit rate), "
+                 f"{self.processes} workers, "
+                 f"{self.total_wall_time:.2f}s wall --"]
+        for run in self.runs:
+            source = "cache" if run.cached else "run"
+            lines.append(f"  {run.spec.short_id}  {run.wall_time:7.2f}s "
+                         f"[{source}]")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "matrix": {
+                "registry": self.registry_name,
+                "scenario": self.scenario.fingerprint(),
+                "n_runs": len(self.runs),
+                "n_cached": self.n_cached,
+                "cache_hit_rate": self.cache_hit_rate,
+                "processes": self.processes,
+                "total_wall_time": self.total_wall_time,
+                "code_version": code_version_hash(),
+            },
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+
+def run_specs(specs: Sequence[RunSpec], scenario: Scenario,
+              registry_name: str = "default", processes: int = 1,
+              cache: Optional[ResultCache] = None) -> MatrixResult:
+    """Evaluate ``specs`` under ``scenario``, possibly in parallel.
+
+    Cells already in the cache (same run ID, same code version) are
+    served from disk; the rest fan out across ``processes`` workers.
+    Results come back in the order ``specs`` were given — for generator
+    output that is canonical content-addressed order.
+    """
+    if processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    seen = set()
+    for spec in specs:
+        if spec.run_id in seen:
+            raise ValueError(f"duplicate run {spec.short_id} in matrix")
+        seen.add(spec.run_id)
+
+    started = _time.perf_counter()
+    code_version = code_version_hash()
+    seeds = {spec.run_id: spec_seed(spec.run_id) for spec in specs}
+
+    results: Dict[str, MatrixRun] = {}
+    pending: List[RunSpec] = []
+    keys: Dict[str, str] = {}
+    for spec in specs:
+        if cache is not None:
+            key = cache_key(KIND_ABLATE, spec.run_id,
+                            {"seed": seeds[spec.run_id]}, code_version)
+            keys[spec.run_id] = key
+            hit = cache.get(key)
+            if hit is not None:
+                results[spec.run_id] = MatrixRun(
+                    spec=spec, seed=hit["seed"],
+                    metrics=dict(hit["metrics"]),
+                    wall_time=hit["wall_time"], cached=True)
+                continue
+        pending.append(spec)
+
+    if pending:
+        if processes == 1 or len(pending) == 1:
+            payloads = [_execute_spec(registry_name, spec, scenario,
+                                      seeds[spec.run_id])
+                        for spec in pending]
+        else:
+            workers = min(processes, len(pending))
+            with ProcessPoolExecutor(max_workers=workers,
+                                     initializer=_warm_worker) as pool:
+                futures = [pool.submit(_execute_spec, registry_name,
+                                       spec, scenario,
+                                       seeds[spec.run_id])
+                           for spec in pending]
+                payloads = [future.result() for future in futures]
+        by_id = {spec.run_id: spec for spec in pending}
+        for payload in payloads:
+            run_id = payload["run_id"]
+            if cache is not None:
+                cache.put(keys[run_id], payload)
+            results[run_id] = MatrixRun(
+                spec=by_id[run_id], seed=payload["seed"],
+                metrics=dict(payload["metrics"]),
+                wall_time=payload["wall_time"])
+
+    return MatrixResult(
+        registry_name=registry_name,
+        scenario=scenario,
+        runs=[results[spec.run_id] for spec in specs],
+        processes=processes,
+        total_wall_time=_time.perf_counter() - started)
+
+
+def run_matrix(kind: str, scenario: Scenario,
+               registry_name: str = "default",
+               components: Optional[Sequence[str]] = None,
+               fraction: Optional[int] = None,
+               processes: int = 1,
+               cache: Optional[ResultCache] = None) -> MatrixResult:
+    """Generate a ``kind`` matrix for the named registry and run it."""
+    registry = registry_by_name(registry_name)
+    if components:
+        registry = registry.subset(components)
+    specs = generate(kind, registry, context=scenario.fingerprint(),
+                     fraction=fraction)
+    return run_specs(specs, scenario, registry_name=registry_name,
+                     processes=processes, cache=cache)
+
+
+# ----------------------------------------------------------------------
+# Named studies: the KIND_ABLATE registry for repro profile / run_tasks.
+# ----------------------------------------------------------------------
+
+
+class MatrixStudy:
+    """A named, zero-argument matrix study (the task-registry shape)."""
+
+    def __init__(self, kind: str, profile: str,
+                 registry_name: str = "default") -> None:
+        self.kind = kind
+        self.profile = profile
+        self.registry_name = registry_name
+
+    def __call__(self) -> MatrixResult:
+        scenario = Scenario(profile=self.profile)
+        return run_matrix(self.kind, scenario,
+                          registry_name=self.registry_name)
+
+
+#: ``(name, matrix kind, channel profile)`` for the standard studies.
+_STANDARD = (
+    ("loo-ideal", "loo", "ideal"),
+    ("loo-cell-edge", "loo", "cell_edge"),
+    ("ofat-ideal", "ofat", "ideal"),
+    ("pairs-cell-edge", "pairs", "cell_edge"),
+)
+
+#: Named matrix studies exposed as the ``ablate`` task kind.
+STANDARD_STUDIES: Dict[str, Tuple[str, Callable]] = {
+    name: (f"Ablation matrix: {kind} @ {profile}",
+           MatrixStudy(kind, profile))
+    for name, kind, profile in _STANDARD
+}
+
+
+def standard_study_registry() -> Dict[str, Tuple[str, Callable]]:
+    """Factory handed to ``runtime.parallel``'s ``_REGISTRIES``."""
+    return dict(STANDARD_STUDIES)

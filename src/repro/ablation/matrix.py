@@ -1,0 +1,273 @@
+"""Run-matrix generation with stable, content-addressed run IDs.
+
+A matrix cell is a :class:`RunSpec`: a component→level assignment plus
+the scenario context it will be evaluated under.  Its ``run_id`` is the
+SHA-256 of the canonical JSON of that content — independent of Python's
+per-process hash seed, of component declaration order, of the order the
+matrix generator happened to emit cells in, and of which process (or
+machine) computes it.  The cached parallel runner keys results by run ID,
+so re-running a matrix, resuming a killed search, or re-ordering the
+component declarations all hit the same cache entries.
+
+Generators:
+
+- :func:`baseline_specs` — the full system alone;
+- :func:`leave_one_out` — baseline + one run per component at its
+  declared ``ablated`` level (the classic importance matrix);
+- :func:`one_factor_at_a_time` — baseline + one run per non-baseline
+  level of every component (covers multi-level components fully);
+- :func:`pairwise_factorial` — adds the two-level interaction cells
+  (componentwise ablated×ablated) on top of leave-one-out;
+- :func:`full_factorial` — the cartesian product of all levels, with an
+  explicit cell-count guard;
+- :func:`fractional_factorial` — a deterministic 1/q content-addressed
+  subsample of the full factorial (membership decided by run-ID digest,
+  so the fraction is stable across processes and reorderings).
+
+Every generator returns cells sorted by run ID with the baseline first
+when present, so matrix order is itself content-addressed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.ablation.components import ComponentRegistry
+
+#: Guard against accidentally exploding factorials; raise above this.
+MAX_FACTORIAL_CELLS = 4096
+
+
+def canonical_json(payload: Mapping) -> str:
+    """Canonical JSON used for all content addressing in this package."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_id(payload: Mapping) -> str:
+    """SHA-256 hex digest of a payload's canonical JSON."""
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def spec_run_id(assignment: Mapping[str, str],
+                context: Optional[Mapping] = None,
+                overrides: Optional[Mapping[str, object]] = None) -> str:
+    """The content-addressed identity of one evaluation.
+
+    ``assignment`` maps component names to level names; ``overrides``
+    carries raw field values (the search layer's numeric knobs); the
+    ``context`` is the scenario fingerprint.  Keys are sorted by the
+    canonical JSON encoding, so insertion order never leaks in.
+    """
+    return content_id({
+        "assignment": dict(assignment),
+        "overrides": dict(overrides or {}),
+        "context": dict(context or {}),
+    })
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One matrix cell: an assignment bound to a scenario context.
+
+    ``overrides`` carries raw :class:`VariantSetup` field values applied
+    *on top of* the assignment — the search layer's numeric knobs.  They
+    are part of the run identity, so a grid point and a matrix cell with
+    the same assignment never collide in the cache.
+    """
+
+    assignment: "tuple[tuple[str, str], ...]"
+    context: "tuple[tuple[str, object], ...]" = ()
+    overrides: "tuple[tuple[str, object], ...]" = ()
+    run_id: str = field(init=False, default="")
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.assignment))
+        object.__setattr__(self, "assignment", ordered)
+        object.__setattr__(self, "context", tuple(sorted(self.context)))
+        object.__setattr__(self, "overrides",
+                           tuple(sorted(self.overrides)))
+        object.__setattr__(self, "run_id", spec_run_id(
+            dict(ordered), dict(self.context), dict(self.overrides)))
+
+    @classmethod
+    def make(cls, assignment: Mapping[str, str],
+             context: Optional[Mapping] = None,
+             overrides: Optional[Mapping[str, object]] = None
+             ) -> "RunSpec":
+        return cls(assignment=tuple(assignment.items()),
+                   context=tuple((context or {}).items()),
+                   overrides=tuple((overrides or {}).items()))
+
+    @property
+    def assignment_dict(self) -> Dict[str, str]:
+        return dict(self.assignment)
+
+    @property
+    def overrides_dict(self) -> Dict[str, object]:
+        return dict(self.overrides)
+
+    @property
+    def short_id(self) -> str:
+        return self.run_id[:12]
+
+    def deviations(self, registry: ComponentRegistry) -> Dict[str, str]:
+        """Components assigned away from their baseline level."""
+        return {name: level for name, level in self.assignment
+                if level != registry.get(name).baseline}
+
+    def label(self, registry: ComponentRegistry) -> str:
+        """Human-readable cell label (``baseline`` for the full system)."""
+        deviations = self.deviations(registry)
+        parts = [f"{name}={level}"
+                 for name, level in sorted(deviations.items())]
+        parts += [f"{name}:{value}" for name, value in self.overrides]
+        if not parts:
+            return "baseline"
+        return " ".join(parts)
+
+
+def _ordered(specs: Iterable[RunSpec],
+             baseline_id: Optional[str] = None) -> List[RunSpec]:
+    """Dedup + canonical order: baseline first, then by run ID."""
+    unique = {spec.run_id: spec for spec in specs}
+    ordered = sorted(unique.values(), key=lambda spec: spec.run_id)
+    if baseline_id is not None and baseline_id in unique:
+        ordered.remove(unique[baseline_id])
+        ordered.insert(0, unique[baseline_id])
+    return ordered
+
+
+def baseline_specs(registry: ComponentRegistry,
+                   context: Optional[Mapping] = None) -> List[RunSpec]:
+    """The full system alone."""
+    return [RunSpec.make(registry.baseline_assignment(), context)]
+
+
+def leave_one_out(registry: ComponentRegistry,
+                  context: Optional[Mapping] = None) -> List[RunSpec]:
+    """Baseline + one run per component at its ``ablated`` level."""
+    base = registry.baseline_assignment()
+    baseline = RunSpec.make(base, context)
+    specs = [baseline]
+    for component in registry:
+        assignment = dict(base)
+        assignment[component.name] = component.ablated
+        specs.append(RunSpec.make(assignment, context))
+    return _ordered(specs, baseline.run_id)
+
+
+def one_factor_at_a_time(registry: ComponentRegistry,
+                         context: Optional[Mapping] = None
+                         ) -> List[RunSpec]:
+    """Baseline + every non-baseline level of every component."""
+    base = registry.baseline_assignment()
+    baseline = RunSpec.make(base, context)
+    specs = [baseline]
+    for component in registry:
+        for level in component.level_names:
+            if level == component.baseline:
+                continue
+            assignment = dict(base)
+            assignment[component.name] = level
+            specs.append(RunSpec.make(assignment, context))
+    return _ordered(specs, baseline.run_id)
+
+
+def pairwise_factorial(registry: ComponentRegistry,
+                       context: Optional[Mapping] = None
+                       ) -> List[RunSpec]:
+    """Leave-one-out plus every pairwise ablated×ablated cell.
+
+    The extra cells are exactly what the ranker needs to report
+    two-component interactions next to the main effects.
+    """
+    base = registry.baseline_assignment()
+    baseline = RunSpec.make(base, context)
+    specs = leave_one_out(registry, context)
+    components = registry.components()
+    for first, second in itertools.combinations(components, 2):
+        assignment = dict(base)
+        assignment[first.name] = first.ablated
+        assignment[second.name] = second.ablated
+        specs.append(RunSpec.make(assignment, context))
+    return _ordered(specs, baseline.run_id)
+
+
+def full_factorial(registry: ComponentRegistry,
+                   context: Optional[Mapping] = None,
+                   max_cells: int = MAX_FACTORIAL_CELLS) -> List[RunSpec]:
+    """Cartesian product of every component's levels."""
+    components = registry.components()
+    n_cells = 1
+    for component in components:
+        n_cells *= len(component.level_names)
+    if n_cells > max_cells:
+        raise ValueError(
+            f"full factorial has {n_cells} cells, above the "
+            f"max_cells={max_cells} guard; use fractional_factorial or "
+            f"a component subset")
+    baseline = RunSpec.make(registry.baseline_assignment(), context)
+    specs = []
+    for levels in itertools.product(*(component.level_names
+                                      for component in components)):
+        assignment = {component.name: level
+                      for component, level in zip(components, levels)}
+        specs.append(RunSpec.make(assignment, context))
+    return _ordered(specs, baseline.run_id)
+
+
+def fractional_factorial(registry: ComponentRegistry,
+                         fraction: int,
+                         context: Optional[Mapping] = None,
+                         max_cells: int = MAX_FACTORIAL_CELLS,
+                         salt: str = "") -> List[RunSpec]:
+    """A deterministic 1/``fraction`` subsample of the full factorial.
+
+    Membership is decided by each cell's run-ID digest (re-hashed with
+    ``salt`` so different fractions of the same matrix are independent),
+    so the subsample is a pure function of content: stable across
+    processes, declaration orderings, and resumed runs.  The baseline
+    cell is always kept — the ranker needs it.
+    """
+    if fraction < 1:
+        raise ValueError(f"fraction must be >= 1, got {fraction}")
+    cells = full_factorial(registry, context, max_cells=max_cells)
+    baseline = RunSpec.make(registry.baseline_assignment(), context)
+    kept = []
+    for spec in cells:
+        digest = hashlib.sha256(
+            f"{salt}:{spec.run_id}".encode("utf-8")).digest()
+        if int.from_bytes(digest[:8], "big") % fraction == 0:
+            kept.append(spec)
+    if baseline.run_id not in {spec.run_id for spec in kept}:
+        kept.append(baseline)
+    return _ordered(kept, baseline.run_id)
+
+
+#: Canonical generator names used by the CLI and the named studies.
+GENERATORS = {
+    "baseline": baseline_specs,
+    "loo": leave_one_out,
+    "ofat": one_factor_at_a_time,
+    "pairs": pairwise_factorial,
+    "factorial": full_factorial,
+}
+
+
+def generate(kind: str, registry: ComponentRegistry,
+             context: Optional[Mapping] = None,
+             fraction: Optional[int] = None) -> List[RunSpec]:
+    """Dispatch on a generator name (``fraction`` implies factorial)."""
+    if fraction is not None:
+        return fractional_factorial(registry, fraction, context)
+    try:
+        generator = GENERATORS[kind]
+    except KeyError:
+        raise KeyError(f"unknown matrix kind {kind!r}; known: "
+                       f"{sorted(GENERATORS)} or --fraction N") from None
+    return generator(registry, context)

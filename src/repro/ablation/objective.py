@@ -1,0 +1,340 @@
+"""Scenario evaluation: one :class:`VariantSetup` → one metrics dict.
+
+The evaluation unit is a *scenario*: a channel profile, a small page
+set, and a grid of reading times.  For each page the variant engine
+loads the page once with the full discrete-event simulator (under the
+scenario's seeded :class:`~repro.faults.injector.FaultPlan`, common
+random numbers across variants so comparisons are fair), and each
+(page, reading-time) unit is then scored with the analytic radio-tail
+math of :mod:`repro.rrc.tail` — the same closed forms the Fig. 16 policy
+evaluation uses — including the next click's promotion latency and
+signalling energy, which is what makes eager switching pay a price.
+
+Metrics per run:
+
+- ``energy`` — mean per-unit energy (load + reading tail + next-click
+  promotion), joules; the search objective.
+- ``energy_saving`` — fractional saving vs the stock browser
+  (:data:`~repro.ablation.components.STOCK_SETUP`) under the *same*
+  scenario, memoised per process.
+- ``delay`` — mean next-click promotion latency, seconds; the constraint
+  metric (``repro tune --budget-delay``).
+- ``load_time``, ``tx_time`` — mean load / data-transmission times.
+- ``switch_rate`` — fraction of units Algorithm 2 switched to IDLE.
+- ``drop_probability`` — only with a population: an M/G/N capacity run
+  (:class:`repro.capacity.simulator.CapacitySimulator`, fleet-backed)
+  whose service pool is the variant's own measured channel-hold times,
+  so reorganisation and timer choices move the drop curve.
+
+Determinism: fault plans derive from ``(scenario.seed, page index)`` —
+identical across runs and variants — while the run's own randomness (the
+``gbrt-like`` predictor's error band, the capacity run) draws from the
+``eval_seed`` handed in by the engine, which spawns it off the run ID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ablation.components import STOCK_SETUP, VariantSetup
+from repro.browser.energy_aware import EnergyAwareEngine
+from repro.browser.original import OriginalEngine
+from repro.core.session import browse_and_read
+from repro.faults.injector import FaultPlan
+from repro.faults.profiles import get_profile
+from repro.rrc.states import RrcState
+from repro.rrc.tail import (
+    promotion_energy,
+    promotion_latency,
+    tail_energy_after_release,
+    tail_energy_after_tx,
+    tail_state_after_release,
+    tail_state_after_tx,
+)
+from repro.runtime.seeding import DEFAULT_ROOT_SEED, spawn_seeds
+from repro.webpages.corpus import find_page
+
+#: Default page set: two mid-size full-version Table 3 pages — big
+#: enough that reorganisation matters, small enough for dense matrices.
+DEFAULT_PAGES: Tuple[str, ...] = ("espn.go.com/sports",
+                                  "www.motors.ebay.com")
+
+#: Default reading-time grid, seconds: spans both sides of the paper's
+#: Tp = 9 s break-even and the Td = 20 s delay threshold.
+DEFAULT_READING_TIMES: Tuple[float, ...] = (2.0, 5.0, 9.0, 15.0, 30.0,
+                                            60.0)
+
+#: Log-scale error of the ``gbrt-like`` predictor level — roughly the
+#: trained GBRT's reading-time accuracy band.
+GBRT_LIKE_SIGMA = 0.35
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Optional population-scale objective: an M/G/N capacity run."""
+
+    n_users: int = 300
+    n_channels: int = 200
+    horizon: float = 3600.0
+    mean_interval: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1 or self.n_channels < 1:
+            raise ValueError("population needs n_users and n_channels "
+                             ">= 1")
+        if self.horizon <= 0 or self.mean_interval <= 0:
+            raise ValueError("population horizon and mean_interval must "
+                             "be positive")
+
+    def fingerprint(self) -> Dict[str, object]:
+        return {"n_users": self.n_users, "n_channels": self.n_channels,
+                "horizon": self.horizon,
+                "mean_interval": self.mean_interval}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """The evaluation context every run of a matrix/search shares."""
+
+    profile: str = "ideal"
+    pages: Tuple[str, ...] = DEFAULT_PAGES
+    reading_times: Tuple[float, ...] = DEFAULT_READING_TIMES
+    seed: int = DEFAULT_ROOT_SEED
+    population: Optional[PopulationSpec] = None
+
+    def __post_init__(self) -> None:
+        get_profile(self.profile)  # validate the name eagerly
+        if not self.pages:
+            raise ValueError("scenario needs at least one page")
+        if not self.reading_times:
+            raise ValueError("scenario needs at least one reading time")
+        if any(r < 0 for r in self.reading_times):
+            raise ValueError("reading times must be non-negative")
+
+    def fingerprint(self) -> Dict[str, object]:
+        """JSON-stable identity for run IDs and cache keys."""
+        payload: Dict[str, object] = {
+            "profile": self.profile,
+            "pages": list(self.pages),
+            "reading_times": [float(r) for r in self.reading_times],
+            "seed": int(self.seed),
+        }
+        if self.population is not None:
+            payload["population"] = self.population.fingerprint()
+        return payload
+
+    def at_fidelity(self, n_readings: int) -> "Scenario":
+        """A cheaper scenario using the first ``n_readings`` reading
+        times — the successive-halving rung ladder."""
+        if n_readings < 1:
+            raise ValueError("fidelity must keep at least one reading")
+        kept = self.reading_times[:n_readings]
+        return replace(self, reading_times=kept)
+
+    @property
+    def n_units(self) -> int:
+        return len(self.pages) * len(self.reading_times)
+
+
+@dataclass(frozen=True)
+class _PageLoad:
+    """The per-page load facts the closed-form reading phase needs."""
+
+    load_time: float
+    tx_time: float
+    loading_energy: float
+    #: Offset of the reading anchor after the last transmission ended.
+    tail_offset: float
+    #: Offset of the reading anchor after the channel release.
+    release_offset: float
+    #: Channel-hold time for the capacity pool.
+    hold_time: float
+
+
+def _load_page(page_name: str, setup: VariantSetup, profile: str,
+               page_seed: int) -> _PageLoad:
+    """One full discrete-event page load under the scenario's plan."""
+    page = find_page(page_name)
+    engine_cls = (EnergyAwareEngine if setup.reorganisation
+                  else OriginalEngine)
+    plan = None
+    if profile != "ideal":
+        plan = FaultPlan.named(profile, seed=page_seed)
+    session = browse_and_read(page, engine_cls, reading_time=0.0,
+                              config=setup.to_config(), faults=plan)
+    load = session.load
+    last_byte = max(t.completed_at - load.started_at
+                    for t in load.transfers)
+    released = setup.reorganisation and setup.fast_dormancy
+    # Channel-hold time: with fast dormancy the channels go at the last
+    # byte; otherwise the DCH inactivity timer T1 keeps them allocated.
+    hold = load.data_transmission_time + (0.0 if released else setup.t1)
+    return _PageLoad(
+        load_time=load.load_complete_time,
+        tx_time=load.data_transmission_time,
+        loading_energy=session.loading_energy.total,
+        tail_offset=load.load_complete_time - last_byte,
+        release_offset=load.layout_phase_time,
+        hold_time=hold)
+
+
+def _wants_switch(setup: VariantSetup, reading: float,
+                  predicted: float) -> bool:
+    """Algorithm 2's decision for one unit, given a prediction."""
+    if not setup.fast_dormancy:
+        return False
+    if reading <= setup.alpha:  # the user left before the decision point
+        return False
+    threshold = setup.tp if setup.mode == "power" else setup.td
+    return predicted > threshold
+
+
+def _predictions(setup: VariantSetup, readings: np.ndarray,
+                 eval_seed: int) -> np.ndarray:
+    """The predictor level's reading-time estimates, deterministically.
+
+    ``oracle`` returns the truth; ``gbrt-like`` perturbs it with a
+    seeded log-normal error (one draw per unit, fixed unit order);
+    ``always-switch``/``never-switch`` saturate the decision.
+    """
+    if setup.predictor == "oracle":
+        return readings.copy()
+    if setup.predictor == "always-switch":
+        return np.full_like(readings, np.inf)
+    if setup.predictor == "never-switch":
+        return np.zeros_like(readings)
+    rng = np.random.default_rng(np.random.SeedSequence(eval_seed))
+    noise = rng.normal(0.0, GBRT_LIKE_SIGMA, size=readings.size)
+    return readings * np.exp(noise)
+
+
+def _reading_phase(setup: VariantSetup, load: _PageLoad, reading: float,
+                   switch: bool) -> Tuple[float, RrcState]:
+    """Closed-form reading energy and the radio state at the next click.
+
+    Anchored at the channel release when the variant released (energy-
+    aware engine with fast dormancy), at the last transmission otherwise
+    — exactly the Fig. 16 evaluator's accounting.  A switching unit cuts
+    the tail at α and idles for the rest of the reading period.
+    """
+    rrc = setup.to_config().rrc
+    released = setup.reorganisation and setup.fast_dormancy
+    if released:
+        start = load.release_offset
+        energy_fn, state_fn = tail_energy_after_release, \
+            tail_state_after_release
+    else:
+        start = load.tail_offset
+        energy_fn, state_fn = tail_energy_after_tx, tail_state_after_tx
+    if not switch or reading <= setup.alpha:
+        energy = energy_fn(start, start + reading, rrc)
+        return energy, state_fn(start + reading, rrc)
+    energy = energy_fn(start, start + setup.alpha, rrc)
+    energy += rrc.power.idle * (reading - setup.alpha)
+    return energy, RrcState.IDLE
+
+
+def _drop_probability(holds: List[float], population: PopulationSpec,
+                      eval_seed: int) -> float:
+    """Population-scale objective: drop probability of an M/G/N cell
+    whose service pool is the variant's own channel-hold times."""
+    from repro.capacity.simulator import CapacityConfig, CapacitySimulator
+
+    config = CapacityConfig(n_channels=population.n_channels,
+                            mean_interval=population.mean_interval,
+                            horizon=population.horizon,
+                            seed=eval_seed)
+    simulator = CapacitySimulator(np.asarray(holds, dtype=float), config)
+    capacity_seed = int(np.random.SeedSequence(
+        eval_seed, spawn_key=(1,)).generate_state(1)[0])
+    result = simulator.run(population.n_users, seed=capacity_seed)
+    return result.drop_probability
+
+
+def evaluate_setup(setup: VariantSetup, scenario: Scenario,
+                   eval_seed: int) -> Dict[str, float]:
+    """Score one variant under one scenario; pure given its inputs."""
+    page_seeds = spawn_seeds(scenario.seed, len(scenario.pages))
+    loads = [_load_page(name, setup, scenario.profile, page_seed)
+             for name, page_seed in zip(scenario.pages, page_seeds)]
+
+    readings = np.asarray(
+        [r for _ in scenario.pages for r in scenario.reading_times],
+        dtype=float)
+    predicted = _predictions(setup, readings, eval_seed)
+
+    rrc = setup.to_config().rrc
+    energies: List[float] = []
+    delays: List[float] = []
+    switches = 0
+    unit = 0
+    for load in loads:
+        for reading in scenario.reading_times:
+            switch = _wants_switch(setup, float(reading),
+                                   float(predicted[unit]))
+            unit += 1
+            read_energy, state = _reading_phase(setup, load,
+                                                float(reading), switch)
+            switches += bool(switch)
+            energies.append(load.loading_energy + read_energy
+                            + promotion_energy(state, rrc))
+            delays.append(promotion_latency(state, rrc))
+
+    metrics: Dict[str, float] = {
+        "energy": float(np.mean(energies)),
+        "delay": float(np.mean(delays)),
+        "load_time": float(np.mean([load.load_time for load in loads])),
+        "tx_time": float(np.mean([load.tx_time for load in loads])),
+        "switch_rate": switches / len(energies),
+    }
+    if scenario.population is not None:
+        metrics["drop_probability"] = _drop_probability(
+            [load.hold_time for load in loads], scenario.population,
+            eval_seed)
+    reference = reference_metrics(scenario)
+    if reference["energy"] > 0:
+        metrics["energy_saving"] = (
+            (reference["energy"] - metrics["energy"])
+            / reference["energy"])
+    else:
+        metrics["energy_saving"] = 0.0
+    return metrics
+
+
+#: Process-local memo: the stock browser's metrics per scenario.  The
+#: stock setup has no run-level randomness (``never-switch`` predictor,
+#: no capacity draw needed), so the scenario fully determines it.
+_REFERENCE_MEMO: Dict[Tuple, Dict[str, float]] = {}
+
+
+def reference_metrics(scenario: Scenario) -> Dict[str, float]:
+    """The stock browser's scores under ``scenario`` (memoised)."""
+    key = (scenario.profile, scenario.pages, scenario.reading_times,
+           scenario.seed)
+    hit = _REFERENCE_MEMO.get(key)
+    if hit is not None:
+        return hit
+    reference = replace(scenario, population=None)
+    page_seeds = spawn_seeds(reference.seed, len(reference.pages))
+    loads = [_load_page(name, STOCK_SETUP, reference.profile, page_seed)
+             for name, page_seed in zip(reference.pages, page_seeds)]
+    rrc = STOCK_SETUP.to_config().rrc
+    energies: List[float] = []
+    delays: List[float] = []
+    for load in loads:
+        for reading in reference.reading_times:
+            read_energy, state = _reading_phase(STOCK_SETUP, load,
+                                                float(reading), False)
+            energies.append(load.loading_energy + read_energy
+                            + promotion_energy(state, rrc))
+            delays.append(promotion_latency(state, rrc))
+    metrics = {
+        "energy": float(np.mean(energies)),
+        "delay": float(np.mean(delays)),
+        "load_time": float(np.mean([load.load_time for load in loads])),
+    }
+    _REFERENCE_MEMO[key] = metrics
+    return metrics

@@ -1,0 +1,259 @@
+"""Importance ranking: fold matrix results into per-component deltas.
+
+Given a :class:`~repro.ablation.engine.MatrixResult` containing the
+baseline cell, the ranker computes
+
+- **main effects** — for every cell that deviates from the baseline in
+  exactly one component, ``delta = metric(cell) - metric(baseline)``
+  (positive delta on an energy metric means ablating the component
+  *costs* energy, i.e. the component helps);
+- **component importance** — the main effect at the component's declared
+  ``ablated`` level (falling back to its largest-magnitude level),
+  ranked by magnitude; a component whose removal *improves* the metric
+  is flagged harmful, the ``aumai-ablation`` convention;
+- **pairwise interactions** — for every double-deviation cell,
+  ``metric(both) - effect(a) - effect(b) - metric(baseline)``: the part
+  of the joint cell the two main effects do not explain.
+
+Reports are emitted as deterministic text, JSON, or CSV via
+:func:`write_ranking` (suffix dispatch, same convention as
+``repro.runtime.report``).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.ablation.engine import MatrixResult
+
+#: CSV columns for the flat ranking export.
+CSV_COLUMNS = ("rank", "component", "level", "metric", "baseline",
+               "value", "delta", "relative", "harmful", "run_id")
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One single-deviation cell measured against the baseline."""
+
+    component: str
+    level: str
+    metric: str
+    baseline: float
+    value: float
+    run_id: str
+
+    @property
+    def delta(self) -> float:
+        return self.value - self.baseline
+
+    @property
+    def relative(self) -> float:
+        if self.baseline == 0:
+            return 0.0
+        return self.delta / abs(self.baseline)
+
+    @property
+    def harmful(self) -> bool:
+        """Removing the component *improved* the metric."""
+        return self.delta < 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "component": self.component,
+            "level": self.level,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "value": self.value,
+            "delta": self.delta,
+            "relative": self.relative,
+            "harmful": self.harmful,
+            "run_id": self.run_id,
+        }
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """The unexplained part of one double-deviation cell."""
+
+    first: str
+    first_level: str
+    second: str
+    second_level: str
+    metric: str
+    value: float
+    expected: float
+    run_id: str
+
+    @property
+    def interaction(self) -> float:
+        return self.value - self.expected
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "first": self.first,
+            "first_level": self.first_level,
+            "second": self.second,
+            "second_level": self.second_level,
+            "metric": self.metric,
+            "value": self.value,
+            "expected": self.expected,
+            "interaction": self.interaction,
+            "run_id": self.run_id,
+        }
+
+
+@dataclass
+class Ranking:
+    """Ranked main effects plus whatever interactions the matrix held."""
+
+    metric: str
+    baseline_value: float
+    baseline_run_id: str
+    effects: List[Effect]
+    ranked: List[Effect]
+    interactions: List[Interaction]
+
+    def report(self) -> str:
+        lines = [f"== importance ranking ({self.metric}) | "
+                 f"baseline={self.baseline_value:.6f} =="]
+        for position, effect in enumerate(self.ranked, start=1):
+            flag = "  [harmful]" if effect.harmful else ""
+            lines.append(
+                f" {position:2d}. {effect.component:22s} "
+                f"{effect.level:14s} "
+                f"delta={effect.delta:+.6f} "
+                f"({effect.relative:+.2%}){flag}")
+        if self.interactions:
+            lines.append("interactions:")
+            for entry in self.interactions:
+                lines.append(
+                    f"     {entry.first}({entry.first_level}) x "
+                    f"{entry.second}({entry.second_level})  "
+                    f"delta={entry.interaction:+.6f}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ranking": {
+                "metric": self.metric,
+                "baseline": self.baseline_value,
+                "baseline_run_id": self.baseline_run_id,
+            },
+            "importance": [effect.to_dict() for effect in self.ranked],
+            "effects": [effect.to_dict() for effect in self.effects],
+            "interactions": [entry.to_dict()
+                             for entry in self.interactions],
+        }
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """Flat per-component rows for the CSV export."""
+        rows = []
+        for position, effect in enumerate(self.ranked, start=1):
+            row = effect.to_dict()
+            row["rank"] = position
+            rows.append(row)
+        return rows
+
+
+def rank_components(result: MatrixResult, metric: str = "energy",
+                    ) -> Ranking:
+    """Fold a matrix into a :class:`Ranking` on ``metric``.
+
+    The matrix must contain the baseline cell; cells with raw overrides
+    (search points) are ignored — importance is about declared levels.
+    """
+    registry = result.registry()
+    baseline_run = None
+    for run in result.runs:
+        if run.spec.overrides:
+            continue
+        if not run.spec.deviations(registry):
+            baseline_run = run
+            break
+    if baseline_run is None:
+        raise ValueError("matrix has no baseline cell; importance "
+                         "ranking needs one (use a loo/ofat/pairs "
+                         "matrix)")
+    if metric not in baseline_run.metrics:
+        raise KeyError(f"metric {metric!r} not in matrix results; "
+                       f"known: {sorted(baseline_run.metrics)}")
+    baseline_value = baseline_run.metrics[metric]
+
+    effects: List[Effect] = []
+    by_deviation: Dict[tuple, float] = {}
+    doubles = []
+    for run in result.runs:
+        if run.spec.overrides:
+            continue
+        deviations = run.spec.deviations(registry)
+        if len(deviations) == 1:
+            (component, level), = deviations.items()
+            effect = Effect(component=component, level=level,
+                            metric=metric, baseline=baseline_value,
+                            value=run.metrics[metric],
+                            run_id=run.spec.run_id)
+            effects.append(effect)
+            by_deviation[(component, level)] = effect.delta
+        elif len(deviations) == 2:
+            doubles.append((run, deviations))
+    effects.sort(key=lambda e: (e.component, e.level))
+
+    # One representative effect per component: the declared ablated
+    # level if the matrix measured it, else the largest-|delta| level.
+    ranked: List[Effect] = []
+    per_component: Dict[str, List[Effect]] = {}
+    for effect in effects:
+        per_component.setdefault(effect.component, []).append(effect)
+    for component, candidates in per_component.items():
+        declared = registry.get(component).ablated
+        pick: Optional[Effect] = next(
+            (e for e in candidates if e.level == declared), None)
+        if pick is None:
+            pick = max(candidates, key=lambda e: abs(e.delta))
+        ranked.append(pick)
+    ranked.sort(key=lambda e: (-abs(e.delta), e.component))
+
+    interactions: List[Interaction] = []
+    for run, deviations in doubles:
+        (first, first_level), (second, second_level) = sorted(
+            deviations.items())
+        delta_a = by_deviation.get((first, first_level))
+        delta_b = by_deviation.get((second, second_level))
+        if delta_a is None or delta_b is None:
+            continue  # main effects absent; interaction undefined
+        expected = baseline_value + delta_a + delta_b
+        interactions.append(Interaction(
+            first=first, first_level=first_level,
+            second=second, second_level=second_level,
+            metric=metric, value=run.metrics[metric],
+            expected=expected, run_id=run.spec.run_id))
+    interactions.sort(key=lambda i: (-abs(i.interaction), i.first,
+                                     i.second))
+
+    return Ranking(metric=metric, baseline_value=baseline_value,
+                   baseline_run_id=baseline_run.spec.run_id,
+                   effects=effects, ranked=ranked,
+                   interactions=interactions)
+
+
+def write_ranking(ranking: Ranking, path: "str | Path") -> None:
+    """Suffix dispatch: ``.csv`` → flat rows, anything else → JSON."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix.lower() == ".csv":
+        with path.open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=CSV_COLUMNS,
+                                    extrasaction="ignore")
+            writer.writeheader()
+            for row in ranking.to_rows():
+                writer.writerow(row)
+    else:
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(ranking.to_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")

@@ -1,0 +1,657 @@
+"""Constrained timer/threshold search over a channel profile.
+
+Answers the question the paper never asked: *what (T1, T2, α, Tp)
+minimises energy at this channel profile without violating a delay
+budget?*  Three algorithms share one machinery:
+
+- :func:`grid_search` — the cartesian product of per-parameter grids;
+- :func:`random_search` — seeded uniform sampling over the ranges;
+- :func:`halving_search` — successive halving: sample wide, evaluate at
+  a cheap fidelity (a prefix of the scenario's reading-time grid),
+  promote the best ``1/eta`` per rung, finish at full fidelity.
+
+Every trial is a :class:`~repro.ablation.matrix.RunSpec` whose raw
+field overrides (and evaluation fidelity, via the scenario fingerprint)
+are part of its content-addressed run ID, executed through
+:func:`~repro.ablation.engine.run_specs` — so trials cache, and its seed
+is spawned off the run ID, so *when* a trial runs never matters.
+
+Determinism and resume: the search writes a JSONL trace — a header line
+fingerprinting the whole search configuration, then one record per
+trial in a fixed order, each serialised as canonical JSON.  Records are
+only ever appended in that order, so an interrupted search leaves a
+valid prefix; re-running with the same trace path verifies the header,
+replays the prefix (no re-evaluation), and appends the rest.  Killed or
+not, the completed trace is byte-identical.
+
+Infeasible-by-construction samples (a draw with ``Tp > Td``) are
+*recorded*, not redrawn — redrawing would make the trial sequence depend
+on the validation rules, breaking trace stability across code versions
+that only tighten validation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import product
+from pathlib import Path
+from typing import (Any, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+import numpy as np
+
+from repro.ablation.engine import MatrixResult, registry_by_name, run_specs
+from repro.ablation.matrix import RunSpec, canonical_json, content_id
+from repro.ablation.objective import Scenario
+from repro.runtime.cache import ResultCache
+from repro.runtime.seeding import DEFAULT_ROOT_SEED
+
+#: The objective every search minimises by default.
+DEFAULT_OBJECTIVE = "energy"
+
+#: Sampled values are rounded to this many decimals: keeps traces tidy
+#: and makes grid/random points JSON-stable.
+_ROUND = 3
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One searched :class:`VariantSetup` field and its range."""
+
+    name: str
+    low: float
+    high: float
+    #: Explicit grid values; when empty, grids use ``linspace(low,
+    #: high, points)`` and random search samples uniformly.
+    grid: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(f"parameter {self.name!r}: low {self.low} "
+                             f"> high {self.high}")
+        for value in self.grid:
+            if not (self.low <= value <= self.high):
+                raise ValueError(f"parameter {self.name!r}: grid value "
+                                 f"{value} outside [{self.low}, "
+                                 f"{self.high}]")
+
+    def grid_values(self, points: int) -> List[float]:
+        if self.grid:
+            return [round(float(v), _ROUND) for v in self.grid]
+        if points < 2:
+            return [round((self.low + self.high) / 2.0, _ROUND)]
+        return [round(float(v), _ROUND)
+                for v in np.linspace(self.low, self.high, points)]
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """The searched parameters, canonically ordered by name."""
+
+    parameters: Tuple[Parameter, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parameters:
+            raise ValueError("search space needs at least one parameter")
+        names = [parameter.name for parameter in self.parameters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names: {names}")
+        ordered = tuple(sorted(self.parameters,
+                               key=lambda parameter: parameter.name))
+        object.__setattr__(self, "parameters", ordered)
+
+    def fingerprint(self) -> List[Dict[str, Any]]:
+        return [{"name": parameter.name, "low": parameter.low,
+                 "high": parameter.high, "grid": list(parameter.grid)}
+                for parameter in self.parameters]
+
+
+def default_space() -> SearchSpace:
+    """T1/T2 and α/Tp around (and beyond) the paper's Table 2 values."""
+    return SearchSpace((
+        Parameter("t1", 1.0, 8.0),
+        Parameter("t2", 4.0, 20.0),
+        Parameter("alpha", 0.5, 4.0),
+        Parameter("tp", 2.0, 18.0),
+    ))
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """An upper bound on one metric (``delay <= budget``)."""
+
+    metric: str
+    maximum: float
+
+    def satisfied(self, metrics: Mapping[str, float]) -> bool:
+        value = metrics.get(self.metric)
+        return value is not None and value <= self.maximum
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {"metric": self.metric, "max": self.maximum}
+
+    def __str__(self) -> str:
+        return f"{self.metric}<={self.maximum:g}"
+
+
+def feasible(metrics: Mapping[str, float],
+             constraints: Sequence[Constraint]) -> bool:
+    """Constraint filtering: every bound must hold."""
+    return all(constraint.satisfied(metrics)
+               for constraint in constraints)
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One evaluated (or rejected-at-construction) search point."""
+
+    index: int
+    rung: int
+    overrides: Tuple[Tuple[str, float], ...]
+    run_id: str
+    seed: int
+    metrics: Dict[str, float]
+    valid: bool
+    feasible: bool
+
+    @property
+    def overrides_dict(self) -> Dict[str, float]:
+        return dict(self.overrides)
+
+    def objective(self, name: str) -> Optional[float]:
+        if not self.valid:
+            return None
+        return self.metrics.get(name)
+
+    def record(self) -> Dict[str, Any]:
+        """The trace-record payload (stable key set, no timing)."""
+        return {
+            "trial": self.index,
+            "rung": self.rung,
+            "overrides": self.overrides_dict,
+            "run_id": self.run_id,
+            "seed": self.seed,
+            "metrics": dict(self.metrics),
+            "valid": self.valid,
+            "feasible": self.feasible,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "Trial":
+        return cls(index=int(record["trial"]), rung=int(record["rung"]),
+                   overrides=tuple(sorted(
+                       (str(k), float(v))
+                       for k, v in record["overrides"].items())),
+                   run_id=str(record["run_id"]),
+                   seed=int(record["seed"]),
+                   metrics=dict(record["metrics"]),
+                   valid=bool(record["valid"]),
+                   feasible=bool(record["feasible"]))
+
+
+def promote(candidates: Sequence[Tuple[Any, Optional[float], bool]],
+            eta: int) -> List[Any]:
+    """Successive-halving promotion: which candidates survive a rung.
+
+    ``candidates`` is ``(key, objective, feasible)`` — objective ``None``
+    marks an invalid trial, never promoted.  Feasible candidates always
+    outrank infeasible ones; within each class, lower objective wins
+    (ties broken by key, so promotion is deterministic).  The rung keeps
+    ``max(1, len(candidates) // eta)`` survivors.
+    """
+    if eta < 2:
+        raise ValueError(f"eta must be >= 2, got {eta}")
+    valid = [entry for entry in candidates if entry[1] is not None]
+    if not valid:
+        return []
+    keep = max(1, len(candidates) // eta)
+    ordered = sorted(valid, key=lambda entry: (
+        not entry[2], entry[1], str(entry[0])))
+    return [key for key, _, _ in ordered[:keep]]
+
+
+class SearchTrace:
+    """Append-only JSONL trace with a fingerprinted header.
+
+    The file is a valid prefix at every instant: header first, then
+    trial records in the order the (deterministic) search generates
+    them.  Opening an existing trace verifies the header against this
+    search's fingerprint and loads the completed prefix so the caller
+    can skip straight past it.
+    """
+
+    def __init__(self, path: Optional[Path], header: Dict[str, Any]):
+        self.path = Path(path) if path is not None else None
+        self.header = dict(header)
+        self.records: List[Dict[str, Any]] = []
+        self._cursor = 0
+        if self.path is None:
+            return
+        if self.path.exists():
+            lines = [line for line in
+                     self.path.read_text(encoding="utf-8").splitlines()
+                     if line]
+            if not lines:
+                self._write_header()
+                return
+            import json as _json
+            head = _json.loads(lines[0])
+            if head != {"header": self.header}:
+                raise ValueError(
+                    f"search trace {self.path} belongs to a different "
+                    f"search (header mismatch); delete it or pass a "
+                    f"different --trace path")
+            self.records = [_json.loads(line) for line in lines[1:]]
+        else:
+            self._write_header()
+
+    def _write_header(self) -> None:
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("w", encoding="utf-8") as handle:
+            handle.write(canonical_json({"header": self.header}) + "\n")
+
+    def replay(self) -> Optional[Dict[str, Any]]:
+        """The next already-recorded trial, or ``None`` at the tip."""
+        if self._cursor < len(self.records):
+            record = self.records[self._cursor]
+            self._cursor += 1
+            return record
+        return None
+
+    def append(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+        self._cursor = len(self.records)
+        if self.path is not None:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(canonical_json(record) + "\n")
+
+
+@dataclass
+class SearchResult:
+    """Trials in trace order plus the winning configuration."""
+
+    algorithm: str
+    scenario: Scenario
+    space: SearchSpace
+    constraints: Tuple[Constraint, ...]
+    objective: str
+    trials: List[Trial]
+    reference: Dict[str, float]
+    fingerprint: str
+    best: Optional[Trial] = None
+    final_rung: int = 0
+    total_wall_time: float = 0.0
+    n_cached: int = 0
+
+    def report(self) -> str:
+        """Deterministic search report (no timing, no cache facts)."""
+        lines = [f"== tune: {self.algorithm} | "
+                 f"profile={self.scenario.profile} "
+                 f"objective={self.objective} "
+                 f"trials={len(self.trials)} =="]
+        lines.append("space: " + "  ".join(
+            f"{p.name}[{p.low:g},{p.high:g}]"
+            for p in self.space.parameters))
+        if self.constraints:
+            lines.append("constraints: " + "  ".join(
+                str(constraint) for constraint in self.constraints))
+        reference_bits = "  ".join(
+            f"{name}={self.reference[name]:.6f}"
+            for name in sorted(self.reference))
+        lines.append(f"reference (paper defaults): {reference_bits}")
+        if self.best is None:
+            lines.append("best: none feasible")
+            return "\n".join(lines)
+        best_knobs = "  ".join(f"{name}={value:g}" for name, value
+                               in self.best.overrides)
+        lines.append(f"best: trial {self.best.index} "
+                     f"[{self.best.run_id[:12]}]  {best_knobs}")
+        best_metrics = "  ".join(
+            f"{name}={self.best.metrics[name]:.6f}"
+            for name in sorted(self.best.metrics))
+        lines.append(f"      {best_metrics}")
+        reference_energy = self.reference.get(self.objective)
+        best_energy = self.best.metrics.get(self.objective)
+        if reference_energy and best_energy is not None:
+            gain = (reference_energy - best_energy) / reference_energy
+            lines.append(f"      vs paper defaults: "
+                         f"{gain:+.2%} on {self.objective}")
+        finalists = [trial for trial in self.trials
+                     if trial.rung == self.final_rung and trial.valid]
+        finalists.sort(key=lambda trial: (
+            not trial.feasible, trial.metrics.get(self.objective,
+                                                  math.inf),
+            trial.run_id))
+        lines.append(f"top {min(5, len(finalists))} at full fidelity:")
+        for trial in finalists[:5]:
+            knobs = "  ".join(f"{name}={value:g}"
+                              for name, value in trial.overrides)
+            flag = "ok " if trial.feasible else "infeasible"
+            lines.append(
+                f"  [{flag}] trial {trial.index:3d}  "
+                f"{self.objective}="
+                f"{trial.metrics.get(self.objective, math.nan):.6f}  "
+                f"delay={trial.metrics.get('delay', math.nan):.6f}  "
+                f"{knobs}")
+        return "\n".join(lines)
+
+    def render_summary(self) -> str:
+        return (f"-- search runtime: {len(self.trials)} trials, "
+                f"{self.n_cached} cached, "
+                f"{self.total_wall_time:.2f}s wall --")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "search": {
+                "algorithm": self.algorithm,
+                "objective": self.objective,
+                "fingerprint": self.fingerprint,
+                "scenario": self.scenario.fingerprint(),
+                "space": self.space.fingerprint(),
+                "constraints": [constraint.fingerprint()
+                                for constraint in self.constraints],
+                "reference": dict(self.reference),
+                "final_rung": self.final_rung,
+                "n_trials": len(self.trials),
+            },
+            "best": None if self.best is None else self.best.record(),
+            "trials": [trial.record() for trial in self.trials],
+        }
+
+
+class _Evaluator:
+    """Shared trial machinery: spec building, caching, trace replay."""
+
+    def __init__(self, scenario: Scenario, registry_name: str,
+                 constraints: Sequence[Constraint], objective: str,
+                 trace: SearchTrace, processes: int,
+                 cache: Optional[ResultCache]):
+        self.scenario = scenario
+        self.registry_name = registry_name
+        self.registry = registry_by_name(registry_name)
+        self.base_assignment = self.registry.baseline_assignment()
+        self.base_setup = self.registry.setup_for(self.base_assignment)
+        self.constraints = tuple(constraints)
+        self.objective = objective
+        self.trace = trace
+        self.processes = processes
+        self.cache = cache
+        self.trials: List[Trial] = []
+        self.total_wall_time = 0.0
+        self.n_cached = 0
+
+    def _spec_for(self, overrides: Mapping[str, float],
+                  fidelity_scenario: Scenario) -> Optional[RunSpec]:
+        """The trial's RunSpec, or ``None`` if the combination is
+        invalid by construction (e.g. a draw with Tp > Td)."""
+        try:
+            self.base_setup.apply(dict(overrides))
+        except (ValueError, KeyError):
+            return None
+        return RunSpec.make(self.base_assignment,
+                            context=fidelity_scenario.fingerprint(),
+                            overrides=dict(overrides))
+
+    def run_batch(self, rung: int,
+                  batch: Sequence[Tuple[int, Dict[str, float]]],
+                  fidelity_scenario: Scenario) -> List[Trial]:
+        """Evaluate one rung's trials, replaying the trace prefix.
+
+        ``batch`` is ``(trial_index, overrides)`` in deterministic
+        order.  Trials already in the trace are reused verbatim; the
+        rest run through the cached matrix engine and are appended.
+        """
+        planned: List[Tuple[int, Dict[str, float],
+                            Optional[RunSpec]]] = []
+        replayed: Dict[int, Trial] = {}
+        to_run: List[RunSpec] = []
+        for index, overrides in batch:
+            record = self.trace.replay()
+            if record is not None:
+                trial = Trial.from_record(record)
+                if (trial.index, trial.rung) != (index, rung):
+                    raise ValueError(
+                        f"search trace out of step: expected trial "
+                        f"{index} rung {rung}, found trial "
+                        f"{trial.index} rung {trial.rung}; the trace "
+                        f"belongs to a different search")
+                replayed[index] = trial
+                continue
+            spec = self._spec_for(overrides, fidelity_scenario)
+            planned.append((index, overrides, spec))
+            if spec is not None:
+                to_run.append(spec)
+
+        matrix: Optional[MatrixResult] = None
+        if to_run:
+            matrix = run_specs(to_run, fidelity_scenario,
+                               registry_name=self.registry_name,
+                               processes=self.processes,
+                               cache=self.cache)
+            self.total_wall_time += matrix.total_wall_time
+            self.n_cached += matrix.n_cached
+
+        produced: Dict[int, Trial] = {}
+        for index, overrides, spec in planned:
+            ordered = tuple(sorted((str(k), float(v))
+                            for k, v in overrides.items()))
+            if spec is None:
+                trial = Trial(index=index, rung=rung,
+                              overrides=ordered, run_id="", seed=0,
+                              metrics={}, valid=False, feasible=False)
+            else:
+                run = matrix.run_for(spec.run_id)
+                trial = Trial(index=index, rung=rung,
+                              overrides=ordered, run_id=spec.run_id,
+                              seed=run.seed, metrics=dict(run.metrics),
+                              valid=True,
+                              feasible=feasible(run.metrics,
+                                                self.constraints))
+            produced[index] = trial
+
+        out: List[Trial] = []
+        for index, _ in batch:
+            trial = replayed.get(index)
+            if trial is None:
+                trial = produced[index]
+                self.trace.append(trial.record())
+            out.append(trial)
+        self.trials.extend(out)
+        return out
+
+    def reference_metrics(self) -> Dict[str, float]:
+        """The paper-default configuration at full fidelity."""
+        spec = RunSpec.make(self.base_assignment,
+                            context=self.scenario.fingerprint())
+        matrix = run_specs([spec], self.scenario,
+                           registry_name=self.registry_name,
+                           processes=1, cache=self.cache)
+        self.total_wall_time += matrix.total_wall_time
+        return dict(matrix.runs[0].metrics)
+
+    def pick_best(self, final_rung: int) -> Optional[Trial]:
+        finalists = [trial for trial in self.trials
+                     if trial.rung == final_rung and trial.valid
+                     and trial.feasible]
+        if not finalists:
+            return None
+        return min(finalists, key=lambda trial: (
+            trial.metrics.get(self.objective, math.inf), trial.run_id))
+
+
+def _search_header(algorithm: str, scenario: Scenario,
+                   space: SearchSpace,
+                   constraints: Sequence[Constraint], objective: str,
+                   params: Dict[str, Any]) -> Dict[str, Any]:
+    fingerprint = content_id({
+        "algorithm": algorithm,
+        "objective": objective,
+        "scenario": scenario.fingerprint(),
+        "space": space.fingerprint(),
+        "constraints": [constraint.fingerprint()
+                        for constraint in constraints],
+        "params": params,
+    })
+    return {"kind": "repro-search", "version": 1,
+            "algorithm": algorithm, "fingerprint": fingerprint}
+
+
+def _finish(evaluator: _Evaluator, algorithm: str, space: SearchSpace,
+            header: Dict[str, Any], reference: Dict[str, float],
+            final_rung: int) -> SearchResult:
+    return SearchResult(
+        algorithm=algorithm, scenario=evaluator.scenario, space=space,
+        constraints=evaluator.constraints,
+        objective=evaluator.objective, trials=evaluator.trials,
+        reference=reference, fingerprint=header["fingerprint"],
+        best=evaluator.pick_best(final_rung), final_rung=final_rung,
+        total_wall_time=evaluator.total_wall_time,
+        n_cached=evaluator.n_cached)
+
+
+def grid_search(scenario: Scenario,
+                space: Optional[SearchSpace] = None,
+                constraints: Sequence[Constraint] = (),
+                objective: str = DEFAULT_OBJECTIVE,
+                points: int = 3,
+                registry_name: str = "default",
+                processes: int = 1,
+                cache: Optional[ResultCache] = None,
+                trace_path: Optional[Path] = None) -> SearchResult:
+    """Exhaustive seeded grid over the space's per-parameter grids."""
+    space = space or default_space()
+    header = _search_header("grid", scenario, space, constraints,
+                            objective, {"points": points})
+    trace = SearchTrace(trace_path, header)
+    evaluator = _Evaluator(scenario, registry_name, constraints,
+                           objective, trace, processes, cache)
+    axes = [parameter.grid_values(points)
+            for parameter in space.parameters]
+    names = [parameter.name for parameter in space.parameters]
+    batch = [(index, dict(zip(names, values)))
+             for index, values in enumerate(product(*axes))]
+    evaluator.run_batch(0, batch, scenario)
+    reference = evaluator.reference_metrics()
+    return _finish(evaluator, "grid", space, header, reference,
+                   final_rung=0)
+
+
+def _sample(space: SearchSpace, n_trials: int, seed: int,
+            header_fingerprint: str) -> List[Dict[str, float]]:
+    """The deterministic trial sequence for random/halving search.
+
+    The stream is keyed by the search fingerprint, so two searches with
+    different spaces/constraints/scenarios draw independent sequences,
+    while re-running (or resuming) the same search redraws the same one.
+    """
+    key = int(header_fingerprint[:16], 16)
+    rng = np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(key,)))
+    draws: List[Dict[str, float]] = []
+    for _ in range(n_trials):
+        overrides = {}
+        for parameter in space.parameters:  # canonical (name) order
+            value = float(rng.uniform(parameter.low, parameter.high))
+            overrides[parameter.name] = round(value, _ROUND)
+        draws.append(overrides)
+    return draws
+
+
+def random_search(scenario: Scenario,
+                  space: Optional[SearchSpace] = None,
+                  constraints: Sequence[Constraint] = (),
+                  objective: str = DEFAULT_OBJECTIVE,
+                  n_trials: int = 20,
+                  seed: int = DEFAULT_ROOT_SEED,
+                  registry_name: str = "default",
+                  processes: int = 1,
+                  cache: Optional[ResultCache] = None,
+                  trace_path: Optional[Path] = None) -> SearchResult:
+    """Seeded uniform random search at full fidelity."""
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    space = space or default_space()
+    header = _search_header("random", scenario, space, constraints,
+                            objective,
+                            {"n_trials": n_trials, "seed": seed})
+    trace = SearchTrace(trace_path, header)
+    evaluator = _Evaluator(scenario, registry_name, constraints,
+                           objective, trace, processes, cache)
+    draws = _sample(space, n_trials, seed, header["fingerprint"])
+    evaluator.run_batch(0, list(enumerate(draws)), scenario)
+    reference = evaluator.reference_metrics()
+    return _finish(evaluator, "random", space, header, reference,
+                   final_rung=0)
+
+
+def halving_rungs(n_readings: int, n_trials: int,
+                  eta: int) -> List[int]:
+    """The fidelity ladder: reading-time prefix lengths per rung."""
+    if eta < 2:
+        raise ValueError(f"eta must be >= 2, got {eta}")
+    n_rungs = max(1, int(math.floor(math.log(n_trials, eta))) + 1)
+    fidelities = []
+    for rung in range(n_rungs):
+        shrink = eta ** (n_rungs - 1 - rung)
+        fidelities.append(max(1, n_readings // shrink))
+    # Collapse duplicate fidelities from tiny reading grids, keep the
+    # final rung at full fidelity.
+    fidelities[-1] = n_readings
+    deduped = []
+    for fidelity in fidelities:
+        if not deduped or fidelity != deduped[-1]:
+            deduped.append(fidelity)
+    return deduped
+
+
+def halving_search(scenario: Scenario,
+                   space: Optional[SearchSpace] = None,
+                   constraints: Sequence[Constraint] = (),
+                   objective: str = DEFAULT_OBJECTIVE,
+                   n_trials: int = 16,
+                   eta: int = 2,
+                   seed: int = DEFAULT_ROOT_SEED,
+                   registry_name: str = "default",
+                   processes: int = 1,
+                   cache: Optional[ResultCache] = None,
+                   trace_path: Optional[Path] = None) -> SearchResult:
+    """Successive halving over reading-time-prefix fidelities."""
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    space = space or default_space()
+    header = _search_header("halving", scenario, space, constraints,
+                            objective, {"n_trials": n_trials,
+                                        "eta": eta, "seed": seed})
+    trace = SearchTrace(trace_path, header)
+    evaluator = _Evaluator(scenario, registry_name, constraints,
+                           objective, trace, processes, cache)
+    draws = _sample(space, n_trials, seed, header["fingerprint"])
+    rungs = halving_rungs(len(scenario.reading_times), n_trials, eta)
+
+    alive = list(range(n_trials))
+    final_rung = len(rungs) - 1
+    for rung, fidelity in enumerate(rungs):
+        fidelity_scenario = scenario.at_fidelity(fidelity)
+        batch = [(index, draws[index]) for index in alive]
+        trials = evaluator.run_batch(rung, batch, fidelity_scenario)
+        if rung == final_rung:
+            break
+        candidates = [(trial.index, trial.objective(objective),
+                       trial.feasible) for trial in trials]
+        alive = sorted(promote(candidates, eta))
+        if not alive:
+            final_rung = rung
+            break
+    reference = evaluator.reference_metrics()
+    return _finish(evaluator, "halving", space, header, reference,
+                   final_rung=final_rung)
+
+
+#: Algorithm dispatch used by the ``repro tune`` CLI.
+ALGORITHMS = {
+    "grid": grid_search,
+    "random": random_search,
+    "halving": halving_search,
+}

@@ -7,6 +7,9 @@ Subcommands::
                       [--report out.json]
     repro ablations [reorganisation timers predictor alpha] [--parallel N]
     repro faults-sweep [ideal suburban ...] [--parallel N] [--report out.json]
+    repro ablate [--matrix loo] [--profile cell_edge] [--rank-out rank.csv]
+    repro tune [--algorithm halving] [--profile cell_edge]
+               [--budget-delay 1.2] [--trace search.jsonl]
     repro profile fig11 [--kind experiment] [--top 25] [--report prof.json]
     repro fleet-bench [--scale 10] [--handsets 1500]
     repro stream-sweep [--scale 10] [--horizon 28800] [--out shards/]
@@ -140,6 +143,108 @@ def _cmd_faults_sweep(args: argparse.Namespace) -> int:
               f"known: {sorted(PROFILES)}", file=sys.stderr)
         return 2
     return _run_suite(runtime_parallel.KIND_FAULTS, args.profiles, args)
+
+
+def _ablation_scenario(args: argparse.Namespace):
+    """Build the evaluation :class:`~repro.ablation.Scenario` from the
+    shared ``ablate``/``tune`` options."""
+    from repro.ablation import PopulationSpec, Scenario
+
+    population = None
+    if args.population:
+        population = PopulationSpec(n_users=args.population,
+                                    n_channels=args.channels)
+    kwargs = {"profile": args.profile, "seed": args.seed,
+              "population": population}
+    if args.pages:
+        kwargs["pages"] = tuple(args.pages)
+    if args.readings:
+        kwargs["reading_times"] = tuple(args.readings)
+    return Scenario(**kwargs)
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    """Run a declarative ablation matrix and rank component importance."""
+    from repro.ablation import rank_components, run_matrix, write_ranking
+
+    cache = None
+    if args.cache or args.cache_dir:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    try:
+        scenario = _ablation_scenario(args)
+        result = run_matrix(args.matrix, scenario,
+                            registry_name=args.registry,
+                            components=args.components or None,
+                            fraction=args.fraction,
+                            processes=args.parallel, cache=cache)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(result.report())
+    ranking = None
+    if args.matrix != "baseline":
+        try:
+            ranking = rank_components(result, metric=args.metric)
+        except (KeyError, ValueError) as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        print(ranking.report())
+    print(result.render_summary())
+    if args.report:
+        write_report(result.to_dict(), args.report)
+        print(f"report -> {args.report}")
+    if args.rank_out:
+        if ranking is None:
+            print("--rank-out needs a matrix with a baseline cell "
+                  "(loo/ofat/pairs/factorial)", file=sys.stderr)
+            return 2
+        write_ranking(ranking, args.rank_out)
+        print(f"ranking -> {args.rank_out}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Constrained search over T1/T2 and α/Tp per channel profile."""
+    from pathlib import Path
+
+    from repro.ablation import ALGORITHMS, Constraint
+
+    search = ALGORITHMS[args.algorithm]
+    constraints = []
+    if args.budget_delay is not None:
+        constraints.append(Constraint("delay", args.budget_delay))
+    if args.budget_drop is not None:
+        constraints.append(Constraint("drop_probability",
+                                      args.budget_drop))
+    cache = None
+    if args.cache or args.cache_dir:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    kwargs = {
+        "constraints": tuple(constraints),
+        "objective": args.objective,
+        "processes": args.parallel,
+        "cache": cache,
+        "trace_path": Path(args.trace) if args.trace else None,
+    }
+    if args.algorithm == "grid":
+        kwargs["points"] = args.points
+    else:
+        kwargs["n_trials"] = args.trials
+        kwargs["seed"] = args.seed
+    if args.algorithm == "halving":
+        kwargs["eta"] = args.eta
+    try:
+        scenario = _ablation_scenario(args)
+        result = search(scenario, **kwargs)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(result.report())
+    print(result.render_summary())
+    if args.report:
+        write_report(result.to_dict(), args.report)
+        print(f"report -> {args.report}")
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -507,6 +612,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a structured run report (.json or .csv)")
     faults.set_defaults(func=_cmd_faults_sweep)
 
+    def _add_scenario_options(sub: argparse.ArgumentParser) -> None:
+        """Options shared by ``ablate`` and ``tune``."""
+        sub.add_argument(
+            "--profile", default="ideal", choices=tuple(PROFILES),
+            help="channel profile the scenario runs under "
+                 "(default: ideal)")
+        sub.add_argument(
+            "--pages", nargs="*", metavar="PAGE",
+            help="Table 3 page names (default: a two-page set)")
+        sub.add_argument(
+            "--readings", type=float, nargs="*", metavar="SECONDS",
+            help="reading-time grid (default: 2 5 9 15 30 60)")
+        sub.add_argument(
+            "--population", type=int, default=0, metavar="USERS",
+            help="add a population-scale drop_probability metric for "
+                 "USERS concurrent users (default: off)")
+        sub.add_argument(
+            "--channels", type=int, default=200,
+            help="cell channels for --population (default: 200)")
+        sub.add_argument(
+            "--parallel", type=int, default=1, metavar="N",
+            help="fan runs across N worker processes (default: 1)")
+        sub.add_argument(
+            "--cache", action="store_true",
+            help=f"serve repeated runs from {DEFAULT_CACHE_DIR}/")
+        sub.add_argument("--cache-dir", metavar="DIR",
+                         help="cache directory (implies --cache)")
+        sub.add_argument(
+            "--seed", type=int, default=DEFAULT_ROOT_SEED,
+            help="scenario/sampling seed (run seeds are spawned off "
+                 f"content-addressed run IDs; default: "
+                 f"{DEFAULT_ROOT_SEED})")
+
+    ablate = subparsers.add_parser(
+        "ablate",
+        help="declarative ablation matrix + component importance")
+    ablate.add_argument(
+        "--matrix", default="loo",
+        choices=("baseline", "loo", "ofat", "pairs", "factorial"),
+        help="matrix generator (default: loo = leave-one-out)")
+    ablate.add_argument(
+        "--fraction", type=int, default=None, metavar="Q",
+        help="run a deterministic 1/Q fractional factorial instead")
+    ablate.add_argument(
+        "--components", nargs="*", metavar="NAME",
+        help="restrict to these declared components (default: all)")
+    ablate.add_argument(
+        "--registry", default="default",
+        help="component registry name (default: default)")
+    ablate.add_argument(
+        "--metric", default="energy",
+        help="metric the importance ranking folds (default: energy)")
+    _add_scenario_options(ablate)
+    ablate.add_argument(
+        "--report", metavar="PATH",
+        help="write the matrix results (.json or .csv)")
+    ablate.add_argument(
+        "--rank-out", metavar="PATH",
+        help="write the importance ranking (.json or .csv)")
+    ablate.set_defaults(func=_cmd_ablate)
+
+    tune = subparsers.add_parser(
+        "tune",
+        help="constrained T1/T2 + α/Tp search per channel profile")
+    tune.add_argument(
+        "--algorithm", default="halving",
+        choices=("grid", "random", "halving"),
+        help="search algorithm (default: halving)")
+    tune.add_argument(
+        "--objective", default="energy",
+        help="metric to minimise (default: energy)")
+    tune.add_argument(
+        "--budget-delay", type=float, default=None, metavar="SECONDS",
+        help="constraint: mean next-click delay must stay <= SECONDS")
+    tune.add_argument(
+        "--budget-drop", type=float, default=None, metavar="P",
+        help="constraint: drop_probability <= P (needs --population)")
+    tune.add_argument(
+        "--trials", type=int, default=16,
+        help="random/halving trial budget (default: 16)")
+    tune.add_argument(
+        "--eta", type=int, default=2,
+        help="halving promotion factor (default: 2)")
+    tune.add_argument(
+        "--points", type=int, default=3,
+        help="grid points per parameter (default: 3)")
+    tune.add_argument(
+        "--trace", metavar="PATH",
+        help="JSONL search trace; an existing trace resumes the search")
+    _add_scenario_options(tune)
+    tune.add_argument(
+        "--report", metavar="PATH",
+        help="write the full search result as JSON")
+    tune.set_defaults(func=_cmd_tune)
+
     profile = subparsers.add_parser(
         "profile", help="run one task under cProfile and report hotspots")
     profile.add_argument("task", help="task id (e.g. fig11, alpha, ideal)")
@@ -514,7 +714,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--kind", default=runtime_parallel.KIND_EXPERIMENT,
         choices=(runtime_parallel.KIND_EXPERIMENT,
                  runtime_parallel.KIND_ABLATION,
-                 runtime_parallel.KIND_FAULTS),
+                 runtime_parallel.KIND_FAULTS,
+                 runtime_parallel.KIND_ABLATE),
         help="task registry to look in (default: experiment)")
     profile.add_argument("--top", type=int, default=25,
                          help="hotspot rows to keep (default: 25)")

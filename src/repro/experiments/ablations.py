@@ -78,6 +78,19 @@ class ReorganisationAblation:
 
 def reorganisation_ablation(config: Optional[ExperimentConfig] = None
                             ) -> ReorganisationAblation:
+    """Original vs reorganisation-only vs full energy-aware browser.
+
+    Delegates to the declarative registry port
+    (:mod:`repro.ablation.legacy`); ``_reference_reorganisation_ablation``
+    keeps the original implementation for the golden equivalence test.
+    """
+    from repro.ablation.legacy import run_legacy
+
+    return run_legacy("reorganisation", config=config)
+
+
+def _reference_reorganisation_ablation(
+        config: Optional[ExperimentConfig] = None) -> ReorganisationAblation:
     """Original vs reorganisation-only vs full energy-aware browser."""
     base = config or ExperimentConfig()
     variants = (
@@ -136,6 +149,16 @@ class TimerAblation:
 def timer_ablation(reading_time: float = 10.0,
                    page_name: str = "www.motors.ebay.com") -> TimerAblation:
     """Sweep T1/T2 under the stock browser on one full-version page."""
+    from repro.ablation.legacy import run_legacy
+
+    return run_legacy("timers", reading_time=reading_time,
+                      page_name=page_name)
+
+
+def _reference_timer_ablation(reading_time: float = 10.0,
+                              page_name: str = "www.motors.ebay.com"
+                              ) -> TimerAblation:
+    """Reference implementation kept for the golden equivalence test."""
     from repro.webpages.corpus import find_page
     page = find_page(page_name)
     rows: List[TimerRow] = []
@@ -190,6 +213,16 @@ class PredictorAblation:
 def predictor_ablation(trace_config: Optional[TraceConfig] = None,
                        split_seed: int = 7) -> PredictorAblation:
     """Linear baseline vs GBRT at several boosting budgets."""
+    from repro.ablation.legacy import run_legacy
+
+    return run_legacy("predictor", trace_config=trace_config,
+                      split_seed=split_seed)
+
+
+def _reference_predictor_ablation(
+        trace_config: Optional[TraceConfig] = None,
+        split_seed: int = 7) -> PredictorAblation:
+    """Reference implementation kept for the golden equivalence test."""
     dataset = generate_trace(trace_config).filter_reading_time() \
         .exclude_quick_bounces(2.0)
     x, y = dataset.to_arrays()
@@ -247,6 +280,16 @@ class AlphaAblation:
 def interest_threshold_ablation(trace_config: Optional[TraceConfig] = None,
                                 split_seed: int = 7) -> AlphaAblation:
     """Sweep α and measure the accuracy/coverage trade-off."""
+    from repro.ablation.legacy import run_legacy
+
+    return run_legacy("alpha", trace_config=trace_config,
+                      split_seed=split_seed)
+
+
+def _reference_interest_threshold_ablation(
+        trace_config: Optional[TraceConfig] = None,
+        split_seed: int = 7) -> AlphaAblation:
+    """Reference implementation kept for the golden equivalence test."""
     dataset = generate_trace(trace_config).filter_reading_time()
     total = len(dataset)
     rows: List[AlphaRow] = []
@@ -309,6 +352,16 @@ def carrier_ablation(reading_time: float = 20.0,
                      page_name: str = "espn.go.com/sports"
                      ) -> CarrierAblation:
     """Energy saving of the full system under different RRC timers."""
+    from repro.ablation.legacy import run_legacy
+
+    return run_legacy("carriers", reading_time=reading_time,
+                      page_name=page_name)
+
+
+def _reference_carrier_ablation(reading_time: float = 20.0,
+                                page_name: str = "espn.go.com/sports"
+                                ) -> CarrierAblation:
+    """Reference implementation kept for the golden equivalence test."""
     from repro.core.comparison import compare_engines
     from repro.webpages.corpus import find_page
     page = find_page(page_name)

@@ -34,6 +34,7 @@ from repro.runtime.seeding import DEFAULT_ROOT_SEED, task_seed
 KIND_EXPERIMENT = "experiment"
 KIND_ABLATION = "ablation"
 KIND_FAULTS = "faults"
+KIND_ABLATE = "ablate"
 
 
 def _experiment_registry() -> "Dict[str, Tuple[str, Callable]]":
@@ -58,10 +59,17 @@ def _faults_registry() -> "Dict[str, Tuple[str, Callable]]":
     return {name: (title, runner) for name, title, runner in SWEEP_TASKS}
 
 
+def _ablate_registry() -> "Dict[str, Tuple[str, Callable]]":
+    from repro.ablation.engine import standard_study_registry
+
+    return standard_study_registry()
+
+
 _REGISTRIES = {
     KIND_EXPERIMENT: _experiment_registry,
     KIND_ABLATION: _ablation_registry,
     KIND_FAULTS: _faults_registry,
+    KIND_ABLATE: _ablate_registry,
 }
 
 

@@ -169,6 +169,10 @@ def _distil(raw: Dict[str, Any]) -> Dict[str, Any]:
             "sim_time": round(float(extra.get("sim_time", 0.0)), 2),
             "sim_time_ratio": round(float(extra.get("sim_time_ratio",
                                                     0.0)), 1),
+            # Ablation-matrix rows: fraction of cells served from the
+            # content-addressed result cache (1.0 on a warm rerun).
+            "cache_hit_rate": round(float(extra.get("cache_hit_rate",
+                                                    0.0)), 3),
         }
         benchmarks.append(row)
     return {

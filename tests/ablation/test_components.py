@@ -1,0 +1,107 @@
+"""Component registry: declarations, validation, canonical resolution."""
+
+import pytest
+
+from repro.ablation.components import (Component, ComponentRegistry,
+                                       STOCK_SETUP, VariantSetup,
+                                       default_registry)
+
+
+def test_variant_setup_defaults_are_the_paper_baseline():
+    setup = VariantSetup()
+    config = setup.to_config()
+    assert config.rrc.t1 == 4.0 and config.rrc.t2 == 15.0
+    assert config.policy.interest_threshold == 2.0
+    assert config.policy.power_threshold == 9.0
+    assert config.browser.intermediate_display
+    assert config.browser.dormancy_after_tx
+
+
+def test_variant_setup_rejects_unknown_predictor():
+    with pytest.raises(ValueError):
+        VariantSetup(predictor="psychic")
+
+
+def test_variant_setup_delegates_threshold_validation():
+    # PolicyConfig enforces Tp <= Td; the setup must surface that.
+    with pytest.raises(ValueError):
+        VariantSetup(tp=25.0, td=20.0)
+
+
+def test_apply_rejects_unknown_fields():
+    with pytest.raises(KeyError):
+        VariantSetup().apply({"warp_factor": 9})
+
+
+def test_stock_setup_disables_everything():
+    assert not STOCK_SETUP.reorganisation
+    assert not STOCK_SETUP.fast_dormancy
+    assert STOCK_SETUP.predictor == "never-switch"
+
+
+def test_component_validation():
+    with pytest.raises(ValueError):
+        Component("x", "", levels=(("only", {}),), baseline="only")
+    with pytest.raises(ValueError):
+        Component("x", "", levels=(("a", {}), ("a", {})), baseline="a")
+    with pytest.raises(ValueError):
+        Component("x", "", levels=(("a", {}), ("b", {})), baseline="c")
+    with pytest.raises(ValueError):
+        Component("x", "", levels=(("a", {}), ("b", {})), baseline="a",
+                  ablated="z")
+
+
+def test_ablated_defaults_to_first_non_baseline_level():
+    component = Component("x", "", levels=(("a", {}), ("b", {})),
+                          baseline="a")
+    assert component.ablated == "b"
+
+
+def test_registry_rejects_duplicate_registration():
+    registry = ComponentRegistry()
+    component = Component("x", "", levels=(("a", {}), ("b", {})),
+                          baseline="a")
+    registry.register(component)
+    with pytest.raises(ValueError):
+        registry.register(component)
+
+
+def test_setup_resolution_is_declaration_order_independent():
+    """Overlapping fields resolve by component *name*, not registration
+    order, so reordering declarations never changes the setup."""
+    first = Component("a_timers", "", baseline="x",
+                      levels=(("x", {"t1": 2.0}), ("y", {"t1": 3.0})))
+    second = Component("b_timers", "", baseline="x",
+                       levels=(("x", {"t1": 5.0}), ("y", {"t1": 6.0})))
+    one = ComponentRegistry([first, second])
+    other = ComponentRegistry([second, first])
+    assignment = {"a_timers": "y", "b_timers": "y"}
+    assert one.setup_for(assignment) == other.setup_for(assignment)
+    # canonical order applies a_timers before b_timers: b_timers wins.
+    assert one.setup_for(assignment).t1 == 6.0
+
+
+def test_setup_for_rejects_unknown_components():
+    with pytest.raises(KeyError):
+        default_registry().setup_for({"flux_capacitor": "on"})
+
+
+def test_default_registry_covers_the_paper_knobs():
+    names = default_registry().names()
+    assert names == sorted(names)
+    for expected in ("reorganisation", "intermediate_display",
+                     "fast_dormancy", "predictor", "timers",
+                     "thresholds"):
+        assert expected in names
+
+
+def test_subset_keeps_canonical_order():
+    registry = default_registry()
+    subset = registry.subset(["timers", "fast_dormancy"])
+    assert subset.names() == ["fast_dormancy", "timers"]
+
+
+def test_baseline_assignment_resolves_to_default_setup():
+    registry = default_registry()
+    setup = registry.setup_for(registry.baseline_assignment())
+    assert setup == VariantSetup()

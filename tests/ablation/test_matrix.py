@@ -1,0 +1,184 @@
+"""Matrix generation: content-addressed IDs, canonical order, generators.
+
+The Hypothesis properties pin the subsystem's central invariant: run IDs
+and matrix contents are pure functions of *what* is declared, never of
+declaration order, dict insertion order, or which process computes them.
+"""
+
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ablation.components import Component, ComponentRegistry
+from repro.ablation.matrix import (MAX_FACTORIAL_CELLS, RunSpec,
+                                   baseline_specs, fractional_factorial,
+                                   full_factorial, generate,
+                                   leave_one_out, one_factor_at_a_time,
+                                   pairwise_factorial, spec_run_id)
+
+
+def toy_components():
+    return [
+        Component("alpha", "", baseline="on",
+                  levels=(("on", {}), ("off", {"alpha": 4.0}))),
+        Component("beta", "", baseline="b0",
+                  levels=(("b0", {}), ("b1", {"t1": 2.0}),
+                          ("b2", {"t1": 6.0})), ablated="b2"),
+        Component("gamma", "", baseline="on",
+                  levels=(("on", {}), ("off", {"tp": 4.0}))),
+    ]
+
+
+def toy_registry():
+    return ComponentRegistry(toy_components())
+
+
+# ----------------------------------------------------------------------
+# Run-ID stability
+# ----------------------------------------------------------------------
+
+@given(st.permutations(list({"alpha": "off", "beta": "b1",
+                             "gamma": "on"}.items())))
+def test_run_id_independent_of_assignment_insertion_order(items):
+    reference = spec_run_id({"alpha": "off", "beta": "b1",
+                             "gamma": "on"})
+    assert spec_run_id(dict(items)) == reference
+
+
+def test_run_id_depends_on_every_part():
+    base = spec_run_id({"a": "on"}, {"profile": "ideal"}, {"t1": 2.0})
+    assert spec_run_id({"a": "off"}, {"profile": "ideal"},
+                       {"t1": 2.0}) != base
+    assert spec_run_id({"a": "on"}, {"profile": "cell_edge"},
+                       {"t1": 2.0}) != base
+    assert spec_run_id({"a": "on"}, {"profile": "ideal"},
+                       {"t1": 3.0}) != base
+
+
+def test_run_id_stable_across_process_restarts():
+    """The ID survives a fresh interpreter (fresh PYTHONHASHSEED)."""
+    expected = spec_run_id({"beta": "b1", "alpha": "off"},
+                           {"profile": "ideal"}, {"tp": 4.0})
+    code = ("import sys; sys.path.insert(0, 'src'); "
+            "from repro.ablation.matrix import spec_run_id; "
+            "print(spec_run_id({'alpha': 'off', 'beta': 'b1'}, "
+            "{'profile': 'ideal'}, {'tp': 4.0}))")
+    out = subprocess.run([sys.executable, "-c", code], cwd="/root/repo",
+                        capture_output=True, text=True, check=True,
+                        env={"PYTHONHASHSEED": "12345", "PATH": "/usr/bin:/bin"})
+    assert out.stdout.strip() == expected
+
+
+def test_run_id_pinned_literal():
+    """Content addressing is part of the cache contract: changing the
+    canonicalisation silently invalidates every stored result, so the
+    scheme is pinned to a literal digest."""
+    assert spec_run_id({"a": "on"}) == (
+        "a223c4b3a33b69b0546027382ca7e14e5fc40aafb7ab8f0157cad95c3d4512c7")
+
+
+def test_runspec_sorts_and_freezes():
+    spec = RunSpec.make({"beta": "b1", "alpha": "off"},
+                        context={"profile": "ideal"})
+    assert spec.assignment == (("alpha", "off"), ("beta", "b1"))
+    assert spec.run_id == spec_run_id(
+        {"alpha": "off", "beta": "b1"}, {"profile": "ideal"})
+    assert spec.short_id == spec.run_id[:12]
+
+
+# ----------------------------------------------------------------------
+# Generator properties
+# ----------------------------------------------------------------------
+
+@given(st.permutations(toy_components()))
+@settings(max_examples=25)
+def test_matrices_independent_of_declaration_order(components):
+    """Every generator emits the same cells in the same order whatever
+    order the components were registered in."""
+    reference = ComponentRegistry(toy_components())
+    shuffled = ComponentRegistry(list(components))
+    context = {"profile": "ideal"}
+    for generator in (baseline_specs, leave_one_out,
+                      one_factor_at_a_time, pairwise_factorial,
+                      full_factorial):
+        assert ([spec.run_id for spec in generator(reference, context)]
+                == [spec.run_id for spec in generator(shuffled,
+                                                      context)])
+
+
+def test_leave_one_out_shape():
+    registry = toy_registry()
+    specs = leave_one_out(registry, {"profile": "ideal"})
+    assert len(specs) == 1 + len(registry)
+    # Baseline first, the rest sorted by run ID.
+    assert specs[0].deviations(registry) == {}
+    tail = [spec.run_id for spec in specs[1:]]
+    assert tail == sorted(tail)
+    # Each non-baseline cell deviates in exactly one component, at its
+    # declared ablated level.
+    for spec in specs[1:]:
+        deviations = spec.deviations(registry)
+        assert len(deviations) == 1
+        (name, level), = deviations.items()
+        assert level == registry.get(name).ablated
+
+
+def test_ofat_covers_every_non_baseline_level():
+    registry = toy_registry()
+    specs = one_factor_at_a_time(registry)
+    levels = {tuple(spec.deviations(registry).items())
+              for spec in specs if spec.deviations(registry)}
+    assert (("beta", "b1"),) in levels
+    assert (("beta", "b2"),) in levels
+    assert len(specs) == 1 + sum(
+        len(component.level_names) - 1 for component in registry)
+
+
+def test_pairwise_adds_interaction_cells():
+    registry = toy_registry()
+    loo = {spec.run_id for spec in leave_one_out(registry)}
+    pairs = pairwise_factorial(registry)
+    extra = [spec for spec in pairs if spec.run_id not in loo]
+    n = len(registry)
+    assert len(extra) == n * (n - 1) // 2
+    for spec in extra:
+        assert len(spec.deviations(registry)) == 2
+
+
+def test_full_factorial_counts_and_guard():
+    registry = toy_registry()
+    specs = full_factorial(registry)
+    assert len(specs) == 2 * 3 * 2
+    assert len({spec.run_id for spec in specs}) == len(specs)
+    with pytest.raises(ValueError):
+        full_factorial(registry, max_cells=5)
+    assert MAX_FACTORIAL_CELLS >= 1024
+
+
+def test_fractional_factorial_is_a_stable_subset():
+    registry = toy_registry()
+    full = {spec.run_id for spec in full_factorial(registry)}
+    frac_a = fractional_factorial(registry, 3)
+    frac_b = fractional_factorial(registry, 3)
+    assert [s.run_id for s in frac_a] == [s.run_id for s in frac_b]
+    assert {spec.run_id for spec in frac_a} <= full
+    assert len(frac_a) < len(full)
+    # The baseline always survives the subsample.
+    assert frac_a[0].deviations(registry) == {}
+    with pytest.raises(ValueError):
+        fractional_factorial(registry, 0)
+
+
+def test_generate_dispatch():
+    registry = toy_registry()
+    assert [s.run_id for s in generate("loo", registry)] \
+        == [s.run_id for s in leave_one_out(registry)]
+    with pytest.raises(KeyError):
+        generate("warp", registry)
+    # fraction implies factorial whatever kind says
+    frac = generate("loo", registry, fraction=2)
+    assert {s.run_id for s in frac} \
+        <= {s.run_id for s in full_factorial(registry)}
