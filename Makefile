@@ -1,9 +1,9 @@
 # Convenience targets for the reproduction workflow.
 
 .PHONY: install test bench bench-baseline bench-compare bench-backend \
-	bench-ablate fleet-bench stream-sweep stream-bench experiments \
-	experiments-parallel ablations ablate tune-smoke faults-sweep ci \
-	examples clean
+	bench-ablate bench-ablate-search fleet-bench stream-sweep \
+	stream-bench experiments experiments-parallel ablations ablate \
+	tune-smoke faults-sweep ci examples clean
 
 # Worker count for the parallel experiment runner (override: make N=8 ...).
 N ?= 4
@@ -36,6 +36,12 @@ bench-backend:
 bench-ablate:
 	python -m repro.runtime.profiling bench --select ablation_matrix \
 		--out BENCH_5.json
+
+# Batched tune-engine rows: slow-reference vs cold vs warm halving
+# search plus population-objective throughput (BENCH_6).
+bench-ablate-search:
+	python -m repro.runtime.profiling bench --select ablation_search \
+		--out BENCH_6.json
 
 # Batched-vs-scalar fleet engine timings with equivalence checks.
 fleet-bench:

@@ -12,7 +12,8 @@ publish ``cache_hit_rate`` through ``extra_info`` into the
 import pytest
 
 from repro.ablation.engine import run_matrix
-from repro.ablation.objective import Scenario
+from repro.ablation.objective import (_REFERENCE_MEMO, Scenario,
+                                      reset_load_cache)
 from repro.runtime.cache import ResultCache
 
 #: One cheap page with a reading grid spanning the Tp break-even.
@@ -22,6 +23,10 @@ SCENARIO = Scenario(profile="ideal", pages=("www.motors.ebay.com",),
 
 @pytest.fixture
 def matrix_cache(tmp_path):
+    # Each row starts from a clean process state so earlier benchmarks'
+    # memoised loads can't flatter the cold wall time.
+    _REFERENCE_MEMO.clear()
+    reset_load_cache()
     return ResultCache(tmp_path / "ablation-cache")
 
 

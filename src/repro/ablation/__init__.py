@@ -19,8 +19,11 @@ from repro.ablation.engine import (KIND_ABLATE, MatrixResult, MatrixRun,
                                    run_matrix, run_specs, spec_seed)
 from repro.ablation.matrix import (GENERATORS, RunSpec, generate,
                                    spec_run_id)
-from repro.ablation.objective import (PopulationSpec, Scenario,
-                                      evaluate_setup)
+from repro.ablation.objective import (ABLATE_SLOW_ENV, PopulationSpec,
+                                      Scenario, ablate_fast_enabled,
+                                      evaluate_setup, evaluate_setups,
+                                      load_cache_stats, load_projection,
+                                      reset_load_cache)
 from repro.ablation.rank import Ranking, rank_components, write_ranking
 from repro.ablation.search import (ALGORITHMS, Constraint, Parameter,
                                    SearchResult, SearchSpace,
@@ -29,12 +32,14 @@ from repro.ablation.search import (ALGORITHMS, Constraint, Parameter,
                                    random_search)
 
 __all__ = [
-    "ALGORITHMS", "Component", "ComponentRegistry", "Constraint",
-    "GENERATORS", "KIND_ABLATE", "MatrixResult", "MatrixRun",
-    "Parameter", "PopulationSpec", "Ranking", "RunSpec", "Scenario",
-    "SearchResult", "SearchSpace", "STOCK_SETUP", "VariantSetup",
-    "default_registry", "default_space", "evaluate_setup", "generate",
-    "grid_search", "halving_search", "promote", "random_search",
-    "rank_components", "run_matrix", "run_specs", "spec_run_id",
+    "ABLATE_SLOW_ENV", "ALGORITHMS", "Component", "ComponentRegistry",
+    "Constraint", "GENERATORS", "KIND_ABLATE", "MatrixResult",
+    "MatrixRun", "Parameter", "PopulationSpec", "Ranking", "RunSpec",
+    "Scenario", "SearchResult", "SearchSpace", "STOCK_SETUP",
+    "VariantSetup", "ablate_fast_enabled", "default_registry",
+    "default_space", "evaluate_setup", "evaluate_setups", "generate",
+    "grid_search", "halving_search", "load_cache_stats",
+    "load_projection", "promote", "random_search", "rank_components",
+    "reset_load_cache", "run_matrix", "run_specs", "spec_run_id",
     "spec_seed", "write_ranking",
 ]

@@ -29,9 +29,11 @@ from typing import (Any, Callable, Dict, List, Mapping, Optional,
 
 import numpy as np
 
-from repro.ablation.components import ComponentRegistry, default_registry
+from repro.ablation.components import ComponentRegistry, VariantSetup, \
+    default_registry
 from repro.ablation.matrix import RunSpec, generate
-from repro.ablation.objective import Scenario, evaluate_setup
+from repro.ablation.objective import (Scenario, ablate_fast_enabled,
+                                      evaluate_setup, evaluate_setups)
 from repro.runtime.cache import ResultCache, cache_key, code_version_hash
 
 #: Task kind under which matrix studies appear in ``runtime.parallel``.
@@ -109,23 +111,67 @@ class MatrixRun:
         }
 
 
-def _execute_spec(registry_name: str, spec: RunSpec, scenario: Scenario,
-                  seed: int) -> Dict[str, Any]:
-    """Worker entry point: evaluate one cell, return its payload."""
-    registry = registry_by_name(registry_name)
+def _setup_for_spec(registry: ComponentRegistry,
+                    spec: RunSpec) -> VariantSetup:
     setup = registry.setup_for(spec.assignment_dict)
     if spec.overrides:
         setup = setup.apply(spec.overrides_dict)
+    return setup
+
+
+def _execute_spec(registry_name: str, spec: RunSpec, scenario: Scenario,
+                  seed: int,
+                  cache_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Worker entry point: evaluate one cell, return its payload.
+
+    ``cache_dir`` points pool workers at the matrix's on-disk cache so
+    memoised page loads (keyed by the load-relevant projection) are
+    shared across processes, not just within one.
+    """
+    registry = registry_by_name(registry_name)
+    setup = _setup_for_spec(registry, spec)
+    load_cache = ResultCache(cache_dir) if cache_dir is not None else None
     # Legacy global stream, for any stray np.random user on the path.
     np.random.seed(seed % (2 ** 32))
     started = _time.perf_counter()
-    metrics = evaluate_setup(setup, scenario, seed)
+    metrics = evaluate_setup(setup, scenario, seed,
+                             load_cache=load_cache)
     return {
         "run_id": spec.run_id,
         "seed": seed,
         "metrics": metrics,
         "wall_time": _time.perf_counter() - started,
     }
+
+
+def _execute_specs_batched(registry_name: str, specs: Sequence[RunSpec],
+                           scenario: Scenario, seeds: Mapping[str, int],
+                           cache_dir: Optional[str] = None
+                           ) -> List[Dict[str, Any]]:
+    """Evaluate many cells in one unit-grid pass (single-process path).
+
+    Nothing on the evaluation path reads the legacy global np.random
+    stream (predictor and capacity draws use explicit ``eval_seed``
+    generators), so skipping the per-spec ``np.random.seed`` of
+    :func:`_execute_spec` cannot change metrics — the golden tests
+    compare this path against per-spec execution byte for byte.
+    Per-cell wall time is an equal share of the batch (runtime summary
+    only; it never reaches a deterministic report).
+    """
+    registry = registry_by_name(registry_name)
+    load_cache = ResultCache(cache_dir) if cache_dir is not None else None
+    pairs = [(_setup_for_spec(registry, spec), seeds[spec.run_id])
+             for spec in specs]
+    started = _time.perf_counter()
+    metrics_list = evaluate_setups(pairs, scenario,
+                                   load_cache=load_cache)
+    share = (_time.perf_counter() - started) / len(specs)
+    return [{
+        "run_id": spec.run_id,
+        "seed": seeds[spec.run_id],
+        "metrics": metrics,
+        "wall_time": share,
+    } for spec, metrics in zip(specs, metrics_list)]
 
 
 def _warm_worker() -> None:
@@ -265,9 +311,13 @@ def run_specs(specs: Sequence[RunSpec], scenario: Scenario,
         pending.append(spec)
 
     if pending:
-        if processes == 1 or len(pending) == 1:
+        cache_dir = str(cache.root) if cache is not None else None
+        if processes == 1 and len(pending) > 1 and ablate_fast_enabled():
+            payloads = _execute_specs_batched(registry_name, pending,
+                                              scenario, seeds, cache_dir)
+        elif processes == 1 or len(pending) == 1:
             payloads = [_execute_spec(registry_name, spec, scenario,
-                                      seeds[spec.run_id])
+                                      seeds[spec.run_id], cache_dir)
                         for spec in pending]
         else:
             workers = min(processes, len(pending))
@@ -275,7 +325,7 @@ def run_specs(specs: Sequence[RunSpec], scenario: Scenario,
                                      initializer=_warm_worker) as pool:
                 futures = [pool.submit(_execute_spec, registry_name,
                                        spec, scenario,
-                                       seeds[spec.run_id])
+                                       seeds[spec.run_id], cache_dir)
                            for spec in pending]
                 payloads = [future.result() for future in futures]
         by_id = {spec.run_id: spec for spec in pending}

@@ -30,12 +30,27 @@ Determinism: fault plans derive from ``(scenario.seed, page index)`` —
 identical across runs and variants — while the run's own randomness (the
 ``gbrt-like`` predictor's error band, the capacity run) draws from the
 ``eval_seed`` handed in by the engine, which spawns it off the run ID.
+
+Batched evaluation (PR 8): only a *projection* of the setup can change a
+discrete-event page load — reorganisation, intermediate display, fast
+dormancy, and the T1/T2 timers (:func:`load_projection`).  α/Tp/Td, the
+decision mode and the predictor level are scoring-only, so
+:func:`_load_page` outcomes are memoised on ``(page, profile, page_seed,
+projection)`` — process-local plus the content-addressed on-disk
+:class:`~repro.runtime.cache.ResultCache` — and a tune sweep over
+thresholds runs its simulations once, not once per trial.  Scoring then
+runs over the whole (trials × pages × readings) unit grid through the
+``*_grid`` array forms of :mod:`repro.rrc.tail` in a fleet backend
+namespace.  The scalar per-unit loop is retained verbatim behind
+``REPRO_ABLATE_SLOW=1`` and the two paths are golden-gated
+byte-identical (``tests/ablation/test_batched_golden.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+import os
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,17 +60,49 @@ from repro.browser.original import OriginalEngine
 from repro.core.session import browse_and_read
 from repro.faults.injector import FaultPlan
 from repro.faults.profiles import get_profile
+from repro.fleet import backend as fleet_backend
 from repro.rrc.states import RrcState
 from repro.rrc.tail import (
+    STATE_IDLE,
     promotion_energy,
+    promotion_energy_grid,
     promotion_latency,
+    promotion_latency_grid,
     tail_energy_after_release,
     tail_energy_after_tx,
+    tail_energy_grid,
     tail_state_after_release,
     tail_state_after_tx,
+    tail_state_grid,
 )
+from repro.runtime.cache import ResultCache, cache_key
+from repro.runtime.observability import KERNEL_STATS
 from repro.runtime.seeding import DEFAULT_ROOT_SEED, spawn_seeds
 from repro.webpages.corpus import find_page
+
+#: Set to any non-empty value to route through the scalar per-unit
+#: reference evaluator (no load memo, no grid scoring) — the golden
+#: twin of the batched path, read at call time like REPRO_FLEET_SLOW.
+ABLATE_SLOW_ENV = "REPRO_ABLATE_SLOW"
+
+#: Array namespace the grid scoring runs in ("numpy" default;
+#: "restricted" enforces array-API-only usage in CI).
+ABLATE_BACKEND_ENV = "REPRO_ABLATE_BACKEND"
+
+#: Cache kind for memoised page-load outcomes (tentpole: loads are
+#: keyed by the load-relevant projection, not the full setup).
+KIND_LOAD_PAGE = "ablate-load"
+
+
+def ablate_fast_enabled() -> bool:
+    """Whether the batched evaluator is active (checked per call)."""
+    return not os.environ.get(ABLATE_SLOW_ENV)
+
+
+def scoring_namespace():
+    """The array namespace the unit-grid scoring runs in."""
+    return fleet_backend.get_namespace(
+        os.environ.get(ABLATE_BACKEND_ENV) or "numpy")
 
 #: Default page set: two mid-size full-version Table 3 pages — big
 #: enough that reorganisation matters, small enough for dense matrices.
@@ -181,6 +228,102 @@ def _load_page(page_name: str, setup: VariantSetup, profile: str,
         hold_time=hold)
 
 
+# ----------------------------------------------------------------------
+# Load-outcome caching: the projection contract.
+#
+# A discrete-event page load can only depend on the knobs below —
+# which engine runs (reorganisation), what it renders early
+# (intermediate_display), whether it releases channels
+# (fast_dormancy), and the radio timers (t1/t2, which shape promotion
+# timing and the hold-time accounting).  α/Tp/Td, the decision mode
+# and the predictor level are consulted strictly after the load, so
+# two setups differing only in those share one cached load — the
+# Hypothesis property in tests/ablation/test_batched_golden.py pins
+# this contract.
+# ----------------------------------------------------------------------
+
+#: VariantSetup fields that can change a page-load outcome.
+LOAD_FIELDS: Tuple[str, ...] = ("reorganisation", "intermediate_display",
+                                "fast_dormancy", "t1", "t2")
+
+
+def load_projection(setup: VariantSetup) -> Dict[str, object]:
+    """The load-relevant projection of a setup — the cache key half."""
+    return {
+        "reorganisation": bool(setup.reorganisation),
+        "intermediate_display": bool(setup.intermediate_display),
+        "fast_dormancy": bool(setup.fast_dormancy),
+        "t1": float(setup.t1),
+        "t2": float(setup.t2),
+    }
+
+
+def load_cache_key(page_name: str, profile: str, page_seed: int,
+                   setup: VariantSetup) -> str:
+    """On-disk cache key for one page-load outcome (content-addressed:
+    the current code-version hash is folded in automatically)."""
+    return cache_key(KIND_LOAD_PAGE, page_name, {
+        "profile": profile,
+        "page_seed": int(page_seed),
+        "projection": load_projection(setup),
+    })
+
+
+#: Process-local load memo: ``(page, profile, page_seed, projection
+#: items) -> _PageLoad``.
+_LOAD_MEMO: Dict[Tuple, _PageLoad] = {}
+
+#: Counters for the BENCH_6 load-cache hit-rate rows.
+_LOAD_STATS = {"loads": 0, "memo_hits": 0, "disk_hits": 0}
+
+
+def load_cache_stats() -> Dict[str, int]:
+    """Snapshot of the load counters (simulated / memo / disk hits)."""
+    return dict(_LOAD_STATS)
+
+
+def reset_load_cache() -> None:
+    """Clear the process-local load memo and its counters (tests,
+    benchmarks; the on-disk cache is the caller's to manage)."""
+    _LOAD_MEMO.clear()
+    for counter in _LOAD_STATS:
+        _LOAD_STATS[counter] = 0
+
+
+def _load_page_cached(page_name: str, setup: VariantSetup, profile: str,
+                      page_seed: int,
+                      load_cache: Optional[ResultCache] = None
+                      ) -> _PageLoad:
+    """:func:`_load_page` through the projection memo and disk cache.
+
+    Safe because the load path draws no global randomness (fault plans
+    are seeded per ``(profile, page_seed)``) and ``_PageLoad`` is six
+    floats — JSON round-trips them exactly via ``repr``, so a cached
+    load scores byte-identically to a fresh one.
+    """
+    memo_key = (page_name, profile, int(page_seed),
+                tuple(load_projection(setup).items()))
+    hit = _LOAD_MEMO.get(memo_key)
+    if hit is not None:
+        _LOAD_STATS["memo_hits"] += 1
+        return hit
+    key = None
+    if load_cache is not None:
+        key = load_cache_key(page_name, profile, page_seed, setup)
+        payload = load_cache.get(key)
+        if payload is not None:
+            load = _PageLoad(**payload["load"])
+            _LOAD_STATS["disk_hits"] += 1
+            _LOAD_MEMO[memo_key] = load
+            return load
+    load = _load_page(page_name, setup, profile, page_seed)
+    _LOAD_STATS["loads"] += 1
+    if load_cache is not None:
+        load_cache.put(key, {"load": asdict(load)})
+    _LOAD_MEMO[memo_key] = load
+    return load
+
+
 def _wants_switch(setup: VariantSetup, reading: float,
                   predicted: float) -> bool:
     """Algorithm 2's decision for one unit, given a prediction."""
@@ -212,15 +355,16 @@ def _predictions(setup: VariantSetup, readings: np.ndarray,
 
 
 def _reading_phase(setup: VariantSetup, load: _PageLoad, reading: float,
-                   switch: bool) -> Tuple[float, RrcState]:
+                   switch: bool, rrc) -> Tuple[float, RrcState]:
     """Closed-form reading energy and the radio state at the next click.
 
     Anchored at the channel release when the variant released (energy-
     aware engine with fast dormancy), at the last transmission otherwise
     — exactly the Fig. 16 evaluator's accounting.  A switching unit cuts
     the tail at α and idles for the rest of the reading period.
+    ``rrc`` is the setup's radio config, built once per setup by the
+    caller rather than per unit.
     """
-    rrc = setup.to_config().rrc
     released = setup.reorganisation and setup.fast_dormancy
     if released:
         start = load.release_offset
@@ -254,9 +398,15 @@ def _drop_probability(holds: List[float], population: PopulationSpec,
     return result.drop_probability
 
 
-def evaluate_setup(setup: VariantSetup, scenario: Scenario,
-                   eval_seed: int) -> Dict[str, float]:
-    """Score one variant under one scenario; pure given its inputs."""
+def _evaluate_setup_slow(setup: VariantSetup, scenario: Scenario,
+                         eval_seed: int) -> Dict[str, float]:
+    """The scalar per-unit reference evaluator (``REPRO_ABLATE_SLOW``).
+
+    One full discrete-event load per page per call — no memo, no disk
+    cache, no grid scoring — so it is the honest before-state the
+    BENCH_6 rows compare against, and the golden twin the batched path
+    must match byte for byte.
+    """
     page_seeds = spawn_seeds(scenario.seed, len(scenario.pages))
     loads = [_load_page(name, setup, scenario.profile, page_seed)
              for name, page_seed in zip(scenario.pages, page_seeds)]
@@ -277,11 +427,13 @@ def evaluate_setup(setup: VariantSetup, scenario: Scenario,
                                    float(predicted[unit]))
             unit += 1
             read_energy, state = _reading_phase(setup, load,
-                                                float(reading), switch)
+                                                float(reading), switch,
+                                                rrc)
             switches += bool(switch)
             energies.append(load.loading_energy + read_energy
                             + promotion_energy(state, rrc))
             delays.append(promotion_latency(state, rrc))
+    KERNEL_STATS.record_work(len(energies))
 
     metrics: Dict[str, float] = {
         "energy": float(np.mean(energies)),
@@ -304,13 +456,200 @@ def evaluate_setup(setup: VariantSetup, scenario: Scenario,
     return metrics
 
 
+def _drop_probabilities_batched(pools: Sequence[np.ndarray],
+                                population: PopulationSpec,
+                                eval_seeds: Sequence[int],
+                                block_size: int = 1 << 16
+                                ) -> List[float]:
+    """Per-trial drop probabilities through the streaming block kernel.
+
+    Each trial reuses :meth:`CapacitySimulator.draw` for the canonical
+    arrival/service streams (same config seeding, same
+    ``spawn_key=(1,)`` capacity seed as :func:`_drop_probability`),
+    then resolves drops by threading :class:`DropCarry` through
+    :func:`repro.fleet.capacity.resolve_drops_block` — identical masks
+    to one whole-array ``resolve_drops`` per cell (the block-chaining
+    golden gates of PRs 5–6), without a scalar heap in sight.
+    """
+    from repro.capacity.simulator import CapacityConfig, CapacitySimulator
+    from repro.fleet.capacity import resolve_drops_block
+
+    out: List[float] = []
+    for pool, eval_seed in zip(pools, eval_seeds):
+        config = CapacityConfig(n_channels=population.n_channels,
+                                mean_interval=population.mean_interval,
+                                horizon=population.horizon,
+                                seed=eval_seed)
+        simulator = CapacitySimulator(pool, config)
+        capacity_seed = int(np.random.SeedSequence(
+            eval_seed, spawn_key=(1,)).generate_state(1)[0])
+        rng = np.random.default_rng(capacity_seed)
+        arrivals, services = simulator.draw(population.n_users, rng)
+        dropped = 0
+        carry = None
+        for lo in range(0, arrivals.size, block_size):
+            mask, carry = resolve_drops_block(
+                arrivals[lo:lo + block_size],
+                services[lo:lo + block_size],
+                population.n_channels, carry)
+            dropped += int(mask.sum())
+        sessions = int(arrivals.size)
+        out.append(dropped / sessions if sessions else 0.0)
+    return out
+
+
+def _evaluate_batch(pairs: Sequence[Tuple[VariantSetup, int]],
+                    scenario: Scenario,
+                    load_cache: Optional[ResultCache] = None
+                    ) -> List[Dict[str, float]]:
+    """Score every ``(setup, eval_seed)`` pair in one unit-grid pass."""
+    xp = scoring_namespace()
+    page_seeds = spawn_seeds(scenario.seed, len(scenario.pages))
+    n_read = len(scenario.reading_times)
+    n_units = len(scenario.pages) * n_read
+    readings_np = np.asarray(
+        [r for _ in scenario.pages for r in scenario.reading_times],
+        dtype=float)
+
+    loads_per_trial = [
+        [_load_page_cached(name, setup, scenario.profile, page_seed,
+                           load_cache)
+         for name, page_seed in zip(scenario.pages, page_seeds)]
+        for setup, _ in pairs]
+
+    # Flat (trials × pages × readings) grid, trial-major — slice t is
+    # elementwise what the scalar loop computes for trial t.
+    total = len(pairs) * n_units
+    start = np.empty(total)
+    b1 = np.empty(total)
+    b2 = np.empty(total)
+    loading = np.empty(total)
+    alpha = np.empty(total)
+    reading = np.empty(total)
+    switch = np.zeros(total, dtype=bool)
+    for t, (setup, eval_seed) in enumerate(pairs):
+        base = t * n_units
+        span = slice(base, base + n_units)
+        if setup.fast_dormancy:
+            predicted = _predictions(setup, readings_np, eval_seed)
+            threshold = setup.tp if setup.mode == "power" else setup.td
+            switch[span] = ((readings_np > setup.alpha)
+                            & (predicted > threshold))
+        reading[span] = readings_np
+        alpha[span] = setup.alpha
+        released = setup.reorganisation and setup.fast_dormancy
+        b1[span] = 0.0 if released else setup.t1
+        b2[span] = setup.t2 if released else setup.t1 + setup.t2
+        for p, load in enumerate(loads_per_trial[t]):
+            cell = slice(base + p * n_read, base + (p + 1) * n_read)
+            start[cell] = (load.release_offset if released
+                           else load.tail_offset)
+            loading[cell] = load.loading_energy
+
+    # Power/promotion constants never vary across trials (VariantSetup
+    # only moves the timers, which ride in b1/b2), so one config covers
+    # the whole grid.
+    rrc = pairs[0][0].to_config().rrc
+
+    sx = fleet_backend.as_namespace_array(start, xp)
+    rx = fleet_backend.as_namespace_array(reading, xp)
+    ax = fleet_backend.as_namespace_array(alpha, xp)
+    b1x = fleet_backend.as_namespace_array(b1, xp)
+    b2x = fleet_backend.as_namespace_array(b2, xp)
+    swx = fleet_backend.as_namespace_array(switch, xp)
+    lx = fleet_backend.as_namespace_array(loading, xp)
+
+    end_full = sx + rx
+    e_full = tail_energy_grid(xp, sx, end_full, b1x, b2x, rrc)
+    e_cut = (tail_energy_grid(xp, sx, sx + ax, b1x, b2x, rrc)
+             + rrc.power.idle * (rx - ax))
+    read_energy = xp.where(swx, e_cut, e_full)
+
+    states = tail_state_grid(xp, end_full, b1x, b2x)
+    idle = xp.full(states.shape, STATE_IDLE, dtype=xp.int64)
+    states = xp.where(swx, idle, states)
+
+    energies = ((lx + read_energy)
+                + promotion_energy_grid(xp, states, rrc))
+    delays = promotion_latency_grid(xp, states, rrc)
+    energies_np = fleet_backend.to_numpy(energies)
+    delays_np = fleet_backend.to_numpy(delays)
+    KERNEL_STATS.record_work(total)
+
+    drops: Optional[List[float]] = None
+    if scenario.population is not None:
+        pools = [np.asarray([load.hold_time for load in loads],
+                            dtype=float)
+                 for loads in loads_per_trial]
+        drops = _drop_probabilities_batched(
+            pools, scenario.population, [seed for _, seed in pairs])
+
+    reference = reference_metrics(scenario, load_cache=load_cache)
+    results: List[Dict[str, float]] = []
+    for t, (setup, eval_seed) in enumerate(pairs):
+        span = slice(t * n_units, (t + 1) * n_units)
+        loads = loads_per_trial[t]
+        metrics: Dict[str, float] = {
+            "energy": float(np.mean(energies_np[span])),
+            "delay": float(np.mean(delays_np[span])),
+            "load_time": float(np.mean([load.load_time
+                                        for load in loads])),
+            "tx_time": float(np.mean([load.tx_time for load in loads])),
+            "switch_rate": int(switch[span].sum()) / n_units,
+        }
+        if drops is not None:
+            metrics["drop_probability"] = drops[t]
+        if reference["energy"] > 0:
+            metrics["energy_saving"] = (
+                (reference["energy"] - metrics["energy"])
+                / reference["energy"])
+        else:
+            metrics["energy_saving"] = 0.0
+        results.append(metrics)
+    return results
+
+
+def evaluate_setups(pairs: Sequence[Tuple[VariantSetup, int]],
+                    scenario: Scenario,
+                    load_cache: Optional[ResultCache] = None
+                    ) -> List[Dict[str, float]]:
+    """Batched trial evaluation: metrics per ``(setup, eval_seed)``.
+
+    Byte-identical to calling :func:`evaluate_setup` per pair — the
+    grid slices are elementwise what the per-trial arrays would be, and
+    ``np.mean`` over equal values at equal length is exact.  With
+    ``REPRO_ABLATE_SLOW`` set, falls through to the scalar reference
+    one pair at a time.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return []
+    if not ablate_fast_enabled():
+        return [_evaluate_setup_slow(setup, scenario, eval_seed)
+                for setup, eval_seed in pairs]
+    return _evaluate_batch(pairs, scenario, load_cache)
+
+
+def evaluate_setup(setup: VariantSetup, scenario: Scenario,
+                   eval_seed: int,
+                   load_cache: Optional[ResultCache] = None
+                   ) -> Dict[str, float]:
+    """Score one variant under one scenario; pure given its inputs."""
+    if not ablate_fast_enabled():
+        return _evaluate_setup_slow(setup, scenario, eval_seed)
+    return _evaluate_batch([(setup, eval_seed)], scenario,
+                           load_cache)[0]
+
+
 #: Process-local memo: the stock browser's metrics per scenario.  The
 #: stock setup has no run-level randomness (``never-switch`` predictor,
 #: no capacity draw needed), so the scenario fully determines it.
 _REFERENCE_MEMO: Dict[Tuple, Dict[str, float]] = {}
 
 
-def reference_metrics(scenario: Scenario) -> Dict[str, float]:
+def reference_metrics(scenario: Scenario,
+                      load_cache: Optional[ResultCache] = None
+                      ) -> Dict[str, float]:
     """The stock browser's scores under ``scenario`` (memoised)."""
     key = (scenario.profile, scenario.pages, scenario.reading_times,
            scenario.seed)
@@ -319,15 +658,22 @@ def reference_metrics(scenario: Scenario) -> Dict[str, float]:
         return hit
     reference = replace(scenario, population=None)
     page_seeds = spawn_seeds(reference.seed, len(reference.pages))
-    loads = [_load_page(name, STOCK_SETUP, reference.profile, page_seed)
-             for name, page_seed in zip(reference.pages, page_seeds)]
+    if ablate_fast_enabled():
+        loads = [_load_page_cached(name, STOCK_SETUP, reference.profile,
+                                   page_seed, load_cache)
+                 for name, page_seed in zip(reference.pages, page_seeds)]
+    else:
+        loads = [_load_page(name, STOCK_SETUP, reference.profile,
+                            page_seed)
+                 for name, page_seed in zip(reference.pages, page_seeds)]
     rrc = STOCK_SETUP.to_config().rrc
     energies: List[float] = []
     delays: List[float] = []
     for load in loads:
         for reading in reference.reading_times:
             read_energy, state = _reading_phase(STOCK_SETUP, load,
-                                                float(reading), False)
+                                                float(reading), False,
+                                                rrc)
             energies.append(load.loading_energy + read_energy
                             + promotion_energy(state, rrc))
             delays.append(promotion_latency(state, rrc))

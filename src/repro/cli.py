@@ -210,10 +210,18 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     from repro.ablation import ALGORITHMS, Constraint
 
     search = ALGORITHMS[args.algorithm]
+    if args.objective == "drop_probability" and not args.population:
+        print("--objective drop_probability needs --population N (the "
+              "metric is an M/G/N capacity run over the variant's own "
+              "channel-hold times)", file=sys.stderr)
+        return 2
     constraints = []
     if args.budget_delay is not None:
         constraints.append(Constraint("delay", args.budget_delay))
     if args.budget_drop is not None:
+        if not args.population:
+            print("--budget-drop needs --population N", file=sys.stderr)
+            return 2
         constraints.append(Constraint("drop_probability",
                                       args.budget_drop))
     cache = None
@@ -682,7 +690,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="search algorithm (default: halving)")
     tune.add_argument(
         "--objective", default="energy",
-        help="metric to minimise (default: energy)")
+        help="metric to minimise (default: energy; "
+             "drop_probability needs --population N — per-trial "
+             "capacity runs batched through the fleet block kernel)")
     tune.add_argument(
         "--budget-delay", type=float, default=None, metavar="SECONDS",
         help="constraint: mean next-click delay must stay <= SECONDS")

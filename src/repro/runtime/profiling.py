@@ -173,6 +173,12 @@ def _distil(raw: Dict[str, Any]) -> Dict[str, Any]:
             # content-addressed result cache (1.0 on a warm rerun).
             "cache_hit_rate": round(float(extra.get("cache_hit_rate",
                                                     0.0)), 3),
+            # Ablation-search rows: fraction of page-load lookups the
+            # projection memo/disk cache absorbed, and the count of
+            # discrete-event loads actually simulated.
+            "load_cache_hit_rate": round(float(extra.get(
+                "load_cache_hit_rate", 0.0)), 3),
+            "page_loads": int(extra.get("page_loads", 0)),
         }
         benchmarks.append(row)
     return {

@@ -1,0 +1,213 @@
+"""Golden gates for the batched trial evaluator.
+
+``REPRO_ABLATE_SLOW=1`` routes evaluation through the scalar per-unit
+reference — one discrete-event load per page per call, no projection
+memo, no grid scoring, a ``CapacitySimulator`` per population cell.
+Every comparison here proves the batched default produces exactly the
+same bytes: matrix reports, tune JSONL traces and reports (including a
+population scenario), and the raw metrics dicts.  The Hypothesis
+properties pin the load-cache-key contract: the key is exactly the
+load-relevant projection, so setups differing only in α/Tp/Td/mode or
+the predictor level share one cached load.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ablation.components import VariantSetup
+from repro.ablation.engine import run_matrix
+from repro.ablation.objective import (
+    _REFERENCE_MEMO,
+    PopulationSpec,
+    Scenario,
+    evaluate_setup,
+    evaluate_setups,
+    load_cache_key,
+    load_cache_stats,
+    load_projection,
+    reset_load_cache,
+)
+from repro.ablation.search import Parameter, SearchSpace, halving_search
+from repro.runtime.cache import ResultCache
+
+TINY = Scenario(profile="ideal", pages=("www.motors.ebay.com",),
+                reading_times=(2.0, 9.0, 30.0))
+EDGE = replace(TINY, profile="cell_edge")
+POP = replace(TINY, population=PopulationSpec(
+    n_users=400, n_channels=20, horizon=600.0, mean_interval=10.0))
+
+#: The acceptance-criteria search: α/Tp only — every trial shares one
+#: load projection, which is what makes the warm sweep cheap.
+THRESHOLD_SPACE = SearchSpace((Parameter("alpha", 0.5, 4.0),
+                               Parameter("tp", 2.0, 18.0)))
+
+
+def _clear_process_state() -> None:
+    _REFERENCE_MEMO.clear()
+    reset_load_cache()
+
+
+@pytest.fixture(autouse=True)
+def fresh_state():
+    _clear_process_state()
+    yield
+    _clear_process_state()
+
+
+def _slow(monkeypatch) -> None:
+    """Flip to the scalar reference with all memoised state dropped, so
+    the slow pass recomputes everything from scratch."""
+    monkeypatch.setenv("REPRO_ABLATE_SLOW", "1")
+    _clear_process_state()
+
+
+SETUPS = (
+    VariantSetup(reorganisation=True, fast_dormancy=True,
+                 predictor="gbrt-like"),
+    VariantSetup(reorganisation=False, intermediate_display=False,
+                 fast_dormancy=True, predictor="oracle", alpha=3.0,
+                 tp=12.0, mode="power"),
+    VariantSetup(reorganisation=True, fast_dormancy=False,
+                 predictor="never-switch", t1=2.0, t2=10.0),
+    VariantSetup(reorganisation=True, fast_dormancy=True,
+                 predictor="always-switch"),
+)
+
+
+def test_batched_equals_per_trial():
+    pairs = [(setup, 1000 + i) for i, setup in enumerate(SETUPS)]
+    batched = evaluate_setups(pairs, TINY)
+    singles = [evaluate_setup(setup, TINY, seed) for setup, seed in pairs]
+    assert batched == singles
+
+
+def test_matrix_report_byte_identical_slow_vs_fast(monkeypatch):
+    fast = run_matrix("loo", TINY)
+    _slow(monkeypatch)
+    slow = run_matrix("loo", TINY)
+    assert fast.report() == slow.report()
+    assert [run.metrics for run in fast.runs] == \
+        [run.metrics for run in slow.runs]
+    assert [run.seed for run in fast.runs] == \
+        [run.seed for run in slow.runs]
+
+
+def test_tune_trace_byte_identical_slow_vs_fast(tmp_path, monkeypatch):
+    kwargs = dict(space=THRESHOLD_SPACE, n_trials=5, objective="energy",
+                  seed=123)
+    fast = halving_search(EDGE, trace_path=tmp_path / "fast.jsonl",
+                          **kwargs)
+    _slow(monkeypatch)
+    slow = halving_search(EDGE, trace_path=tmp_path / "slow.jsonl",
+                          **kwargs)
+    assert (tmp_path / "fast.jsonl").read_bytes() == \
+        (tmp_path / "slow.jsonl").read_bytes()
+    assert fast.report() == slow.report()
+    assert fast.to_dict() == slow.to_dict()
+
+
+def test_population_metrics_byte_identical(monkeypatch):
+    fast = [evaluate_setup(setup, POP, 42 + i)
+            for i, setup in enumerate(SETUPS)]
+    _slow(monkeypatch)
+    slow = [evaluate_setup(setup, POP, 42 + i)
+            for i, setup in enumerate(SETUPS)]
+    assert fast == slow
+    assert all("drop_probability" in metrics for metrics in fast)
+
+
+def test_population_tune_trace_byte_identical(tmp_path, monkeypatch):
+    kwargs = dict(space=THRESHOLD_SPACE, n_trials=4,
+                  objective="drop_probability", seed=7)
+    fast = halving_search(POP, trace_path=tmp_path / "fast.jsonl",
+                          **kwargs)
+    _slow(monkeypatch)
+    slow = halving_search(POP, trace_path=tmp_path / "slow.jsonl",
+                          **kwargs)
+    assert (tmp_path / "fast.jsonl").read_bytes() == \
+        (tmp_path / "slow.jsonl").read_bytes()
+    assert fast.report() == slow.report()
+    assert fast.to_dict() == slow.to_dict()
+
+
+def test_threshold_sweep_shares_one_load():
+    base = VariantSetup(reorganisation=True, fast_dormancy=True,
+                        predictor="oracle")
+    variants = [replace(base, alpha=alpha, tp=tp, predictor=predictor)
+                for alpha, tp, predictor in
+                ((0.5, 4.0, "oracle"), (2.0, 9.0, "gbrt-like"),
+                 (3.5, 15.0, "always-switch"), (1.0, 6.0, "oracle"))]
+    for i, variant in enumerate(variants):
+        evaluate_setup(variant, TINY, 50 + i)
+    stats = load_cache_stats()
+    # One load for the shared projection, one for the stock reference;
+    # every later trial is a memo hit.
+    assert stats["loads"] == 2
+    assert stats["memo_hits"] == len(variants) - 1
+
+
+def test_disk_cache_roundtrip_byte_identical(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    setup = VariantSetup(reorganisation=True, fast_dormancy=True,
+                         predictor="gbrt-like")
+    first = evaluate_setup(setup, TINY, 9, load_cache=cache)
+    _clear_process_state()
+    second = evaluate_setup(setup, TINY, 9, load_cache=cache)
+    stats = load_cache_stats()
+    assert stats["loads"] == 0
+    assert stats["disk_hits"] == 2  # the variant's load + the stock ref
+    assert first == second
+
+
+# ----------------------------------------------------------------------
+# The projection contract, property-tested.
+# ----------------------------------------------------------------------
+
+#: Scoring-only knobs: consulted strictly after the load.  Td stays
+#: >= Tp per PolicyConfig's validation.
+_SCORING_ONLY = st.fixed_dictionaries({
+    "alpha": st.floats(0.5, 4.0),
+    "tp": st.floats(2.0, 18.0),
+    "td": st.floats(18.0, 40.0),
+    "mode": st.sampled_from(["power", "delay"]),
+    "predictor": st.sampled_from(["oracle", "gbrt-like",
+                                  "always-switch", "never-switch"]),
+})
+
+#: Load-relevant knobs: anything here must change the cache key.
+_LOAD_RELEVANT = st.fixed_dictionaries({}, optional={
+    "reorganisation": st.booleans(),
+    "intermediate_display": st.booleans(),
+    "fast_dormancy": st.booleans(),
+    "t1": st.floats(1.0, 8.0),
+    "t2": st.floats(4.0, 20.0),
+})
+
+_BASE = VariantSetup(reorganisation=True, fast_dormancy=True,
+                     predictor="oracle")
+
+
+@settings(max_examples=50, deadline=None)
+@given(overrides=_SCORING_ONLY)
+def test_scoring_only_knobs_share_the_load_key(overrides):
+    variant = replace(_BASE, **overrides)
+    assert load_projection(variant) == load_projection(_BASE)
+    assert load_cache_key("p", "ideal", 1, variant) == \
+        load_cache_key("p", "ideal", 1, _BASE)
+
+
+@settings(max_examples=100, deadline=None)
+@given(load_overrides=_LOAD_RELEVANT, scoring_overrides=_SCORING_ONLY)
+def test_key_changes_exactly_with_the_projection(load_overrides,
+                                                 scoring_overrides):
+    variant = replace(_BASE, **{**load_overrides, **scoring_overrides})
+    same_projection = load_projection(variant) == load_projection(_BASE)
+    same_key = (load_cache_key("p", "ideal", 1, variant)
+                == load_cache_key("p", "ideal", 1, _BASE))
+    assert same_key == same_projection
+    moved = {name for name, value in load_overrides.items()
+             if getattr(_BASE, name) != value}
+    assert same_projection == (not moved)
