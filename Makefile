@@ -1,9 +1,9 @@
 # Convenience targets for the reproduction workflow.
 
 .PHONY: install test bench bench-baseline bench-compare bench-backend \
-	bench-ablate bench-ablate-search fleet-bench stream-sweep \
-	stream-bench experiments experiments-parallel ablations ablate \
-	tune-smoke faults-sweep ci examples clean
+	bench-ablate bench-ablate-search bench-sched fleet-bench \
+	stream-sweep stream-bench experiments experiments-parallel \
+	ablations ablate tune-smoke faults-sweep ci examples clean
 
 # Worker count for the parallel experiment runner (override: make N=8 ...).
 N ?= 4
@@ -42,6 +42,12 @@ bench-ablate:
 bench-ablate-search:
 	python -m repro.runtime.profiling bench --select ablation_search \
 		--out BENCH_6.json
+
+# Distributed work-stealing scheduler: 1-worker task timings plus the
+# modelled 8-worker speedup on the fig11 10x sweep (BENCH_7).
+bench-sched:
+	python -m repro.runtime.profiling bench --select sched_workdir \
+		--out BENCH_7.json
 
 # Batched-vs-scalar fleet engine timings with equivalence checks.
 fleet-bench:

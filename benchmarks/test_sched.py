@@ -1,0 +1,139 @@
+"""Distributed sweep scheduler bench: the fig11 10x population sweep
+through the work-dir executor.
+
+One worker executes every task of the sweep (plans, units, stitches)
+back to back, timing each task individually.  The recorded artifact
+(``BENCH_7.json``) then carries two things:
+
+- the 1-worker wall time (the benchmark's own ``wall_time``), and
+- ``sched_speedup_8w``: the 8-worker speedup over the same task set,
+  computed by longest-processing-time list scheduling of the
+  *measured* task durations over the plan -> units -> stitch
+  dependency DAG.  CI machines (and this one) expose a single core,
+  so an 8-process wall-clock measurement would just time-slice one
+  CPU; scheduling the measured durations is the honest version of the
+  same number, and the task graph it schedules is exactly the one the
+  executor exposes to real workers.
+
+The apples-to-apples guard at the end re-runs the sweep serially and
+requires byte-identical output — the speedup is only worth recording
+if the distributed run is exact.
+"""
+
+import heapq
+import itertools
+
+from repro.capacity.simulator import CapacityConfig
+from repro.sched import (ensure_spec, execute_work_dir, merge_work_dir,
+                         spec_payload)
+from repro.stream.sweep import (default_user_counts, lognormal_pool,
+                                run_stream_sweep)
+
+SCALE = 10
+N_CHANNELS = 200 * SCALE
+HORIZON = 28800.0
+UNIT_BLOCKS = 8
+MODELLED_WORKERS = 8
+
+
+def _setup():
+    pool = lognormal_pool()
+    config = CapacityConfig(n_channels=N_CHANNELS, horizon=HORIZON,
+                            seed=7)
+    counts = default_user_counts(config, float(pool.mean()))
+    return pool, config, counts
+
+
+def _task_graph(durations):
+    """(deps, duration) per task id, from the executor's task names."""
+    unit_deps = {}
+    for task_id in durations:
+        kind, rest = task_id.split("-", 1)
+        if kind == "unit":
+            point = rest.split("-", 1)[0]
+            unit_deps.setdefault(point, []).append(task_id)
+    graph = {}
+    for task_id, seconds in durations.items():
+        kind, rest = task_id.split("-", 1)
+        if kind == "plan":
+            deps = []
+        elif kind == "unit":
+            deps = [f"plan-{rest.split('-', 1)[0]}"]
+        else:  # stitch
+            deps = [f"plan-{rest}"] + unit_deps.get(rest, [])
+        graph[task_id] = (deps, float(seconds))
+    return graph
+
+
+def list_schedule_makespan(durations, n_workers):
+    """LPT list scheduling of measured durations over the task DAG."""
+    graph = _task_graph(durations)
+    indegree = {t: len(deps) for t, (deps, _) in graph.items()}
+    dependents = {t: [] for t in graph}
+    for task, (deps, _) in graph.items():
+        for dep in deps:
+            dependents[dep].append(task)
+    release = {t: 0.0 for t in graph if indegree[t] == 0}
+    # ready: longest duration first among released tasks
+    ready = [(-graph[t][1], t) for t in release]
+    heapq.heapify(ready)
+    workers = [0.0] * n_workers
+    heapq.heapify(workers)
+    finish = {}
+    pending = {t: rel for t, rel in release.items()}
+    scheduled = set()
+    while len(finish) < len(graph):
+        if not ready:
+            raise RuntimeError("dependency cycle in task graph")
+        _neg, task = heapq.heappop(ready)
+        free_at = heapq.heappop(workers)
+        start = max(free_at, pending[task])
+        end = start + graph[task][1]
+        finish[task] = end
+        heapq.heappush(workers, end)
+        scheduled.add(task)
+        for dependent in dependents[task]:
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                pending[dependent] = max(
+                    finish[d] for d in graph[dependent][0])
+                heapq.heappush(ready,
+                               (-graph[dependent][1], dependent))
+    return max(finish.values())
+
+
+_round = itertools.count()
+
+
+def test_sched_workdir_fig11_10x(benchmark, record_report, tmp_path):
+    pool, config, counts = _setup()
+    payload = spec_payload(pool, counts, config, seed=7,
+                           unit_blocks=UNIT_BLOCKS)
+    captured = {}
+
+    def _one_worker_sweep():
+        work_dir = tmp_path / f"round-{next(_round)}"
+        ensure_spec(work_dir, payload)
+        captured["stats"] = execute_work_dir(work_dir)
+        return merge_work_dir(work_dir)
+
+    result = benchmark.pedantic(_one_worker_sweep, rounds=1,
+                                iterations=1)
+    assert sum(point.dropped for point in result.points) > 0
+
+    durations = captured["stats"]["tasks"]
+    assert len(durations) > MODELLED_WORKERS  # enough units to matter
+    one_worker = sum(durations.values())
+    makespan = list_schedule_makespan(durations, MODELLED_WORKERS)
+    speedup = one_worker / makespan
+    benchmark.extra_info["sched_tasks"] = len(durations)
+    benchmark.extra_info["sched_one_worker_s"] = round(one_worker, 3)
+    benchmark.extra_info["sched_makespan_8w_s"] = round(makespan, 3)
+    benchmark.extra_info["sched_speedup_8w"] = round(speedup, 2)
+    assert speedup >= 3.0
+
+    # apples-to-apples: the distributed bytes are the serial bytes
+    serial = run_stream_sweep(pool, counts, config, seed=7,
+                              stream=True)
+    assert result.report() == serial.report()
+    record_report(result)

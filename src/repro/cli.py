@@ -13,6 +13,7 @@ Subcommands::
     repro profile fig11 [--kind experiment] [--top 25] [--report prof.json]
     repro fleet-bench [--scale 10] [--handsets 1500]
     repro stream-sweep [--scale 10] [--horizon 28800] [--out shards/]
+                       [--work-dir D --worker-id k/K [--unit-blocks 8]]
     repro trace --out trace.csv
     repro train --trace trace.csv --out model.json
     repro predict --model model.json --trace trace.csv --threshold 9
@@ -408,8 +409,15 @@ def _cmd_stream_sweep(args: argparse.Namespace) -> int:
     """Run a fig11-shaped capacity sweep through the block pipeline.
 
     The report is mode-free (byte-identical between ``--stream`` and
-    ``--no-stream``); the runtime counters line below it is where the
+    ``--no-stream``, and between serial and ``--work-dir``
+    distributed runs); the runtime counters line below it is where the
     execution mode shows.
+
+    ``--work-dir`` switches to the coordinator-free distributed
+    executor: launch the same command with the same work directory
+    from any number of processes (or hosts sharing the filesystem),
+    giving each a distinct ``--worker-id k/K``; every worker finishes
+    with the identical report.
     """
     from repro.capacity.simulator import CapacityConfig
     from repro.runtime.observability import collecting
@@ -423,12 +431,33 @@ def _cmd_stream_sweep(args: argparse.Namespace) -> int:
         ("--block", args.block or 1, 1),
         ("--checkpoint-every", args.checkpoint_every, 1),
         ("--parallel", args.parallel, 1),
+        ("--unit-blocks", args.unit_blocks, 1),
+        ("--stale-after", args.stale_after, 1e-9),
         *((f"--users {n}", n, 1) for n in args.users or ()),
     ) if value < floor]
     if bad:
         print(f"stream-sweep arguments must be positive: "
               f"{', '.join(bad)}", file=sys.stderr)
         return 2
+    worker_index, n_workers = 0, 1
+    if args.work_dir is not None:
+        if args.stream is False:
+            print("--work-dir runs the streamed pipeline; it cannot "
+                  "be combined with --no-stream", file=sys.stderr)
+            return 2
+        if args.parallel != 1:
+            print("--work-dir and --parallel are different execution "
+                  "models; pick one", file=sys.stderr)
+            return 2
+        try:
+            worker_index, n_workers = map(int,
+                                          args.worker_id.split("/"))
+        except ValueError:
+            worker_index, n_workers = -1, 0
+        if not 0 <= worker_index < n_workers:
+            print(f"--worker-id must look like k/K with 0 <= k < K, "
+                  f"got {args.worker_id!r}", file=sys.stderr)
+            return 2
     pool = lognormal_pool(seed=args.pool_seed)
     config = CapacityConfig(n_channels=200 * args.scale,
                             horizon=args.horizon, seed=args.seed)
@@ -437,11 +466,21 @@ def _cmd_stream_sweep(args: argparse.Namespace) -> int:
     stream = True if args.stream is None else args.stream
     block = args.block or DEFAULT_BLOCK_ARRIVALS
     with collecting() as stats:
-        result = run_stream_sweep(
-            pool, counts, config, seed=args.seed, stream=stream,
-            block_arrivals=block, shard_dir=args.out,
-            checkpoint_every=args.checkpoint_every,
-            processes=args.parallel)
+        if args.work_dir is not None:
+            from repro.sched import run_distributed_sweep
+            result = run_distributed_sweep(
+                pool, counts, config, seed=args.seed,
+                work_dir=args.work_dir,
+                worker_id=f"w{worker_index}of{n_workers}-{os.getpid()}",
+                worker_index=worker_index, block_arrivals=block,
+                unit_blocks=args.unit_blocks,
+                stale_after=args.stale_after)
+        else:
+            result = run_stream_sweep(
+                pool, counts, config, seed=args.seed, stream=stream,
+                block_arrivals=block, shard_dir=args.out,
+                checkpoint_every=args.checkpoint_every,
+                processes=args.parallel)
     snap = stats.snapshot()
     print(result.report())
     mode = "streamed" if stream else "in-memory"
@@ -449,6 +488,10 @@ def _cmd_stream_sweep(args: argparse.Namespace) -> int:
           f"{snap.stream_spills} spills, "
           f"{snap.stream_shard_bytes} shard bytes, "
           f"peak carried state {snap.stream_peak_carried_bytes} B --")
+    if args.work_dir is not None:
+        print(f"-- sched: {snap.sched_units} units, "
+              f"{snap.sched_replay_blocks} replayed blocks, "
+              f"{snap.sched_steals} steals --")
     if args.report:
         payload = result.to_dict()
         payload["kernel"] = snap.to_dict()
@@ -785,6 +828,22 @@ def build_parser() -> argparse.ArgumentParser:
     stream_sweep.add_argument(
         "--parallel", type=int, default=1, metavar="N",
         help="fan sweep points across N worker processes (default: 1)")
+    stream_sweep.add_argument(
+        "--work-dir", metavar="DIR", default=None,
+        help="shared work directory for the distributed "
+             "work-stealing executor; run the same command from "
+             "several processes/hosts to split the sweep")
+    stream_sweep.add_argument(
+        "--worker-id", metavar="K/N", default="0/1",
+        help="this worker's index and the worker count, e.g. 1/4 "
+             "(default: 0/1); only used with --work-dir")
+    stream_sweep.add_argument(
+        "--unit-blocks", type=int, default=8, metavar="BLOCKS",
+        help="blocks per work unit in --work-dir mode (default: 8)")
+    stream_sweep.add_argument(
+        "--stale-after", type=float, default=30.0, metavar="SECONDS",
+        help="heartbeat age after which a worker's claim is stolen "
+             "in --work-dir mode (default: 30)")
     stream_sweep.add_argument(
         "--stream", action=argparse.BooleanOptionalAction, default=None,
         help="block pipeline (--stream, default) or the in-memory "

@@ -56,6 +56,13 @@ class SimRunStats:
     #: Largest carried state (drop carry + aggregate) between any two
     #: blocks, in bytes — the streaming memory claim, measured.
     stream_peak_carried_bytes: int = 0
+    #: Work units (block ranges) executed by the distributed scheduler.
+    sched_units: int = 0
+    #: Blocks re-resolved by the carry-chain stitch before the replayed
+    #: frontier coincided with the speculative one.
+    sched_replay_blocks: int = 0
+    #: Stale claims stolen from crashed (or paused) workers.
+    sched_steals: int = 0
 
     @property
     def sim_time_ratio(self) -> float:
@@ -89,7 +96,11 @@ class SimRunStats:
             + other.stream_shard_bytes,
             stream_peak_carried_bytes=max(
                 self.stream_peak_carried_bytes,
-                other.stream_peak_carried_bytes))
+                other.stream_peak_carried_bytes),
+            sched_units=self.sched_units + other.sched_units,
+            sched_replay_blocks=self.sched_replay_blocks
+            + other.sched_replay_blocks,
+            sched_steals=self.sched_steals + other.sched_steals)
 
     def to_dict(self) -> Dict[str, float]:
         """Flat dict for JSON/CSV report rows."""
@@ -108,6 +119,9 @@ class SimRunStats:
             "stream_spills": self.stream_spills,
             "stream_shard_bytes": self.stream_shard_bytes,
             "stream_peak_carried_bytes": self.stream_peak_carried_bytes,
+            "sched_units": self.sched_units,
+            "sched_replay_blocks": self.sched_replay_blocks,
+            "sched_steals": self.sched_steals,
         }
 
 
@@ -135,6 +149,9 @@ class KernelStatsCollector:
         self._stream_spills = 0
         self._stream_shard_bytes = 0
         self._stream_peak_carried_bytes = 0
+        self._sched_units = 0
+        self._sched_replay_blocks = 0
+        self._sched_steals = 0
         self._runs = 0
 
     def record_run(self, events_processed: int, cancellations: int,
@@ -181,6 +198,15 @@ class KernelStatsCollector:
             if carried_bytes > self._stream_peak_carried_bytes:
                 self._stream_peak_carried_bytes = int(carried_bytes)
 
+    def record_sched(self, units: int = 0, replay_blocks: int = 0,
+                     steals: int = 0) -> None:
+        """Fold distributed-scheduler counters in (one call per work
+        unit, stitch pass, or steal — never per block)."""
+        with self._lock:
+            self._sched_units += int(units)
+            self._sched_replay_blocks += int(replay_blocks)
+            self._sched_steals += int(steals)
+
     def record(self, stats: SimRunStats) -> None:
         """Fold one run's counters into the aggregate (record form)."""
         with self._lock:
@@ -216,6 +242,9 @@ class KernelStatsCollector:
                 > self._stream_peak_carried_bytes:
             self._stream_peak_carried_bytes = \
                 stats.stream_peak_carried_bytes
+        self._sched_units += stats.sched_units
+        self._sched_replay_blocks += stats.sched_replay_blocks
+        self._sched_steals += stats.sched_steals
 
     def reset(self) -> None:
         """Zero the aggregate (start of a new attribution window)."""
@@ -233,6 +262,9 @@ class KernelStatsCollector:
             self._stream_spills = 0
             self._stream_shard_bytes = 0
             self._stream_peak_carried_bytes = 0
+            self._sched_units = 0
+            self._sched_replay_blocks = 0
+            self._sched_steals = 0
             self._runs = 0
 
     def snapshot(self) -> SimRunStats:
@@ -252,7 +284,10 @@ class KernelStatsCollector:
                 stream_spills=self._stream_spills,
                 stream_shard_bytes=self._stream_shard_bytes,
                 stream_peak_carried_bytes=self
-                ._stream_peak_carried_bytes)
+                ._stream_peak_carried_bytes,
+                sched_units=self._sched_units,
+                sched_replay_blocks=self._sched_replay_blocks,
+                sched_steals=self._sched_steals)
 
     @property
     def runs_recorded(self) -> int:

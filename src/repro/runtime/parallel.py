@@ -436,11 +436,20 @@ def parallel_stream_points(simulator, user_counts: Sequence[int],
     runtime report sees blocks/spills from every process.  Per-point
     shard subdirectories (chosen by the caller) keep workers from
     racing on a shared manifest.
+
+    Points are *submitted* largest ``n_users`` first: a sweep's point
+    costs scale with its session count, and submission order is the
+    only scheduling lever a process pool offers — caller order put the
+    most expensive points (the knee and beyond, listed last) at the
+    tail of the queue, where one of them routinely ran alone while
+    every other worker sat idle.  Results are restored to caller order
+    before returning, so the reordering is invisible in the output.
     """
     from repro.runtime.observability import KERNEL_STATS
     from repro.runtime.shm import SharedArray
 
     counts = list(user_counts)
+    order = sorted(range(len(counts)), key=lambda i: -counts[i])
     workers = min(processes, len(counts))
     shared = SharedArray.create(simulator.service_times)
     try:
@@ -449,9 +458,11 @@ def parallel_stream_points(simulator, user_counts: Sequence[int],
                 initializer=_attach_stream_worker,
                 initargs=(shared.spec, simulator.config,
                           dict(options))) as pool:
-            futures = [pool.submit(_run_stream_point, n, s)
-                       for n, s in zip(counts, seeds)]
-            outcomes = [future.result() for future in futures]
+            futures = {i: pool.submit(_run_stream_point, counts[i],
+                                      seeds[i])
+                       for i in order}
+            outcomes = [futures[i].result()
+                        for i in range(len(counts))]
     finally:
         shared.close()
         shared.unlink()

@@ -179,6 +179,15 @@ def _distil(raw: Dict[str, Any]) -> Dict[str, Any]:
             "load_cache_hit_rate": round(float(extra.get(
                 "load_cache_hit_rate", 0.0)), 3),
             "page_loads": int(extra.get("page_loads", 0)),
+            # Distributed-scheduler rows: work-unit/replay/steal
+            # counters plus the 8-worker speedup modelled from the
+            # measured task durations (see benchmarks/test_sched.py).
+            "sched_units": int(extra.get("sched_units", 0)),
+            "sched_replay_blocks": int(extra.get("sched_replay_blocks",
+                                                 0)),
+            "sched_steals": int(extra.get("sched_steals", 0)),
+            "sched_speedup_8w": round(float(extra.get(
+                "sched_speedup_8w", 0.0)), 2),
         }
         benchmarks.append(row)
     return {

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import math
 from fractions import Fraction
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -405,6 +405,183 @@ class QuantileSketch:
     __hash__ = None
 
 
+class PartialQuantileSketch:
+    """Exact sketch fragment over elements ``[start, start+count)`` of
+    a globally-ordered stream.
+
+    ``QuantileSketch.merge`` is rank-correct but *not* byte-identical
+    to feeding one sequence through ``add_block`` — merging two halves
+    compacts different buffers than the sequential fill would (k=4,
+    halves of 3+3: the merge compacts six raws at once where the
+    sequential path compacted at element 4).  The distributed sweep
+    needs byte-identity, so a unit records a fragment the stitcher can
+    replay *as if* the stream had been sequential:
+
+    - **head** — raw values before the first global ``k``-aligned
+      boundary inside the fragment (they complete a level-0 buffer the
+      previous fragment started);
+    - **nodes** — the aligned middle, decomposed into canonical dyadic
+      nodes: a height-``h`` node covers ``2^h`` consecutive aligned
+      ``k``-segments and holds the ``k/2`` values the sequential sketch
+      would keep for that subtree (``N_0(seg) = sorted(seg)[1::2]``,
+      ``combine(a, b) = sorted(a + b)[1::2]``) — ``O(log)`` nodes per
+      fragment, built with a local binary counter;
+    - **tail** — raw values past the last complete segment (they seed
+      the next fragment's first buffer, or the final level-0 buffer).
+
+    The sequential sketch state after ``M`` full segments *is* a binary
+    counter over those segments (compaction is eager and exact at
+    ``k``), so :func:`stitch_quantile_sketch` rebuilds it exactly from
+    the fragments' nodes — proven byte-identical property-by-property
+    in ``tests/stream/test_aggregate.py``.
+    """
+
+    __slots__ = ("_k", "_start", "_count", "_head", "_buf", "_nodes")
+
+    def __init__(self, start: int, k: int = 256):
+        if k < 2 or k % 2:
+            raise ValueError(f"k must be even and >= 2, got {k}")
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        self._k = int(k)
+        self._start = int(start)
+        self._count = 0
+        self._head: List[float] = []
+        self._buf: List[float] = []
+        self._nodes: List[List] = []  # [height, start_segment, values]
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def add_block(self, values) -> "PartialQuantileSketch":
+        x = np.asarray(values, dtype=np.float64).ravel()
+        if x.size == 0:
+            return self
+        _require_finite(x)
+        data = x.tolist()
+        k = self._k
+        i, n = 0, len(data)
+        # head: global positions before the first k-aligned boundary
+        first_boundary = -(-self._start // k) * k
+        pos = self._start + self._count
+        if pos < first_boundary:
+            take = min(first_boundary - pos, n)
+            self._head.extend(data[:take])
+            self._count += take
+            i = take
+        while i < n:
+            take = min(k - len(self._buf), n - i)
+            self._buf.extend(data[i:i + take])
+            self._count += take
+            i += take
+            if len(self._buf) == k:
+                seg = (self._start + self._count) // k - 1
+                self._push_node(0, seg, sorted(self._buf)[1::2])
+                self._buf = []
+        return self
+
+    def _push_node(self, height: int, start_seg: int,
+                   values: List[float]) -> None:
+        self._nodes.append([height, start_seg, values])
+        while len(self._nodes) >= 2 \
+                and self._nodes[-1][0] == self._nodes[-2][0] \
+                and self._nodes[-2][1] % (1 << (self._nodes[-2][0] + 1)) \
+                == 0:
+            _, _, right = self._nodes.pop()
+            h, s, left = self._nodes.pop()
+            self._nodes.append([h + 1, s, sorted(left + right)[1::2]])
+
+    def to_parts(self) -> dict:
+        """JSON-safe fragment (floats round-trip exactly via repr)."""
+        return {
+            "k": self._k,
+            "start": self._start,
+            "count": self._count,
+            "head": list(self._head),
+            "tail": list(self._buf),
+            "nodes": [[h, list(v)] for h, _, v in self._nodes],
+        }
+
+
+def stitch_quantile_sketch(parts_seq: Sequence[dict]) -> QuantileSketch:
+    """Rebuild the sequential :class:`QuantileSketch` from ordered
+    fragments tiling ``[0, total)``; byte-identical to ``add_block``
+    over the concatenated stream.
+
+    Cost is ``O(k log)`` per fragment boundary plus one segment sort
+    per raw-spillover segment — independent of the stream length the
+    fragments cover, which is what makes the distributed stitch cheap.
+    """
+    parts = [p.to_parts() if isinstance(p, PartialQuantileSketch) else p
+             for p in parts_seq]
+    if not parts:
+        return QuantileSketch()
+    k = int(parts[0]["k"])
+    carry: List[float] = []   # raws awaiting a full segment
+    stack: List[List] = []    # binary counter: [height, start_seg, values]
+    seg_cursor = 0            # global index of the next segment to close
+    expected = 0              # global element index the next part must start at
+
+    def push(height: int, values: List[float]) -> None:
+        nonlocal seg_cursor
+        stack.append([height, seg_cursor, list(values)])
+        seg_cursor += 1 << height
+        while len(stack) >= 2 and stack[-1][0] == stack[-2][0] \
+                and stack[-2][1] % (1 << (stack[-2][0] + 1)) == 0:
+            _, _, right = stack.pop()
+            h, s, left = stack.pop()
+            stack.append([h + 1, s, sorted(left + right)[1::2]])
+
+    def feed_raws(values: List[float]) -> None:
+        i, n = 0, len(values)
+        while i < n:
+            take = min(k - len(carry), n - i)
+            carry.extend(values[i:i + take])
+            i += take
+            if len(carry) == k:
+                push(0, sorted(carry)[1::2])
+                del carry[:]
+
+    for part in parts:
+        if int(part["k"]) != k:
+            raise ValueError(
+                f"fragment k={part['k']} does not match k={k}")
+        if int(part["start"]) != expected:
+            raise ValueError(
+                f"fragment starts at {part['start']}, expected "
+                f"{expected}: fragments must tile the stream in order")
+        feed_raws([float(v) for v in part["head"]])
+        if part["nodes"] and (carry or seg_cursor * k != expected
+                              + len(part["head"])):
+            raise ValueError("fragment nodes are not aligned with the "
+                             "stitched prefix")
+        for height, values in part["nodes"]:
+            push(int(height), [float(v) for v in values])
+        feed_raws([float(v) for v in part["tail"]])
+        expected += int(part["count"])
+
+    total = expected
+    segments = total // k
+    if seg_cursor != segments or len(carry) != total % k:
+        raise ValueError("fragments do not add up to a whole stream")
+    sketch = QuantileSketch(k=k)
+    sketch._count = total
+    levels: List[List[float]] = [list(carry)]
+    if segments:
+        levels.extend([] for _ in range(segments.bit_length()))
+        for height, _, values in stack:
+            levels[height + 1] = list(values)
+        error = 0
+        shift = 0
+        while segments >> shift:
+            error += (segments >> shift) << shift
+            shift += 1
+        sketch._error = error
+    sketch._levels = levels
+    return sketch
+
+
 #: Quantile anchors reported per sweep point (fig11 CDF anchors).
 SERVICE_QUANTILES = (0.5, 0.9, 0.99)
 
@@ -465,3 +642,55 @@ class ServiceAggregate:
                 and self.sketch == other.sketch)
 
     __hash__ = None
+
+
+class PartialServiceAggregate:
+    """Per-unit fragment of a :class:`ServiceAggregate`.
+
+    Moments and extrema merge exactly in any grouping (big-int adds and
+    min/max are associative down to the bit), so the fragment simply
+    holds them; the sketch — whose ``merge`` is *not* sequential-
+    equivalent — is held as a :class:`PartialQuantileSketch` fragment
+    instead.  :func:`stitch_service_aggregates` folds an ordered run of
+    fragments into the exact ``ServiceAggregate`` the serial pipeline
+    would have produced.
+    """
+
+    __slots__ = ("moments", "extrema", "sketch_parts")
+
+    def __init__(self, start: int, quantile_k: int = 256):
+        self.moments = MeanVariance()
+        self.extrema = MinMax()
+        self.sketch_parts = PartialQuantileSketch(start, k=quantile_k)
+
+    def add_block(self, values) -> "PartialServiceAggregate":
+        x = np.asarray(values, dtype=np.float64).ravel()
+        self.moments.add_block(x)
+        self.extrema.add_block(x)
+        self.sketch_parts.add_block(x)
+        return self
+
+    def to_state(self) -> dict:
+        return {"moments": self.moments.to_state(),
+                "extrema": self.extrema.to_state(),
+                "sketch_parts": self.sketch_parts.to_parts()}
+
+    @classmethod
+    def state_start(cls, state: dict) -> int:
+        return int(state["sketch_parts"]["start"])
+
+
+def stitch_service_aggregates(states: Sequence[dict]
+                              ) -> ServiceAggregate:
+    """Fold ordered :meth:`PartialServiceAggregate.to_state` fragments
+    into the exact sequential :class:`ServiceAggregate`."""
+    states = list(states)
+    aggregate = ServiceAggregate()
+    if not states:
+        return aggregate
+    for state in states:
+        aggregate.moments.merge(MeanVariance.from_state(state["moments"]))
+        aggregate.extrema.merge(MinMax.from_state(state["extrema"]))
+    aggregate.sketch = stitch_quantile_sketch(
+        [state["sketch_parts"] for state in states])
+    return aggregate

@@ -17,7 +17,15 @@ shard.  The design goals, in order:
 - **parameter hygiene** — the store carries a caller-supplied
   ``fingerprint`` of the run parameters; opening a root whose manifest
   was written under a different fingerprint discards it wholesale
-  rather than resuming someone else's run.
+  rather than resuming someone else's run;
+- **concurrent writers** — two stores sharing a directory (the
+  distributed executor writes one shard per work unit into a single
+  per-point root) serialise manifest updates through a claim-file lock
+  and re-read the manifest inside the critical section, so an update
+  never silently drops a key another writer just published.  A live
+  lock that cannot be acquired within the timeout raises
+  :class:`ShardContentionError` instead of racing; a lock whose holder
+  died is stolen once its age passes ``lock_stale_after``.
 """
 
 from __future__ import annotations
@@ -31,8 +39,14 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.runtime import lease
+
 _MANIFEST_NAME = "manifest.json"
 _MANIFEST_VERSION = 1
+
+
+class ShardContentionError(RuntimeError):
+    """A live writer holds the manifest lock and would not let go."""
 
 
 def params_fingerprint(params: dict) -> str:
@@ -53,11 +67,16 @@ def _atomic_write(path: Path, data: bytes) -> None:
 class ShardStore:
     """Content-verified key/value store of npz shards in one directory."""
 
-    def __init__(self, root, fingerprint: str):
+    def __init__(self, root, fingerprint: str, *,
+                 lock_timeout: float = 10.0,
+                 lock_stale_after: float = 5.0):
         self.root = Path(root)
         self.fingerprint = str(fingerprint)
+        self.lock_timeout = float(lock_timeout)
+        self.lock_stale_after = float(lock_stale_after)
         self.root.mkdir(parents=True, exist_ok=True)
         self._manifest_path = self.root / _MANIFEST_NAME
+        self._lock_path = self.root / (_MANIFEST_NAME + ".lock")
         self._shards: Dict[str, dict] = {}
         self._load_manifest()
 
@@ -87,6 +106,31 @@ class ShardStore:
         data = json.dumps(manifest, indent=2, sort_keys=True)
         _atomic_write(self._manifest_path, data.encode("utf-8"))
 
+    def _mutate_manifest(self, mutate) -> None:
+        """Apply ``mutate(shards)`` under the manifest writer lock.
+
+        The manifest is re-read from disk inside the critical section:
+        with several writers on one root, the in-memory copy may
+        predate keys another process published, and a blind rewrite
+        would drop them (the silent last-writer-wins race this lock
+        exists to kill).
+        """
+        owner = f"pid-{os.getpid()}"
+        if not lease.acquire_blocking(
+                self._lock_path, owner, timeout=self.lock_timeout,
+                stale_after=self.lock_stale_after):
+            raise ShardContentionError(
+                f"manifest lock at {self._lock_path} held by "
+                f"{lease.claim_owner(self._lock_path)!r} for longer "
+                f"than {self.lock_timeout}s")
+        try:
+            self._shards = {}
+            self._load_manifest()
+            mutate(self._shards)
+            self._write_manifest()
+        finally:
+            lease.release(self._lock_path)
+
     def keys(self):
         return sorted(self._shards)
 
@@ -107,13 +151,13 @@ class ShardStore:
         data = buffer.getvalue()
         filename = f"{key}.npz"
         _atomic_write(self.root / filename, data)
-        self._shards[key] = {
+        entry = {
             "file": filename,
             "sha256": hashlib.sha256(data).hexdigest(),
             "bytes": len(data),
             "meta": meta if meta is not None else {},
         }
-        self._write_manifest()
+        self._mutate_manifest(lambda shards: shards.update({key: entry}))
         return len(data)
 
     def get(self, key: str
@@ -140,15 +184,14 @@ class ShardStore:
         return arrays, entry.get("meta", {})
 
     def _invalidate(self, key: str) -> None:
-        self._shards.pop(key, None)
-        self._write_manifest()
+        self._mutate_manifest(lambda shards: shards.pop(key, None))
 
     def discard(self, key: str) -> None:
         """Remove a shard (file and manifest entry) if present."""
-        entry = self._shards.pop(key, None)
+        entry = self._shards.get(key)
+        self._mutate_manifest(lambda shards: shards.pop(key, None))
         if entry is not None:
             try:
                 os.remove(self.root / entry["file"])
             except OSError:
                 pass
-            self._write_manifest()

@@ -12,6 +12,7 @@ import pytest
 from repro.capacity.simulator import CapacityConfig, CapacitySimulator
 from repro.runtime.cache import ResultCache
 from repro.runtime.parallel import (
+    parallel_stream_points,
     parallel_sweep,
     run_ablations,
     run_experiments,
@@ -123,6 +124,29 @@ def test_parallel_sweep_matches_sequential_sweep():
     fanned = parallel_sweep(simulator, counts, processes=2, seed=7)
     assert [(r.n_users, r.sessions, r.dropped) for r in sequential] \
         == [(r.n_users, r.sessions, r.dropped) for r in fanned]
+
+
+def test_parallel_stream_points_restores_caller_order():
+    """Points are submitted largest-n_users-first (the cheap fix for
+    the skewed load balance: the expensive points used to sit at the
+    tail of the pool queue), but the returned list must still be in
+    caller order and identical to the serial points."""
+    from repro.stream.sweep import sweep_point
+
+    simulator = CapacitySimulator(
+        [10.0], CapacityConfig(n_channels=50, horizon=1200.0, seed=1))
+    # Deliberately not sorted by size, smallest first: the reordering
+    # at submission has to be undone on the way out.
+    counts = [40, 200, 120, 400]
+    seeds = simulator.sweep_seeds(len(counts), seed=7)
+    serial = [sweep_point(simulator, n, s, stream=True,
+                          block_arrivals=512)
+              for n, s in zip(counts, seeds)]
+    fanned = parallel_stream_points(simulator, counts, seeds,
+                                    processes=2, stream=True,
+                                    block_arrivals=512)
+    assert [p.n_users for p in fanned] == counts
+    assert fanned == serial
 
 
 def test_parallel_sweep_crn_mode():

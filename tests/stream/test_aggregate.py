@@ -203,3 +203,128 @@ def test_service_aggregate_merge_matches_whole():
         true_rank = int(np.searchsorted(xs, value, side="right"))
         assert abs(merged.sketch.rank(value) - true_rank) \
             <= merged.sketch.rank_error_bound
+
+
+# ----------------------------------------------------------------------
+# Distributed-sweep properties: merges over arbitrary partitions, and
+# the partition-exact sketch stitch (repro.sched's aggregate layer).
+# ----------------------------------------------------------------------
+
+from repro.stream.aggregate import (PartialQuantileSketch,  # noqa: E402
+                                    PartialServiceAggregate,
+                                    stitch_quantile_sketch,
+                                    stitch_service_aggregates)
+
+service_floats = st.floats(min_value=1e-3, max_value=1e6,
+                           allow_nan=False, allow_infinity=False)
+service_lists = st.lists(service_floats, max_size=200)
+cut_lists = st.lists(st.integers(min_value=0), min_size=2, max_size=5)
+
+
+@settings(max_examples=100, deadline=None)
+@given(float_lists, cut_lists, st.randoms(use_true_random=False))
+def test_moment_merges_are_order_invariant_over_partitions(values, cuts,
+                                                           rnd):
+    """ExactSum / MeanVariance / MinMax: any partition of the stream,
+    merged in any order, equals the whole — exactly, not approximately."""
+    x = np.array(values, dtype=np.float64)
+    whole = (ExactSum().add_block(x), MeanVariance().add_block(x),
+             MinMax().add_block(x))
+    pieces = _split(values, cuts)
+    order = list(range(len(pieces)))
+    rnd.shuffle(order)
+    merged = (ExactSum(), MeanVariance(), MinMax())
+    for i in order:
+        arr = np.array(pieces[i], dtype=np.float64)
+        merged[0].merge(ExactSum().add_block(arr))
+        merged[1].merge(MeanVariance().add_block(arr))
+        merged[2].merge(MinMax().add_block(arr))
+    assert merged[0] == whole[0]
+    assert merged[1] == whole[1]
+    assert merged[2] == whole[2]
+
+
+@settings(max_examples=100, deadline=None)
+@given(service_lists, cut_lists, st.sampled_from([2, 4, 8, 16]))
+def test_sketch_stitch_equals_sequential_over_partitions(values, cuts, k):
+    """The dyadic-fragment stitch rebuilds the *sequential* sketch
+    byte-for-byte from any partition of the stream into units."""
+    serial = QuantileSketch(k=k).add_block(
+        np.array(values, dtype=np.float64))
+    offset = 0
+    partials = []
+    for piece in _split(values, cuts):
+        partial = PartialQuantileSketch(offset, k=k)
+        partial.add_block(np.array(piece, dtype=np.float64))
+        offset += len(piece)
+        partials.append(partial)
+    assert stitch_quantile_sketch(partials) == serial
+
+
+@settings(max_examples=60, deadline=None)
+@given(service_lists, cut_lists)
+def test_sketch_stitch_survives_json_roundtrip(values, cuts):
+    """Fragments ride in shard manifests as JSON; repr round-trips
+    floats exactly, so the stitched sketch stays byte-identical."""
+    serial = QuantileSketch(k=4).add_block(
+        np.array(values, dtype=np.float64))
+    offset = 0
+    parts = []
+    for piece in _split(values, cuts):
+        partial = PartialQuantileSketch(offset, k=4)
+        partial.add_block(np.array(piece, dtype=np.float64))
+        offset += len(piece)
+        parts.append(json.loads(json.dumps(partial.to_parts())))
+    assert stitch_quantile_sketch(parts) == serial
+
+
+@settings(max_examples=60, deadline=None)
+@given(service_lists, cut_lists, st.sampled_from([2, 8]))
+def test_sketch_merge_stays_within_joint_rank_bound(values, cuts, k):
+    """Plain ``merge`` (the rank-approximate path) over any grouping:
+    weight is conserved and every rank estimate stays within the
+    merged sketch's self-reported bound."""
+    pieces = _split(values, cuts)
+    merged = QuantileSketch(k=k)
+    for piece in pieces:
+        merged.merge(QuantileSketch(k=k).add_block(
+            np.array(piece, dtype=np.float64)))
+    assert merged.count == len(values)
+    data = sorted(map(float, values))
+    for probe in data[:: max(1, len(data) // 7)]:
+        true_rank = sum(1 for v in data if v <= probe)
+        assert abs(merged.rank(probe) - true_rank) \
+            <= merged.rank_error_bound
+
+
+@settings(max_examples=60, deadline=None)
+@given(service_lists, cut_lists)
+def test_service_aggregate_stitch_equals_sequential(values, cuts):
+    """The composite fragment (exact moments + sketch parts) stitches
+    to the exact sequential ServiceAggregate, JSON round-trip included."""
+    serial = ServiceAggregate().add_block(
+        np.array(values, dtype=np.float64))
+    offset = 0
+    states = []
+    for piece in _split(values, cuts):
+        partial = PartialServiceAggregate(offset)
+        partial.add_block(np.array(piece, dtype=np.float64))
+        offset += len(piece)
+        states.append(json.loads(json.dumps(partial.to_state())))
+    assert stitch_service_aggregates(states) == serial
+
+
+def test_stitch_rejects_out_of_order_fragments():
+    a = PartialQuantileSketch(0, k=4).add_block(np.arange(6.0))
+    b = PartialQuantileSketch(6, k=4).add_block(np.arange(3.0))
+    with pytest.raises(ValueError):
+        stitch_quantile_sketch([b, a])
+    with pytest.raises(ValueError):
+        stitch_quantile_sketch([a, a])
+
+
+def test_stitch_rejects_mismatched_k():
+    a = PartialQuantileSketch(0, k=4).add_block(np.arange(4.0))
+    b = PartialQuantileSketch(4, k=8).add_block(np.arange(3.0))
+    with pytest.raises(ValueError):
+        stitch_quantile_sketch([a, b])

@@ -107,3 +107,75 @@ def test_manifest_is_valid_json(store, tmp_path):
     manifest = json.loads(
         (tmp_path / "shards" / "manifest.json").read_text())
     assert manifest["shards"]["checkpoint"]["bytes"] > 0
+
+
+def test_two_writers_sharing_a_root_lose_no_keys(tmp_path):
+    """Concurrent-writer hardening: each store's put() re-reads the
+    manifest under the lock, so interleaved writes from two store
+    instances (distinct keys, one directory) all survive."""
+    fp = params_fingerprint({"a": 1})
+    a = ShardStore(tmp_path / "shared", fp)
+    b = ShardStore(tmp_path / "shared", fp)  # opened before a writes
+    a.put("unit-0", {"x": np.arange(3.0)}, {"who": "a"})
+    b.put("unit-1", {"x": np.arange(4.0)}, {"who": "b"})
+    a.put("unit-2", {"x": np.arange(5.0)}, {"who": "a"})
+    fresh = ShardStore(tmp_path / "shared", fp)
+    assert fresh.keys() == ["unit-0", "unit-1", "unit-2"]
+    for key in fresh.keys():
+        arrays, _ = fresh.get(key)
+        assert arrays["x"].size > 0
+
+
+def test_two_writers_hammering_threads_lose_no_keys(tmp_path):
+    import threading
+
+    fp = params_fingerprint({"a": 2})
+    errors = []
+
+    def writer(name, count):
+        try:
+            store = ShardStore(tmp_path / "shared", fp)
+            for i in range(count):
+                store.put(f"{name}-{i}", {"x": np.arange(2.0)}, {})
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(n, 8))
+               for n in ("a", "b")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    fresh = ShardStore(tmp_path / "shared", fp)
+    assert len(fresh.keys()) == 16
+
+
+def test_live_lock_contention_raises(tmp_path):
+    from repro.runtime import lease
+    from repro.stream.shard import ShardContentionError
+
+    store = ShardStore(tmp_path / "shards", params_fingerprint({"a": 3}),
+                       lock_timeout=0.05, lock_stale_after=60.0)
+    # simulate a live writer holding the manifest lock
+    assert lease.try_claim(store._lock_path, "other-writer")
+    with pytest.raises(ShardContentionError):
+        store.put("k", {"x": np.arange(2.0)}, {})
+    lease.release(store._lock_path)
+    store.put("k", {"x": np.arange(2.0)}, {})
+    assert store.keys() == ["k"]
+
+
+def test_stale_lock_is_stolen(tmp_path):
+    import os
+    import time
+
+    from repro.runtime import lease
+
+    store = ShardStore(tmp_path / "shards", params_fingerprint({"a": 4}),
+                       lock_timeout=1.0, lock_stale_after=5.0)
+    assert lease.try_claim(store._lock_path, "dead-writer")
+    old = time.time() - 1000.0
+    os.utime(store._lock_path, (old, old))
+    store.put("k", {"x": np.arange(2.0)}, {})  # steals, does not raise
+    assert store.keys() == ["k"]
