@@ -1,9 +1,10 @@
 # Convenience targets for the reproduction workflow.
 
 .PHONY: install test bench bench-baseline bench-compare bench-backend \
-	bench-ablate bench-ablate-search bench-sched fleet-bench \
-	stream-sweep stream-bench experiments experiments-parallel \
-	ablations ablate tune-smoke faults-sweep ci examples clean
+	bench-ablate bench-ablate-search bench-sched bench-serve serve \
+	fleet-bench stream-sweep stream-bench experiments \
+	experiments-parallel ablations ablate tune-smoke faults-sweep ci \
+	examples clean
 
 # Worker count for the parallel experiment runner (override: make N=8 ...).
 N ?= 4
@@ -48,6 +49,16 @@ bench-ablate-search:
 bench-sched:
 	python -m repro.runtime.profiling bench --select sched_workdir \
 		--out BENCH_7.json
+
+# Serving rows: warm p99 under 8 closed-loop clients, micro-batched vs
+# unbatched, over the in-process HTTP server (BENCH_8).
+bench-serve:
+	python -m repro.runtime.profiling bench --select serve \
+		--out BENCH_8.json
+
+# The what-if capacity-planning service (foreground; ^C drains).
+serve:
+	python -m repro serve --job-dir serve-jobs
 
 # Batched-vs-scalar fleet engine timings with equivalence checks.
 fleet-bench:

@@ -1,0 +1,104 @@
+"""Serving bench: 8 closed-loop clients against the what-if service.
+
+Two phases over one in-process ``ThreadingHTTPServer``, both fully
+warm (corpus, load memo, benchmark memo populated by a priming pass):
+
+- **unbatched** — batch window 0: every request thread computes its
+  own fleet call and capacity run;
+- **batched** — the 5 ms micro-batch window: concurrent duplicates
+  coalesce to one computation and same-scenario requests share one
+  ``evaluate_setups`` grid pass.
+
+The recorded row (``BENCH_8.json``) carries both p99s; the gate — here
+as a hard assert, in CI against the committed artifact — is that the
+batched warm p99 beats the unbatched one at 8 clients.  Responses are
+golden-gated byte-identical across the two modes by
+``tests/serve/test_service_golden.py``, so the speedup is free of
+semantic drift.
+"""
+
+from repro.serve import ServeApp, ServerThread, WhatIfService
+from repro.serve.bench import run_serve_bench
+
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 6
+
+#: Three what-ifs over one mid-size cell; two share the ideal-profile
+#: scenario, so 8 clients keep both duplicate keys and a shared grid
+#: in flight — the traffic shape the batcher exists for.
+PAYLOADS = (
+    {"n_users": 120, "n_channels": 80, "horizon": 900.0,
+     "mean_interval": 12.0},
+    {"n_users": 150, "n_channels": 80, "horizon": 900.0,
+     "mean_interval": 12.0, "setup": {"predictor": "gbrt-like"}},
+    {"n_users": 120, "n_channels": 80, "horizon": 900.0,
+     "mean_interval": 12.0, "profile": "congested"},
+)
+
+
+def _measure(batch_window: float) -> dict:
+    service = WhatIfService(batch_window=batch_window)
+    service.warmup()
+    thread = ServerThread(ServeApp(service)).start()
+    try:
+        # Priming pass: fill every process cache so the measured loop
+        # is the steady state, not corpus generation.
+        run_serve_bench(thread.url, clients=2, requests_per_client=2,
+                        payloads=PAYLOADS)
+        return run_serve_bench(
+            thread.url, clients=CLIENTS,
+            requests_per_client=REQUESTS_PER_CLIENT,
+            payloads=PAYLOADS)
+    finally:
+        thread.stop()
+
+
+def test_serve_8_clients(benchmark, record_report):
+    results = {}
+
+    def run():
+        results["unbatched"] = _measure(batch_window=0.0)
+        results["batched"] = _measure(batch_window=0.005)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    unbatched = results["unbatched"]
+    batched = results["batched"]
+
+    benchmark.extra_info["serve_clients"] = CLIENTS
+    benchmark.extra_info["serve_requests"] = batched["requests"]
+    benchmark.extra_info["serve_unbatched_p99_ms"] = \
+        unbatched["latency_ms"]["p99"]
+    benchmark.extra_info["serve_batched_p99_ms"] = \
+        batched["latency_ms"]["p99"]
+    benchmark.extra_info["serve_unbatched_p50_ms"] = \
+        unbatched["latency_ms"]["p50"]
+    benchmark.extra_info["serve_batched_p50_ms"] = \
+        batched["latency_ms"]["p50"]
+    benchmark.extra_info["serve_batched_rps"] = \
+        batched["throughput_rps"]
+    benchmark.extra_info["work_units"] = (unbatched["requests"]
+                                          + batched["requests"])
+
+    class _Report:
+        @staticmethod
+        def report() -> str:
+            return (
+                f"{CLIENTS} closed-loop clients x "
+                f"{REQUESTS_PER_CLIENT} requests, warm server\n"
+                f"  unbatched: p50 "
+                f"{unbatched['latency_ms']['p50']:7.1f} ms  p99 "
+                f"{unbatched['latency_ms']['p99']:7.1f} ms  "
+                f"{unbatched['throughput_rps']:6.1f} req/s\n"
+                f"  batched:   p50 "
+                f"{batched['latency_ms']['p50']:7.1f} ms  p99 "
+                f"{batched['latency_ms']['p99']:7.1f} ms  "
+                f"{batched['throughput_rps']:6.1f} req/s")
+
+    record_report(_Report)
+
+    # The gate: coalescing must pay for its collection window.
+    assert batched["latency_ms"]["p99"] < \
+        unbatched["latency_ms"]["p99"], (
+        f"batched p99 {batched['latency_ms']['p99']:.1f} ms not below "
+        f"unbatched {unbatched['latency_ms']['p99']:.1f} ms")

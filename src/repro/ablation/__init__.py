@@ -16,14 +16,16 @@ from repro.ablation.components import (Component, ComponentRegistry,
                                        STOCK_SETUP, VariantSetup,
                                        default_registry)
 from repro.ablation.engine import (KIND_ABLATE, MatrixResult, MatrixRun,
-                                   run_matrix, run_specs, spec_seed)
+                                   run_matrix, run_specs, spec_seed,
+                                   warm_process)
 from repro.ablation.matrix import (GENERATORS, RunSpec, generate,
                                    spec_run_id)
 from repro.ablation.objective import (ABLATE_SLOW_ENV, PopulationSpec,
                                       Scenario, ablate_fast_enabled,
                                       evaluate_setup, evaluate_setups,
                                       load_cache_stats, load_projection,
-                                      reset_load_cache)
+                                      reset_load_cache,
+                                      variant_hold_pool)
 from repro.ablation.rank import Ranking, rank_components, write_ranking
 from repro.ablation.search import (ALGORITHMS, Constraint, Parameter,
                                    SearchResult, SearchSpace,
@@ -41,5 +43,5 @@ __all__ = [
     "grid_search", "halving_search", "load_cache_stats",
     "load_projection", "promote", "random_search", "rank_components",
     "reset_load_cache", "run_matrix", "run_specs", "spec_run_id",
-    "spec_seed", "write_ranking",
+    "spec_seed", "variant_hold_pool", "warm_process", "write_ranking",
 ]

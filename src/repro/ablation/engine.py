@@ -174,10 +174,21 @@ def _execute_specs_batched(registry_name: str, specs: Sequence[RunSpec],
     } for spec, metrics in zip(specs, metrics_list)]
 
 
-def _warm_worker() -> None:
+def warm_process() -> None:
+    """Pre-generate the corpus into this process's caches.
+
+    Pool workers run this as their initializer; the serving layer runs
+    it at startup so no request pays page generation mid-latency-
+    window.  Warming is deterministic and idempotent — it only moves
+    *when* the cost is paid, never what any evaluation returns.
+    """
     from repro.webpages.corpus import warm_corpus
 
     warm_corpus()
+
+
+# Backwards-compatible alias: pool initializers predate the public name.
+_warm_worker = warm_process
 
 
 @dataclass

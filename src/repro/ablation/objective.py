@@ -49,6 +49,7 @@ byte-identical (``tests/ablation/test_batched_golden.py``).
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import asdict, dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -78,6 +79,11 @@ from repro.rrc.tail import (
 from repro.runtime.cache import ResultCache, cache_key
 from repro.runtime.observability import KERNEL_STATS
 from repro.runtime.seeding import DEFAULT_ROOT_SEED, spawn_seeds
+from repro.runtime.singleflight import (
+    SingleFlight,
+    locked_counter_add,
+    snapshot_counters,
+)
 from repro.webpages.corpus import find_page
 
 #: Set to any non-empty value to route through the scalar per-unit
@@ -270,24 +276,29 @@ def load_cache_key(page_name: str, profile: str, page_seed: int,
 
 
 #: Process-local load memo: ``(page, profile, page_seed, projection
-#: items) -> _PageLoad``.
-_LOAD_MEMO: Dict[Tuple, _PageLoad] = {}
+#: items) -> _PageLoad``.  Single-flight: the serving layer calls the
+#: evaluator from concurrent request threads, and two threads missing
+#: on the same key must share one discrete-event load, not race two.
+_LOAD_MEMO = SingleFlight()
 
-#: Counters for the BENCH_6 load-cache hit-rate rows.
+#: Counters for the BENCH_6 load-cache hit-rate rows.  ``+=`` on a
+#: shared dict tears under threads, so every bump goes through the lock.
+_LOAD_STATS_LOCK = threading.Lock()
 _LOAD_STATS = {"loads": 0, "memo_hits": 0, "disk_hits": 0}
 
 
 def load_cache_stats() -> Dict[str, int]:
     """Snapshot of the load counters (simulated / memo / disk hits)."""
-    return dict(_LOAD_STATS)
+    return snapshot_counters(_LOAD_STATS_LOCK, _LOAD_STATS)
 
 
 def reset_load_cache() -> None:
     """Clear the process-local load memo and its counters (tests,
     benchmarks; the on-disk cache is the caller's to manage)."""
     _LOAD_MEMO.clear()
-    for counter in _LOAD_STATS:
-        _LOAD_STATS[counter] = 0
+    with _LOAD_STATS_LOCK:
+        for counter in _LOAD_STATS:
+            _LOAD_STATS[counter] = 0
 
 
 def _load_page_cached(page_name: str, setup: VariantSetup, profile: str,
@@ -303,25 +314,26 @@ def _load_page_cached(page_name: str, setup: VariantSetup, profile: str,
     """
     memo_key = (page_name, profile, int(page_seed),
                 tuple(load_projection(setup).items()))
-    hit = _LOAD_MEMO.get(memo_key)
+    hit = _LOAD_MEMO.peek(memo_key)
     if hit is not None:
-        _LOAD_STATS["memo_hits"] += 1
+        locked_counter_add(_LOAD_STATS_LOCK, _LOAD_STATS, "memo_hits")
         return hit
-    key = None
-    if load_cache is not None:
-        key = load_cache_key(page_name, profile, page_seed, setup)
-        payload = load_cache.get(key)
-        if payload is not None:
-            load = _PageLoad(**payload["load"])
-            _LOAD_STATS["disk_hits"] += 1
-            _LOAD_MEMO[memo_key] = load
-            return load
-    load = _load_page(page_name, setup, profile, page_seed)
-    _LOAD_STATS["loads"] += 1
-    if load_cache is not None:
-        load_cache.put(key, {"load": asdict(load)})
-    _LOAD_MEMO[memo_key] = load
-    return load
+
+    def _compute() -> _PageLoad:
+        if load_cache is not None:
+            key = load_cache_key(page_name, profile, page_seed, setup)
+            payload = load_cache.get(key)
+            if payload is not None:
+                locked_counter_add(_LOAD_STATS_LOCK, _LOAD_STATS,
+                                   "disk_hits")
+                return _PageLoad(**payload["load"])
+        load = _load_page(page_name, setup, profile, page_seed)
+        locked_counter_add(_LOAD_STATS_LOCK, _LOAD_STATS, "loads")
+        if load_cache is not None:
+            load_cache.put(key, {"load": asdict(load)})
+        return load
+
+    return _LOAD_MEMO.do(memo_key, _compute)
 
 
 def _wants_switch(setup: VariantSetup, reading: float,
@@ -644,7 +656,8 @@ def evaluate_setup(setup: VariantSetup, scenario: Scenario,
 #: Process-local memo: the stock browser's metrics per scenario.  The
 #: stock setup has no run-level randomness (``never-switch`` predictor,
 #: no capacity draw needed), so the scenario fully determines it.
-_REFERENCE_MEMO: Dict[Tuple, Dict[str, float]] = {}
+#: Single-flight for the same reason as the load memo.
+_REFERENCE_MEMO = SingleFlight()
 
 
 def reference_metrics(scenario: Scenario,
@@ -653,34 +666,59 @@ def reference_metrics(scenario: Scenario,
     """The stock browser's scores under ``scenario`` (memoised)."""
     key = (scenario.profile, scenario.pages, scenario.reading_times,
            scenario.seed)
-    hit = _REFERENCE_MEMO.get(key)
-    if hit is not None:
-        return hit
-    reference = replace(scenario, population=None)
-    page_seeds = spawn_seeds(reference.seed, len(reference.pages))
+
+    def _compute() -> Dict[str, float]:
+        reference = replace(scenario, population=None)
+        page_seeds = spawn_seeds(reference.seed, len(reference.pages))
+        if ablate_fast_enabled():
+            loads = [_load_page_cached(name, STOCK_SETUP,
+                                       reference.profile, page_seed,
+                                       load_cache)
+                     for name, page_seed in zip(reference.pages,
+                                                page_seeds)]
+        else:
+            loads = [_load_page(name, STOCK_SETUP, reference.profile,
+                                page_seed)
+                     for name, page_seed in zip(reference.pages,
+                                                page_seeds)]
+        rrc = STOCK_SETUP.to_config().rrc
+        energies: List[float] = []
+        delays: List[float] = []
+        for load in loads:
+            for reading in reference.reading_times:
+                read_energy, state = _reading_phase(STOCK_SETUP, load,
+                                                    float(reading),
+                                                    False, rrc)
+                energies.append(load.loading_energy + read_energy
+                                + promotion_energy(state, rrc))
+                delays.append(promotion_latency(state, rrc))
+        return {
+            "energy": float(np.mean(energies)),
+            "delay": float(np.mean(delays)),
+            "load_time": float(np.mean([load.load_time
+                                        for load in loads])),
+        }
+
+    return _REFERENCE_MEMO.do(key, _compute)
+
+
+def variant_hold_pool(setup: VariantSetup, scenario: Scenario,
+                      load_cache: Optional[ResultCache] = None
+                      ) -> np.ndarray:
+    """The variant's channel-hold-time pool under ``scenario``.
+
+    One hold time per scenario page, in page order — exactly the
+    service pool :func:`_drop_probability` builds inside the evaluator,
+    exposed so the serving layer can run a *single* capacity simulation
+    that yields both the drop probability and the service-time
+    quantiles, instead of paying the M/G/N run twice.
+    """
+    page_seeds = spawn_seeds(scenario.seed, len(scenario.pages))
     if ablate_fast_enabled():
-        loads = [_load_page_cached(name, STOCK_SETUP, reference.profile,
+        loads = [_load_page_cached(name, setup, scenario.profile,
                                    page_seed, load_cache)
-                 for name, page_seed in zip(reference.pages, page_seeds)]
+                 for name, page_seed in zip(scenario.pages, page_seeds)]
     else:
-        loads = [_load_page(name, STOCK_SETUP, reference.profile,
-                            page_seed)
-                 for name, page_seed in zip(reference.pages, page_seeds)]
-    rrc = STOCK_SETUP.to_config().rrc
-    energies: List[float] = []
-    delays: List[float] = []
-    for load in loads:
-        for reading in reference.reading_times:
-            read_energy, state = _reading_phase(STOCK_SETUP, load,
-                                                float(reading), False,
-                                                rrc)
-            energies.append(load.loading_energy + read_energy
-                            + promotion_energy(state, rrc))
-            delays.append(promotion_latency(state, rrc))
-    metrics = {
-        "energy": float(np.mean(energies)),
-        "delay": float(np.mean(delays)),
-        "load_time": float(np.mean([load.load_time for load in loads])),
-    }
-    _REFERENCE_MEMO[key] = metrics
-    return metrics
+        loads = [_load_page(name, setup, scenario.profile, page_seed)
+                 for name, page_seed in zip(scenario.pages, page_seeds)]
+    return np.asarray([load.hold_time for load in loads], dtype=float)

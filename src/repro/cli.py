@@ -18,6 +18,8 @@ Subcommands::
     repro train --trace trace.csv --out model.json
     repro predict --model model.json --trace trace.csv --threshold 9
     repro session --user 35
+    repro serve [--port 8323] [--batch-window 0.005] [--job-dir jobs/]
+    repro serve-bench [--url http://...] [--clients 8] [--requests 25]
 
 Also reachable as ``python -m repro``.
 """
@@ -589,6 +591,111 @@ def _cmd_session(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the what-if service in the foreground until SIGINT/SIGTERM."""
+    from repro.serve import JobManager, ServeApp, ServerThread, WhatIfService
+
+    if not 0 <= args.port <= 65535:
+        print(f"invalid port {args.port}: must be 0..65535",
+              file=sys.stderr)
+        return 2
+    if args.batch_window < 0:
+        print(f"invalid --batch-window {args.batch_window}: "
+              "must be >= 0", file=sys.stderr)
+        return 2
+    if args.workers < 1 or args.max_jobs < 1:
+        print("--workers and --max-jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    service = WhatIfService(batch_window=args.batch_window,
+                            max_batch=args.max_batch,
+                            load_cache_dir=args.cache_dir)
+    jobs = None
+    if args.job_dir is not None:
+        jobs = JobManager(args.job_dir, max_pending=args.max_jobs,
+                          workers=args.workers)
+    app = ServeApp(service, jobs)
+    if not args.no_warmup:
+        print("warming corpus and caches...", flush=True)
+        service.warmup()
+    try:
+        thread = ServerThread(app, host=args.host, port=args.port)
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    thread.start()
+    host, port = thread.address
+    print(f"serving on http://{host}:{port} "
+          f"(batch window {args.batch_window * 1000:.1f} ms, "
+          f"jobs {'enabled' if jobs else 'disabled'})", flush=True)
+
+    done = []
+
+    def _stop(signum, frame) -> None:
+        done.append(signum)
+
+    signal.signal(signal.SIGINT, _stop)
+    signal.signal(signal.SIGTERM, _stop)
+    try:
+        while not done:
+            signal.pause()
+    finally:
+        print("draining in-flight work and shutting down...", flush=True)
+        thread.stop()
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Closed-loop load test against a running `repro serve`."""
+    import json
+
+    from repro.serve import PredictRequest, ValidationError
+    from repro.serve.bench import (DEFAULT_PAYLOADS, ServeBenchError,
+                                   bench_report, run_serve_bench)
+
+    if args.clients < 1 or args.requests < 1:
+        print("--clients and --requests must be >= 1", file=sys.stderr)
+        return 2
+    payloads = list(DEFAULT_PAYLOADS)
+    if args.payload is not None:
+        try:
+            loaded = json.loads(args.payload)
+        except json.JSONDecodeError as exc:
+            print(f"malformed --payload JSON: {exc}", file=sys.stderr)
+            return 2
+        payloads = loaded if isinstance(loaded, list) else [loaded]
+    if args.profile is not None:
+        if args.profile not in PROFILES:
+            print(f"unknown profile {args.profile!r} "
+                  f"(choose from {', '.join(sorted(PROFILES))})",
+                  file=sys.stderr)
+            return 2
+        payloads = [dict(payload, profile=args.profile)
+                    for payload in payloads]
+    # Validate the request mix up front: a bench that 400s on every
+    # request measures error latency, not the service.
+    for payload in payloads:
+        try:
+            PredictRequest.from_payload(payload)
+        except ValidationError as exc:
+            print(f"invalid bench payload: {exc}", file=sys.stderr)
+            return 2
+    try:
+        result = run_serve_bench(args.url, clients=args.clients,
+                                 requests_per_client=args.requests,
+                                 payloads=payloads,
+                                 timeout=args.timeout)
+    except ServeBenchError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(bench_report(result))
+    if args.out is not None:
+        write_report(result, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
     """Options shared by the suite-running subcommands."""
     parser.add_argument(
@@ -887,6 +994,57 @@ def build_parser() -> argparse.ArgumentParser:
                          help="root seed for trace generation "
                               f"(default: {DEFAULT_ROOT_SEED})")
     session.set_defaults(func=_cmd_session)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the what-if capacity-planning HTTP service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8323,
+                       help="listen port; 0 binds an ephemeral port "
+                            "(default: 8323)")
+    serve.add_argument("--batch-window", type=float, default=0.005,
+                       metavar="S",
+                       help="micro-batch collection window in seconds; "
+                            "0 disables batching (default: 0.005)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="max predictions per batch (default: 64)")
+    serve.add_argument("--job-dir", metavar="DIR",
+                       help="enable async /sweep jobs rooted at DIR "
+                            "(resumable across restarts)")
+    serve.add_argument("--max-jobs", type=int, default=4,
+                       help="pending sweep-job queue bound; a full "
+                            "queue answers 429 (default: 4)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="background sweep worker threads "
+                            "(default: 1)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="persist page-load results under DIR")
+    serve.add_argument("--no-warmup", action="store_true",
+                       help="skip corpus warmup (first requests pay it)")
+    serve.set_defaults(func=_cmd_serve)
+
+    serve_bench = subparsers.add_parser(
+        "serve-bench",
+        help="closed-loop load test against a running `repro serve`")
+    serve_bench.add_argument("--url", default="http://127.0.0.1:8323",
+                             help="server base URL "
+                                  "(default: http://127.0.0.1:8323)")
+    serve_bench.add_argument("--clients", type=int, default=8,
+                             help="concurrent closed-loop clients "
+                                  "(default: 8)")
+    serve_bench.add_argument("--requests", type=int, default=25,
+                             help="requests per client (default: 25)")
+    serve_bench.add_argument("--payload", metavar="JSON",
+                             help="predict payload (or JSON list of "
+                                  "payloads) instead of the default mix")
+    serve_bench.add_argument("--profile",
+                             help="override the fault profile in every "
+                                  "bench payload")
+    serve_bench.add_argument("--timeout", type=float, default=60.0,
+                             help="per-request timeout in seconds "
+                                  "(default: 60)")
+    serve_bench.add_argument("--out", metavar="PATH",
+                             help="write the result row as JSON/CSV")
+    serve_bench.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

@@ -63,6 +63,13 @@ class SimRunStats:
     sched_replay_blocks: int = 0
     #: Stale claims stolen from crashed (or paused) workers.
     sched_steals: int = 0
+    #: Requests answered by the serving layer (repro.serve).
+    serve_requests: int = 0
+    #: Micro-batches the serving layer executed (each one fleet call).
+    serve_batches: int = 0
+    #: Requests that rode another request's computation — duplicates
+    #: coalesced by the micro-batcher within one window.
+    serve_coalesced: int = 0
 
     @property
     def sim_time_ratio(self) -> float:
@@ -100,7 +107,11 @@ class SimRunStats:
             sched_units=self.sched_units + other.sched_units,
             sched_replay_blocks=self.sched_replay_blocks
             + other.sched_replay_blocks,
-            sched_steals=self.sched_steals + other.sched_steals)
+            sched_steals=self.sched_steals + other.sched_steals,
+            serve_requests=self.serve_requests + other.serve_requests,
+            serve_batches=self.serve_batches + other.serve_batches,
+            serve_coalesced=self.serve_coalesced
+            + other.serve_coalesced)
 
     def to_dict(self) -> Dict[str, float]:
         """Flat dict for JSON/CSV report rows."""
@@ -122,6 +133,9 @@ class SimRunStats:
             "sched_units": self.sched_units,
             "sched_replay_blocks": self.sched_replay_blocks,
             "sched_steals": self.sched_steals,
+            "serve_requests": self.serve_requests,
+            "serve_batches": self.serve_batches,
+            "serve_coalesced": self.serve_coalesced,
         }
 
 
@@ -152,6 +166,9 @@ class KernelStatsCollector:
         self._sched_units = 0
         self._sched_replay_blocks = 0
         self._sched_steals = 0
+        self._serve_requests = 0
+        self._serve_batches = 0
+        self._serve_coalesced = 0
         self._runs = 0
 
     def record_run(self, events_processed: int, cancellations: int,
@@ -207,6 +224,15 @@ class KernelStatsCollector:
             self._sched_replay_blocks += int(replay_blocks)
             self._sched_steals += int(steals)
 
+    def record_serve(self, requests: int = 0, batches: int = 0,
+                     coalesced: int = 0) -> None:
+        """Fold serving-layer counters in (one call per request or
+        per executed micro-batch — never inside the fleet kernels)."""
+        with self._lock:
+            self._serve_requests += int(requests)
+            self._serve_batches += int(batches)
+            self._serve_coalesced += int(coalesced)
+
     def record(self, stats: SimRunStats) -> None:
         """Fold one run's counters into the aggregate (record form)."""
         with self._lock:
@@ -245,6 +271,9 @@ class KernelStatsCollector:
         self._sched_units += stats.sched_units
         self._sched_replay_blocks += stats.sched_replay_blocks
         self._sched_steals += stats.sched_steals
+        self._serve_requests += stats.serve_requests
+        self._serve_batches += stats.serve_batches
+        self._serve_coalesced += stats.serve_coalesced
 
     def reset(self) -> None:
         """Zero the aggregate (start of a new attribution window)."""
@@ -265,6 +294,9 @@ class KernelStatsCollector:
             self._sched_units = 0
             self._sched_replay_blocks = 0
             self._sched_steals = 0
+            self._serve_requests = 0
+            self._serve_batches = 0
+            self._serve_coalesced = 0
             self._runs = 0
 
     def snapshot(self) -> SimRunStats:
@@ -287,7 +319,10 @@ class KernelStatsCollector:
                 ._stream_peak_carried_bytes,
                 sched_units=self._sched_units,
                 sched_replay_blocks=self._sched_replay_blocks,
-                sched_steals=self._sched_steals)
+                sched_steals=self._sched_steals,
+                serve_requests=self._serve_requests,
+                serve_batches=self._serve_batches,
+                serve_coalesced=self._serve_coalesced)
 
     @property
     def runs_recorded(self) -> int:

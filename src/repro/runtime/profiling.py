@@ -188,6 +188,16 @@ def _distil(raw: Dict[str, Any]) -> Dict[str, Any]:
             "sched_steals": int(extra.get("sched_steals", 0)),
             "sched_speedup_8w": round(float(extra.get(
                 "sched_speedup_8w", 0.0)), 2),
+            # Serving rows (benchmarks/test_serve.py): warm p99 under 8
+            # closed-loop clients with and without micro-batching, plus
+            # the batched throughput — the BENCH_8 latency gate.
+            "serve_clients": int(extra.get("serve_clients", 0)),
+            "serve_unbatched_p99_ms": round(float(extra.get(
+                "serve_unbatched_p99_ms", 0.0)), 2),
+            "serve_batched_p99_ms": round(float(extra.get(
+                "serve_batched_p99_ms", 0.0)), 2),
+            "serve_batched_rps": round(float(extra.get(
+                "serve_batched_rps", 0.0)), 1),
         }
         benchmarks.append(row)
     return {

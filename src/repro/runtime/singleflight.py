@@ -1,0 +1,122 @@
+"""Single-flight computation for process-global memo caches.
+
+The memo dicts that PRs 3 and 8 added (`benchmark_comparison`, the
+ablation load memo) were built for process pools, where each worker has
+its own copy and plain ``dict.get``-then-store is safe.  The serving
+layer (:mod:`repro.serve`) drives those caches from many request
+*threads* in one process, where the naive pattern has two defects:
+
+- **duplicate work** — two threads miss on the same key and both run a
+  multi-second deterministic computation that one of them should have
+  waited for; and
+- **torn counters** — unlocked ``stats["x"] += 1`` bookkeeping drops
+  increments under contention, so cache hit rates lie.
+
+:class:`SingleFlight` fixes both: the first thread to miss on a key
+becomes its *leader* and computes; every other thread blocks on the
+leader's event and reads the published value.  A leader that raises
+wakes the waiters, who retry and elect a new leader, so a failed
+computation never wedges a key.  Values are published exactly once per
+key and never recomputed (the computations cached here are
+deterministic), so reads after publication are lock-free-in-spirit:
+one short lock round-trip, no waiting.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Hashable, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """A thread-safe memo where each key is computed exactly once.
+
+    ``do(key, fn)`` returns the cached value for ``key``, running
+    ``fn()`` on the first call; concurrent callers for the same key
+    wait for the one in-flight computation instead of repeating it.
+    Distinct keys compute concurrently — the internal lock is only
+    held for bookkeeping, never during ``fn()``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: Dict[Hashable, object] = {}
+        self._in_flight: Dict[Hashable, threading.Event] = {}
+        self._hits = 0
+        self._misses = 0
+        self._waits = 0
+
+    def do(self, key: Hashable, fn: Callable[[], T]) -> T:
+        """Return the value for ``key``, computing it at most once."""
+        while True:
+            with self._lock:
+                if key in self._values:
+                    self._hits += 1
+                    return self._values[key]  # type: ignore[return-value]
+                event = self._in_flight.get(key)
+                if event is None:
+                    event = self._in_flight[key] = threading.Event()
+                    break  # this thread leads the computation
+                self._waits += 1
+            event.wait()
+            # Leader published (loop reads it) or raised (loop elects a
+            # new leader).
+        try:
+            value = fn()
+        except BaseException:
+            with self._lock:
+                self._in_flight.pop(key, None)
+            event.set()
+            raise
+        with self._lock:
+            self._values[key] = value
+            self._in_flight.pop(key, None)
+            self._misses += 1
+        event.set()
+        return value
+
+    def peek(self, key: Hashable):
+        """The cached value for ``key`` or ``None``; never computes."""
+        with self._lock:
+            return self._values.get(key)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/wait counters (``size`` is the number of keys)."""
+        with self._lock:
+            return {"hits": self._hits, "misses": self._misses,
+                    "waits": self._waits, "size": len(self._values)}
+
+    def clear(self) -> None:
+        """Drop every cached value and zero the counters (tests)."""
+        with self._lock:
+            if self._in_flight:
+                raise RuntimeError(
+                    "cannot clear a SingleFlight with computations "
+                    "in flight")
+            self._values.clear()
+            self._hits = self._misses = self._waits = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+
+def locked_counter_add(lock: threading.Lock, counters: Dict[str, int],
+                       key: str, amount: int = 1) -> None:
+    """Increment ``counters[key]`` under ``lock``.
+
+    The one-liner that makes shared stats dicts safe: ``d[k] += 1`` is
+    a read-modify-write and silently drops updates when two threads
+    interleave.
+    """
+    with lock:
+        counters[key] = counters.get(key, 0) + amount
+
+
+def snapshot_counters(lock: threading.Lock,
+                      counters: Dict[str, int]) -> Dict[str, int]:
+    """A consistent copy of a locked counters dict."""
+    with lock:
+        return dict(counters)

@@ -15,9 +15,10 @@ byte-identical to the serial ``processes=1`` path; the golden tests in
 ``tests/sched`` hold that line, kill/resume included.
 """
 
-from repro.sched.executor import (WorkDirMismatch, ensure_spec,
-                                  execute_work_dir, merge_work_dir,
-                                  run_distributed_sweep, spec_payload)
+from repro.sched.executor import (WorkDirIncomplete, WorkDirMismatch,
+                                  ensure_spec, execute_work_dir,
+                                  merge_work_dir, run_distributed_sweep,
+                                  spec_payload, work_dir_progress)
 from repro.sched.stitch import stitch_point
 from repro.sched.units import PointPlan, UnitDescriptor, plan_point
 from repro.sched.worker import frontier_digest, run_unit
@@ -25,6 +26,7 @@ from repro.sched.worker import frontier_digest, run_unit
 __all__ = [
     "PointPlan",
     "UnitDescriptor",
+    "WorkDirIncomplete",
     "WorkDirMismatch",
     "ensure_spec",
     "execute_work_dir",
@@ -35,4 +37,5 @@ __all__ = [
     "run_unit",
     "spec_payload",
     "stitch_point",
+    "work_dir_progress",
 ]

@@ -65,6 +65,20 @@ class WorkDirMismatch(RuntimeError):
     """The work directory was initialised for different parameters."""
 
 
+class WorkDirIncomplete(RuntimeError):
+    """The sweep has a spec but not every point is stitched yet.
+
+    Carries the :func:`work_dir_progress` snapshot so callers (the
+    serving layer's job-status endpoint in particular) can report *how
+    far* the sweep got instead of just "not done".  Subclasses
+    ``RuntimeError`` so pre-existing callers keep working.
+    """
+
+    def __init__(self, message: str, progress: Optional[dict] = None):
+        super().__init__(message)
+        self.progress = progress
+
+
 class _Retry(Exception):
     """A task's inputs were damaged; clear markers and try again."""
 
@@ -362,20 +376,101 @@ def execute_work_dir(work_dir, *, worker_id: Optional[str] = None,
             time.sleep(poll)
 
 
+def work_dir_progress(work_dir) -> dict:
+    """Pure read of a work directory's completion state.
+
+    Unlike :func:`merge_work_dir`'s shard walk, this never creates
+    directories or stores — a freshly ``ensure_spec``'d directory with
+    zero completed tasks reports ``state: "pending"`` and stays
+    byte-for-byte untouched, which is what lets a job-status endpoint
+    poll it safely while (or before, or after a crash of) the workers.
+
+    Per point: ``pending`` (no task ran), ``running`` (planned and/or
+    some units done) or ``complete`` (stitched).  ``units_total`` is
+    filled from the published plan when one is readable, else ``None``
+    — the plan itself is part of the work being awaited.
+    """
+    root = Path(work_dir)
+    spec = load_spec(root)
+    tasks = root / "tasks"
+    counts = [int(n) for n in spec["counts"]]
+    seeds = [int(s) for s in spec["seeds"]]
+    wd: Optional[_WorkDir] = None
+    points = []
+    n_complete = 0
+    for index, (n_users, seed) in enumerate(zip(counts, seeds)):
+        plan_done = (tasks / f"plan-{index}.done").exists()
+        stitch_done = (tasks / f"stitch-{index}.done").exists()
+        units_done = (len(list(tasks.glob(f"unit-{index}-*.done")))
+                      if tasks.is_dir() else 0)
+        units_total: Optional[int] = None
+        if plan_done:
+            # The plan marker lives in tasks/ and the plan shard under
+            # shards/, so both directories already exist — opening the
+            # store here cannot create anything.
+            if wd is None:
+                wd = _WorkDir(root, spec)
+            got = wd.open_store(index).get(_PLAN_KEY)
+            if got is not None:
+                units_total = len(PointPlan.from_state(got[1]).units)
+        if stitch_done:
+            state = "complete"
+            n_complete += 1
+        elif plan_done or units_done:
+            state = "running"
+        else:
+            state = "pending"
+        points.append({
+            "point": index,
+            "n_users": n_users,
+            "seed": seed,
+            "state": state,
+            "plan_done": plan_done,
+            "units_done": units_done,
+            "units_total": units_total,
+            "stitch_done": stitch_done,
+        })
+    if n_complete == len(points):
+        state = "complete"
+    elif all(p["state"] == "pending" for p in points):
+        state = "pending"
+    else:
+        state = "running"
+    return {
+        "state": state,
+        "fingerprint": spec["fingerprint"],
+        "points_total": len(points),
+        "points_complete": n_complete,
+        "points": points,
+    }
+
+
 def merge_work_dir(work_dir) -> StreamSweepResult:
     """Assemble the completed sweep, points in spec order.
 
     Pure read: any worker (or a later process) merges the same bytes.
+    An incomplete sweep — including a spec-only directory where no
+    task ever ran — raises :class:`WorkDirIncomplete` carrying the
+    progress snapshot, without disturbing the directory.
     """
     spec = load_spec(work_dir)
+    progress = work_dir_progress(work_dir)
+    if progress["state"] != "complete":
+        raise WorkDirIncomplete(
+            f"work dir {Path(work_dir)} is {progress['state']}: "
+            f"{progress['points_complete']}/{progress['points_total']} "
+            f"points stitched", progress)
     wd = _WorkDir(work_dir, spec)
     points = []
     for point in range(wd.n_points):
         got = wd.open_store(point).get(_POINT_KEY)
         if got is None:
-            raise RuntimeError(
+            # Done marker present but the stitched shard is unreadable
+            # (damaged or torn mid-publish): the stitch must re-run.
+            raise WorkDirIncomplete(
                 f"work dir {wd.root} is incomplete: point {point} "
-                f"(n_users={wd.counts[point]}) has no stitched result")
+                f"(n_users={wd.counts[point]}) has no stitched result",
+                progress)
         points.append(StreamPoint(**got[1]["point"]))
     return StreamSweepResult(config=wd.config, points=tuple(points))
 

@@ -1,0 +1,63 @@
+"""repro.serve: the energy-model "what-if" capacity-planning service.
+
+A transport-agnostic service core (:class:`WhatIfService`) answers
+``predict`` requests — *"if my cell serves N users with setup X on
+profile Y, what energy saving, drop probability and service-time
+quantiles do I get?"* — by running the exact evaluator/capacity code
+paths the offline figures use, seeded content-addressably so the same
+request always yields the same bytes.  Around it:
+
+- :class:`~repro.serve.batcher.MicroBatcher` — coalesces concurrent
+  predictions into batched fleet calls (and dedupes identical ones);
+- :class:`~repro.serve.jobs.JobManager` — async population sweeps as
+  resumable ``repro.sched`` work directories behind a bounded queue;
+- :class:`~repro.serve.http.ServeApp` + a stdlib threading HTTP
+  server (``repro serve``), with an optional FastAPI skin
+  (:mod:`repro.serve.fastapi_app`) for ASGI deployments;
+- :mod:`~repro.serve.bench` — the closed-loop load harness behind
+  ``repro serve-bench`` and ``BENCH_8.json``.
+"""
+
+from repro.serve.batcher import (BatcherClosed, DEFAULT_BATCH_WINDOW,
+                                 DEFAULT_MAX_BATCH, MicroBatcher)
+from repro.serve.bench import (DEFAULT_PAYLOADS, ServeBenchError,
+                               bench_report, check_health,
+                               run_serve_bench)
+from repro.serve.fastapi_app import create_fastapi_app, fastapi_available
+from repro.serve.http import (ServeApp, ServerThread, create_server)
+from repro.serve.jobs import JobManager, JobQueueFull, UnknownJob
+from repro.serve.metrics import LATENCY_QUANTILES, ServeMetrics
+from repro.serve.schema import (PredictRequest, SweepRequest,
+                                ValidationError, known_page_names)
+from repro.serve.service import (PREDICT_LAYER, WhatIfService,
+                                 predict_eval_seed, predict_run_id)
+
+__all__ = [
+    "BatcherClosed",
+    "DEFAULT_BATCH_WINDOW",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_PAYLOADS",
+    "JobManager",
+    "JobQueueFull",
+    "LATENCY_QUANTILES",
+    "MicroBatcher",
+    "PREDICT_LAYER",
+    "PredictRequest",
+    "ServeApp",
+    "ServeBenchError",
+    "ServeMetrics",
+    "ServerThread",
+    "SweepRequest",
+    "UnknownJob",
+    "ValidationError",
+    "WhatIfService",
+    "bench_report",
+    "check_health",
+    "create_fastapi_app",
+    "create_server",
+    "fastapi_available",
+    "known_page_names",
+    "predict_eval_seed",
+    "predict_run_id",
+    "run_serve_bench",
+]

@@ -1,0 +1,154 @@
+"""Closed-loop load harness: N clients hammering ``/predict``.
+
+Each client thread runs a closed loop — send, wait for the answer,
+send the next — cycling through a small set of what-if payloads.  That
+shape (not an open-loop arrival process) is deliberate: it matches the
+operator-dashboard traffic the service is for, and it makes the
+batching comparison honest — a closed-loop client population gives the
+micro-batcher exactly ``clients`` concurrent requests to coalesce, no
+more, so a batched p99 win cannot come from queue-length artifacts.
+
+The harness speaks plain ``urllib`` so it runs anywhere the server
+does, and it reports the same p50/p99 quantile keys the server's own
+``/metrics`` endpoint uses.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+#: Default request mix: four distinct what-ifs over the default corpus
+#: pages, so the batcher sees both duplicate and distinct keys.
+DEFAULT_PAYLOADS = (
+    {"n_users": 300, "profile": "ideal"},
+    {"n_users": 360, "profile": "ideal",
+     "setup": {"predictor": "gbrt-like"}},
+    {"n_users": 300, "profile": "congested"},
+    {"n_users": 240, "profile": "ideal",
+     "setup": {"fast_dormancy": False}},
+)
+
+
+class ServeBenchError(RuntimeError):
+    """The target server could not be reached or answered non-200."""
+
+
+def _post_json(url: str, payload: dict, timeout: float) -> dict:
+    data = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"},
+        method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            body = reply.read().decode("utf-8")
+            status = reply.status
+    except urllib.error.HTTPError as exc:
+        raise ServeBenchError(
+            f"{url} answered {exc.code}: "
+            f"{exc.read().decode('utf-8', 'replace')[:200]}") from None
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        raise ServeBenchError(f"cannot reach {url}: {exc}") from None
+    if status != 200:
+        raise ServeBenchError(f"{url} answered {status}: {body[:200]}")
+    return json.loads(body)
+
+
+def check_health(base_url: str, timeout: float = 5.0) -> dict:
+    """GET /health or raise :class:`ServeBenchError`."""
+    url = base_url.rstrip("/") + "/health"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as reply:
+            return json.loads(reply.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise ServeBenchError(f"cannot reach {url}: {exc}") from None
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank quantile over an already-sorted sample."""
+    if not sorted_values:
+        return float("nan")
+    rank = min(len(sorted_values),
+               max(1, int(round(q * (len(sorted_values) - 1))) + 1))
+    return sorted_values[rank - 1]
+
+
+def run_serve_bench(base_url: str, *, clients: int = 8,
+                    requests_per_client: int = 25,
+                    payloads=DEFAULT_PAYLOADS,
+                    timeout: float = 60.0) -> dict:
+    """Closed-loop benchmark; returns latency/throughput facts.
+
+    Raises :class:`ServeBenchError` if the server is unreachable or
+    any request fails — a load number over silent errors is worthless.
+    """
+    if clients < 1 or requests_per_client < 1:
+        raise ValueError("clients and requests_per_client must be >= 1")
+    check_health(base_url, timeout=min(timeout, 10.0))
+    predict_url = base_url.rstrip("/") + "/predict"
+    payloads = list(payloads)
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    errors: List[Optional[ServeBenchError]] = [None] * clients
+    barrier = threading.Barrier(clients + 1)
+
+    def client(index: int) -> None:
+        try:
+            barrier.wait()
+            for turn in range(requests_per_client):
+                payload = payloads[(index + turn) % len(payloads)]
+                started = time.perf_counter()
+                _post_json(predict_url, payload, timeout)
+                latencies[index].append(
+                    time.perf_counter() - started)
+        except ServeBenchError as exc:
+            errors[index] = exc
+        except threading.BrokenBarrierError:
+            pass
+
+    threads = [threading.Thread(target=client, args=(index,),
+                                name=f"bench-client-{index}")
+               for index in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    for error in errors:
+        if error is not None:
+            raise error
+
+    flat = sorted(value for perclient in latencies for value in perclient)
+    total = len(flat)
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "requests": total,
+        "elapsed_s": elapsed,
+        "throughput_rps": total / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": {
+            "p50": _quantile(flat, 0.50) * 1000.0,
+            "p90": _quantile(flat, 0.90) * 1000.0,
+            "p99": _quantile(flat, 0.99) * 1000.0,
+            "mean": (sum(flat) / total * 1000.0) if total else
+            float("nan"),
+        },
+    }
+
+
+def bench_report(result: Dict) -> str:
+    """One human-readable block for the CLI."""
+    latency = result["latency_ms"]
+    return (
+        f"serve-bench: {result['clients']} clients x "
+        f"{result['requests_per_client']} requests "
+        f"({result['requests']} total) in {result['elapsed_s']:.2f}s\n"
+        f"  throughput: {result['throughput_rps']:.1f} req/s\n"
+        f"  latency: p50={latency['p50']:.1f}ms "
+        f"p90={latency['p90']:.1f}ms p99={latency['p99']:.1f}ms "
+        f"mean={latency['mean']:.1f}ms")

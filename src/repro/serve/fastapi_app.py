@@ -1,0 +1,74 @@
+"""Optional FastAPI front-end over the same :class:`ServeApp` router.
+
+FastAPI is **not** a dependency of this repo — the stdlib
+``ThreadingHTTPServer`` in :mod:`repro.serve.http` is the production
+path and the only one tier-1 tests exercise.  This module exists for
+deployments that already live behind an ASGI stack: if ``fastapi`` is
+importable, :func:`create_fastapi_app` returns an app whose endpoints
+delegate verbatim to ``ServeApp.handle`` — same validation, same error
+bodies, same status codes — so the two transports cannot drift.
+
+If ``fastapi`` is missing, importing this module still succeeds;
+calling :func:`create_fastapi_app` raises a clear ``RuntimeError``.
+"""
+
+from __future__ import annotations
+
+from repro.serve.http import ServeApp
+
+try:  # pragma: no cover - absent in the pinned environment
+    import fastapi as _fastapi
+except ImportError:  # pragma: no cover
+    _fastapi = None
+
+
+def fastapi_available() -> bool:
+    """True when the optional ``fastapi`` extra is importable."""
+    return _fastapi is not None
+
+
+def create_fastapi_app(app: ServeApp):
+    """Wrap a :class:`ServeApp` in a FastAPI application.
+
+    Raises ``RuntimeError`` when fastapi is not installed — install the
+    extra or use ``repro serve`` (stdlib server, zero dependencies).
+    """
+    if _fastapi is None:
+        raise RuntimeError(
+            "fastapi is not installed; `repro serve` uses the stdlib "
+            "server and needs no extras — install fastapi only if you "
+            "specifically want the ASGI front-end")
+
+    from fastapi import Request
+    from fastapi.responses import JSONResponse
+
+    api = _fastapi.FastAPI(title="repro-serve", docs_url=None,
+                           redoc_url=None)
+
+    def _reply(result) -> JSONResponse:
+        status, body, headers = result
+        return JSONResponse(body, status_code=status, headers=headers)
+
+    @api.get("/health")
+    def health() -> JSONResponse:
+        return _reply(app.handle("GET", "/health"))
+
+    @api.get("/metrics")
+    def metrics() -> JSONResponse:
+        return _reply(app.handle("GET", "/metrics"))
+
+    @api.post("/predict")
+    async def predict(request: Request) -> JSONResponse:
+        payload = await request.json()
+        return _reply(app.handle("POST", "/predict", payload))
+
+    @api.post("/sweep")
+    async def sweep(request: Request) -> JSONResponse:
+        payload = await request.json()
+        return _reply(app.handle("POST", "/sweep", payload))
+
+    @api.get("/jobs/{job_id}")
+    def job_status(job_id: str) -> JSONResponse:
+        return _reply(app.handle("GET", f"/jobs/{job_id}"))
+
+    return api

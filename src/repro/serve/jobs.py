@@ -1,0 +1,160 @@
+"""Async sweep jobs: bounded queue in memory, durable state on disk.
+
+``POST /sweep`` does not run the sweep in the request thread — a big
+population sweep takes seconds to minutes.  Instead the request is
+turned into a ``repro.sched`` work-directory spec and handed to a small
+pool of background worker threads; the response carries a **job ID**
+that is simply the spec's content-address fingerprint.
+
+That choice does all the heavy lifting:
+
+- **idempotent**: resubmitting the same sweep resolves to the same
+  work directory (``ensure_spec`` joins, never forks), so a client
+  retry costs nothing;
+- **resumable**: all job state lives in the work directory — done
+  markers, claim leases, checksummed shards.  If the server dies
+  mid-job, a new server over the same ``--job-dir`` answers
+  ``GET /jobs/<id>`` from the directory alone, and resubmitting the
+  sweep resumes exactly where the dead worker stopped (the PR 9
+  kill/steal machinery, unchanged);
+- **pure-read status**: :func:`repro.sched.work_dir_progress` never
+  writes, so polling a job cannot perturb it.
+
+Backpressure is explicit: the pending queue is bounded, and a full
+queue raises :class:`JobQueueFull`, which the HTTP layer maps to
+``429`` with a ``Retry-After`` header.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.sched import (WorkDirMismatch, ensure_spec, execute_work_dir,
+                         merge_work_dir, work_dir_progress)
+from repro.serve.schema import SweepRequest
+
+#: Characters of the spec fingerprint used as the public job ID.
+JOB_ID_CHARS = 16
+
+
+class JobQueueFull(RuntimeError):
+    """The pending-job queue is at capacity; retry later."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            f"job queue is full; retry after {retry_after:.0f}s")
+        self.retry_after = retry_after
+
+
+class UnknownJob(KeyError):
+    """No work directory exists for the requested job ID."""
+
+    def __init__(self, job_id: str):
+        super().__init__(job_id)
+        self.job_id = job_id
+
+
+class JobManager:
+    """Bounded background execution of sweep jobs over one job root."""
+
+    def __init__(self, root, *, max_pending: int = 4, workers: int = 1,
+                 retry_after: float = 5.0, poll: float = 0.05,
+                 heartbeat_interval: float = 0.5,
+                 stale_after: float = 5.0):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.retry_after = float(retry_after)
+        self._poll = poll
+        self._heartbeat_interval = heartbeat_interval
+        self._stale_after = stale_after
+        self._queue: "queue.Queue[str]" = queue.Queue(max_pending)
+        self._lock = threading.Lock()
+        self._errors: Dict[str, str] = {}
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = [
+            threading.Thread(target=self._worker, args=(index,),
+                             name=f"serve-sweep-{index}", daemon=True)
+            for index in range(workers)]
+        for thread in self._threads:
+            thread.start()
+
+    # -- API -------------------------------------------------------------
+
+    def submit(self, request: SweepRequest) -> dict:
+        """Register (or rejoin) a sweep job; returns its status."""
+        payload = request.spec()
+        job_id = payload["fingerprint"][:JOB_ID_CHARS]
+        work_dir = self.root / job_id
+        ensure_spec(work_dir, payload)
+        progress = work_dir_progress(work_dir)
+        if progress["state"] != "complete":
+            with self._lock:
+                self._errors.pop(job_id, None)
+            try:
+                self._queue.put_nowait(job_id)
+            except queue.Full:
+                raise JobQueueFull(self.retry_after) from None
+        status = self.status(job_id)
+        status["request"] = request.to_dict()
+        return status
+
+    def status(self, job_id: str) -> dict:
+        """Pure read of one job's state from its work directory."""
+        work_dir = self.root / job_id
+        try:
+            progress = work_dir_progress(work_dir)
+        except WorkDirMismatch:
+            raise UnknownJob(job_id) from None
+        out = {
+            "job_id": job_id,
+            "state": progress["state"],
+            "progress": progress,
+        }
+        with self._lock:
+            error = self._errors.get(job_id)
+        if error is not None:
+            out["state"] = "failed"
+            out["error"] = error
+        elif progress["state"] == "complete":
+            out["result"] = merge_work_dir(work_dir).to_dict()
+        return out
+
+    def shutdown(self, wait: bool = False, timeout: float = 5.0) -> None:
+        """Stop accepting queue pulls.
+
+        In-flight jobs are *not* awaited by default: their state is on
+        disk and the whole design makes them resumable, so a shutdown
+        abandons the threads (daemonised) rather than blocking the
+        process exit on a long sweep.
+        """
+        self._stop.set()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout)
+
+    # -- workers ---------------------------------------------------------
+
+    def _worker(self, index: int) -> None:
+        while not self._stop.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            try:
+                execute_work_dir(
+                    self.root / job_id,
+                    worker_id=f"serve-{index}",
+                    worker_index=index,
+                    poll=self._poll,
+                    heartbeat_interval=self._heartbeat_interval,
+                    stale_after=self._stale_after)
+            except Exception as exc:  # surfaced via status()
+                with self._lock:
+                    self._errors[job_id] = f"{type(exc).__name__}: {exc}"
+            finally:
+                self._queue.task_done()

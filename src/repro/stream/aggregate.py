@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import math
 from fractions import Fraction
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -374,6 +374,37 @@ class QuantileSketch:
             if cumulative >= target:
                 return value
         return items[-1][0]
+
+    def quantiles(self, qs) -> Dict[str, float]:
+        """Several quantiles in one pass, keyed ``"p50"``-style.
+
+        One sort of the level buffers serves every requested ``q`` —
+        the serving layer's ``/metrics`` endpoint reads p50/p99 from
+        its latency sketch on every scrape, so the per-call sort of
+        :meth:`quantile` would otherwise run once per quantile.
+        """
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"q must be in [0, 1], got {q}")
+        keys = [f"p{round(q * 100):d}" if (q * 100) == round(q * 100)
+                else f"p{q * 100:g}" for q in qs]
+        if self._count == 0:
+            return {key: float("nan") for key in keys}
+        items: List[Tuple[float, int]] = sorted(
+            (v, 1 << level)
+            for level, buf in enumerate(self._levels) for v in buf)
+        out: Dict[str, float] = {}
+        for key, q in zip(keys, qs):
+            target = max(1, math.ceil(q * self._count))
+            cumulative = 0
+            value = items[-1][0]
+            for candidate, weight in items:
+                cumulative += weight
+                if cumulative >= target:
+                    value = candidate
+                    break
+            out[key] = value
+        return out
 
     def cdf(self, anchors) -> List[float]:
         """Estimated CDF at each anchor (fig07/fig11-style curves)."""

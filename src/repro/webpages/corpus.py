@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.runtime.singleflight import SingleFlight
 from repro.webpages.generator import PageSpec, generate_page
 from repro.webpages.page import Webpage
 
@@ -98,15 +99,20 @@ FULL_BENCHMARK: Tuple[BenchmarkPage, ...] = (
           78, 3, 23, 6, 23, 22, 10, 1, 48, 1, 4400),
 )
 
-_PAGE_CACHE: Dict[str, Webpage] = {}
+#: Single-flight so concurrent request threads warming the same page
+#: share one deterministic generation instead of racing the dict.
+_PAGE_CACHE = SingleFlight()
 
 
 def load_benchmark_page(entry: BenchmarkPage) -> Webpage:
     """Generate (and memoise) the synthetic page for a benchmark entry."""
-    key = entry.spec.name
-    if key not in _PAGE_CACHE:
-        _PAGE_CACHE[key] = generate_page(entry.spec)
-    return _PAGE_CACHE[key]
+    return _PAGE_CACHE.do(entry.spec.name,
+                          lambda: generate_page(entry.spec))
+
+
+def page_cache_stats() -> Dict[str, int]:
+    """Hit/miss/wait counters for the generated-page memo."""
+    return _PAGE_CACHE.stats()
 
 
 def benchmark_pages(mobile: bool) -> List[Webpage]:

@@ -38,7 +38,8 @@ def test_to_dict_round_numbers():
                     "transfer_retries", "work_units",
                     "stream_blocks", "stream_merges", "stream_spills",
                     "stream_shard_bytes", "stream_peak_carried_bytes",
-                    "sched_units", "sched_replay_blocks", "sched_steals"}
+                    "sched_units", "sched_replay_blocks", "sched_steals",
+                    "serve_requests", "serve_batches", "serve_coalesced"}
 
 
 def test_accumulate_merges_without_counting_a_run():

@@ -1,0 +1,179 @@
+"""SingleFlight semantics plus hammer tests on the process caches
+that used to be bare dicts (satellite #1)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.singleflight import (SingleFlight, locked_counter_add,
+                                        snapshot_counters)
+
+
+class TestSingleFlight:
+    def test_computes_once_then_hits(self):
+        cache = SingleFlight()
+        calls = []
+        assert cache.do("k", lambda: calls.append(1) or 41) == 41
+        assert cache.do("k", lambda: calls.append(1) or 99) == 41
+        assert calls == [1]
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_concurrent_callers_share_one_computation(self):
+        cache = SingleFlight()
+        calls = []
+        barrier = threading.Barrier(8)
+        results = []
+
+        def compute():
+            calls.append(1)
+            time.sleep(0.05)
+            return "value"
+
+        def worker():
+            barrier.wait()
+            results.append(cache.do("k", compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == ["value"] * 8
+        assert calls == [1]
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["waits"] == 7
+
+    def test_leader_failure_lets_a_waiter_retry(self):
+        cache = SingleFlight()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) == 1:
+                time.sleep(0.02)
+                raise RuntimeError("first leader dies")
+            return "ok"
+
+        caught = []
+        results = []
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait()
+            try:
+                results.append(cache.do("k", flaky))
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert caught == ["first leader dies"]
+        assert results == ["ok"] * 3
+
+    def test_peek_does_not_compute(self):
+        cache = SingleFlight()
+        assert cache.peek("k") is None
+        cache.do("k", lambda: 7)
+        assert cache.peek("k") == 7
+
+    def test_clear_refuses_mid_flight(self):
+        cache = SingleFlight()
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow():
+            started.set()
+            release.wait(timeout=5.0)
+            return 1
+
+        thread = threading.Thread(target=cache.do, args=("k", slow))
+        thread.start()
+        started.wait(timeout=5.0)
+        with pytest.raises(RuntimeError):
+            cache.clear()
+        release.set()
+        thread.join(timeout=5.0)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_counter_helpers(self):
+        lock = threading.Lock()
+        counters = {}
+        locked_counter_add(lock, counters, "hits")
+        locked_counter_add(lock, counters, "hits", 2)
+        snap = snapshot_counters(lock, counters)
+        assert snap == {"hits": 3}
+        snap["hits"] = 99  # the snapshot is a copy
+        assert snapshot_counters(lock, counters) == {"hits": 3}
+
+
+class TestBenchmarkMemoUnderThreads:
+    def test_hammer_benchmark_comparison(self):
+        """8 threads, one cold key: exactly one computation and every
+        thread sees the same object list."""
+        from repro.core import comparison as comparison_module
+        from repro.core.comparison import (benchmark_cache_stats,
+                                           benchmark_comparison)
+
+        memo = comparison_module._BENCHMARK_MEMO
+        # A reading time nothing else in the suite uses → cold key.
+        reading = 17.25
+        key_count_before = len(memo)
+        before = benchmark_cache_stats()
+
+        barrier = threading.Barrier(8)
+        results = []
+
+        def worker():
+            barrier.wait()
+            results.append(benchmark_comparison(mobile=True,
+                                                reading_time=reading))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        after = benchmark_cache_stats()
+        assert after["misses"] == before["misses"] + 1
+        assert len(memo) == key_count_before + 1
+        first = results[0]
+        assert all(r == first for r in results)
+
+
+class TestLoadMemoUnderThreads:
+    def test_hammer_load_page_cached(self):
+        """8 threads racing one page/setup/seed: one simulated load."""
+        from repro.ablation.components import VariantSetup
+        from repro.ablation.objective import (_load_page_cached,
+                                              load_cache_stats,
+                                              reset_load_cache)
+
+        reset_load_cache()
+        setup = VariantSetup()
+        before = load_cache_stats()
+        barrier = threading.Barrier(8)
+        results = []
+
+        def worker():
+            barrier.wait()
+            results.append(_load_page_cached(
+                "espn.go.com/sports", setup, "ideal", 12345, None))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        after = load_cache_stats()
+        assert after.get("loads", 0) == before.get("loads", 0) + 1
+        first = results[0]
+        assert all(r == first for r in results)

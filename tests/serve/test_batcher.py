@@ -1,0 +1,149 @@
+"""MicroBatcher semantics: coalescing, errors, drain, inline mode."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.batcher import BatcherClosed, MicroBatcher
+
+
+def _echo_batch(items):
+    return [f"answer:{item}" for item in items]
+
+
+def test_window_zero_runs_inline():
+    rounds = []
+    batcher = MicroBatcher(_echo_batch, window=0.0,
+                           on_round=lambda n, c: rounds.append((n, c)))
+    assert batcher.submit("a", "a") == "answer:a"
+    assert rounds == [(1, 0)]
+    batcher.close()
+
+
+def test_concurrent_submissions_batch_together():
+    rounds = []
+    barrier = threading.Barrier(4)
+
+    def compute(items):
+        return _echo_batch(items)
+
+    batcher = MicroBatcher(compute, window=0.2,
+                           on_round=lambda n, c: rounds.append((n, c)))
+    results = {}
+
+    def submit(key):
+        barrier.wait()
+        results[key] = batcher.submit(key, key)
+
+    threads = [threading.Thread(target=submit, args=(f"k{i}",))
+               for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    batcher.close()
+    assert results == {f"k{i}": f"answer:k{i}" for i in range(4)}
+    # All four distinct keys shared rounds; none was computed twice.
+    assert sum(n for n, _ in rounds) == 4
+    assert len(rounds) < 4
+
+
+def test_duplicate_keys_coalesce_to_one_computation():
+    computed = []
+
+    def compute(items):
+        computed.extend(items)
+        return _echo_batch(items)
+
+    batcher = MicroBatcher(compute, window=0.15)
+    barrier = threading.Barrier(6)
+    results = []
+
+    def submit():
+        barrier.wait()
+        results.append(batcher.submit("same", "same"))
+
+    threads = [threading.Thread(target=submit) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    batcher.close()
+    assert results == ["answer:same"] * 6
+    # One item key -> one compute entry no matter how many waiters.
+    assert computed.count("same") <= 2  # racers may land in 2 rounds
+
+
+def test_max_batch_triggers_early_round():
+    started = time.perf_counter()
+    batcher = MicroBatcher(_echo_batch, window=30.0, max_batch=2)
+    results = []
+    threads = [threading.Thread(
+        target=lambda k: results.append(batcher.submit(k, k)),
+        args=(f"k{i}",)) for i in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    batcher.close()
+    assert time.perf_counter() - started < 10.0
+    assert sorted(results) == ["answer:k0", "answer:k1"]
+
+
+def test_compute_error_reaches_every_waiter():
+    def compute(items):
+        raise RuntimeError("fleet exploded")
+
+    batcher = MicroBatcher(compute, window=0.05)
+    caught = []
+
+    def submit(key):
+        try:
+            batcher.submit(key, key)
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    threads = [threading.Thread(target=submit, args=(f"k{i}",))
+               for i in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    batcher.close()
+    assert caught == ["fleet exploded"] * 3
+
+
+def test_wrong_result_length_is_an_error():
+    batcher = MicroBatcher(lambda items: [], window=0.0)
+    with pytest.raises(RuntimeError):
+        batcher.submit("a", "a")
+    batcher.close()
+
+
+def test_closed_batcher_rejects_submissions():
+    batcher = MicroBatcher(_echo_batch, window=0.0)
+    batcher.close()
+    with pytest.raises(BatcherClosed):
+        batcher.submit("a", "a")
+
+
+def test_close_drains_in_flight_round():
+    release = threading.Event()
+
+    def compute(items):
+        release.wait(timeout=5.0)
+        return _echo_batch(items)
+
+    batcher = MicroBatcher(compute, window=0.05)
+    results = []
+    thread = threading.Thread(
+        target=lambda: results.append(batcher.submit("a", "a")))
+    thread.start()
+    time.sleep(0.2)  # let the round start computing
+    closer = threading.Thread(target=batcher.close)
+    closer.start()
+    release.set()
+    thread.join(timeout=5.0)
+    closer.join(timeout=5.0)
+    assert results == ["answer:a"]

@@ -1,0 +1,117 @@
+"""JobManager: idempotent submission, backpressure, resumability."""
+
+import time
+
+import pytest
+
+from repro.serve.jobs import JobManager, JobQueueFull, UnknownJob
+from repro.serve.schema import SweepRequest
+
+#: Small enough to finish in well under a second per point.
+SWEEP = {"users": [6, 12], "n_channels": 10, "horizon": 60.0,
+         "mean_interval": 2.0, "pool_size": 24}
+
+
+def _wait_state(manager, job_id, want, timeout=30.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = manager.status(job_id)
+        if status["state"] in (want, "failed"):
+            return status
+        time.sleep(0.05)
+    raise AssertionError(
+        f"job {job_id} never reached {want}: {manager.status(job_id)}")
+
+
+def test_submit_runs_to_completion(tmp_path):
+    manager = JobManager(tmp_path / "jobs", workers=1)
+    try:
+        request = SweepRequest.from_payload(SWEEP)
+        submitted = manager.submit(request)
+        assert submitted["job_id"] == \
+            request.spec()["fingerprint"][:16]
+        assert submitted["request"] == request.to_dict()
+
+        status = _wait_state(manager, submitted["job_id"], "complete")
+        assert status["state"] == "complete"
+        points = status["result"]["points"]
+        assert [p["n_users"] for p in points] == SWEEP["users"]
+        assert status["progress"]["points_complete"] == 2
+    finally:
+        manager.shutdown()
+
+
+def test_resubmit_is_idempotent_and_complete_skips_queue(tmp_path):
+    manager = JobManager(tmp_path / "jobs", workers=1)
+    try:
+        request = SweepRequest.from_payload(SWEEP)
+        first = manager.submit(request)
+        _wait_state(manager, first["job_id"], "complete")
+        again = manager.submit(request)
+        assert again["job_id"] == first["job_id"]
+        assert again["state"] == "complete"
+        assert again["result"]["points"][0]["drop_probability"] == \
+            manager.status(first["job_id"])["result"]["points"][0][
+                "drop_probability"]
+    finally:
+        manager.shutdown()
+
+
+def test_unknown_job_raises(tmp_path):
+    manager = JobManager(tmp_path / "jobs", workers=1)
+    try:
+        with pytest.raises(UnknownJob):
+            manager.status("deadbeefdeadbeef")
+    finally:
+        manager.shutdown()
+
+
+def test_full_queue_raises_job_queue_full(tmp_path):
+    # Zero workers are forbidden; stop the pool instead so nothing
+    # drains the queue while we fill it.
+    manager = JobManager(tmp_path / "jobs", max_pending=1, workers=1,
+                         retry_after=7.0)
+    manager.shutdown(wait=True, timeout=5.0)
+    first = SweepRequest.from_payload(SWEEP)
+    second = SweepRequest.from_payload(dict(SWEEP, users=[5]))
+    third = SweepRequest.from_payload(dict(SWEEP, users=[4]))
+    manager.submit(first)
+    with pytest.raises(JobQueueFull) as caught:
+        manager.submit(second)
+        manager.submit(third)
+    assert caught.value.retry_after == 7.0
+
+
+def test_status_survives_manager_restart(tmp_path):
+    """All state is on disk: a fresh manager over the same root answers
+    for jobs a dead one ran — the crash-resume story."""
+    root = tmp_path / "jobs"
+    first = JobManager(root, workers=1)
+    request = SweepRequest.from_payload(SWEEP)
+    job_id = first.submit(request)["job_id"]
+    _wait_state(first, job_id, "complete")
+    first.shutdown()
+
+    second = JobManager(root, workers=1)
+    try:
+        status = second.status(job_id)
+        assert status["state"] == "complete"
+        assert [p["n_users"] for p in status["result"]["points"]] == \
+            SWEEP["users"]
+        # Resubmitting against the new manager rejoins, no rerun needed.
+        assert second.submit(request)["state"] == "complete"
+    finally:
+        second.shutdown()
+
+
+def test_pending_state_before_any_execution(tmp_path):
+    """A spec-only work dir reports pending — satellite #2: the status
+    path must not raise on a job no worker has touched yet."""
+    manager = JobManager(tmp_path / "jobs", workers=1)
+    manager.shutdown(wait=True, timeout=5.0)  # nothing will run it
+    submitted = manager.submit(SweepRequest.from_payload(SWEEP))
+    assert submitted["state"] == "pending"
+    status = manager.status(submitted["job_id"])
+    assert status["state"] == "pending"
+    assert status["progress"]["points_complete"] == 0
+    assert "result" not in status
